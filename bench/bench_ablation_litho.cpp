@@ -1,0 +1,81 @@
+// Ablation: what restrictive patterning buys (paper §2.1 / Fig. 1,
+// quantified). With pattern-construct-compliant logic, standard cells abut
+// memory bricks directly; conventional 2D logic would need a lithography
+// keepout halo around every memory macro (and the pattern checker flags
+// the abutment as a hotspot). This bench measures the block-area cost of
+// that halo on the Fig. 4b SRAM configurations.
+#include <cstdio>
+#include <iostream>
+
+#include "layout/checker.hpp"
+#include "lim/flow.hpp"
+#include "util/table.hpp"
+
+using namespace limsynth;
+
+int main() {
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+
+  std::printf("Ablation: lithography keepout cost without restrictive"
+              " patterning\n(pattern-compliant logic abuts bricks; legacy"
+              " logic needs a halo — Fig. 1)\n\n");
+
+  // First, the checker's view of the two abutment styles.
+  {
+    std::vector<layout::Region> lim_style{
+        {"array", layout::Rect{0, 0, 20e-6, 10e-6},
+         tech::PatternClass::kBitcell},
+        {"logic", layout::Rect{20e-6, 0, 30e-6, 10e-6},
+         tech::PatternClass::kLogicRegular}};
+    std::vector<layout::Region> legacy_style{
+        {"array", layout::Rect{0, 0, 20e-6, 10e-6},
+         tech::PatternClass::kBitcell},
+        {"logic", layout::Rect{20e-6, 0, 30e-6, 10e-6},
+         tech::PatternClass::kLogicLegacy}};
+    std::printf("pattern check, compliant logic abutting array : %s\n",
+                layout::check_patterns(lim_style).clean() ? "clean"
+                                                          : "HOTSPOT");
+    std::printf("pattern check, legacy logic abutting array    : %s\n\n",
+                layout::check_patterns(legacy_style).clean() ? "clean"
+                                                             : "HOTSPOT");
+  }
+
+  Table t({"design", "LiM halo area", "legacy halo area", "penalty"});
+  struct Case {
+    const char* tag;
+    lim::SramConfig cfg;
+  };
+  const Case cases[] = {
+      {"64x10 (4 bricks)", {64, 10, 1, 16}},
+      {"128x10 (8 bricks)", {128, 10, 1, 16}},
+      {"128x10 (4 banks)", {128, 10, 4, 16}},
+  };
+  for (const auto& c : cases) {
+    lim::SramConfig cfg = c.cfg;
+    auto area_with_halo = [&](double halo) {
+      lim::SramDesign d = lim::build_sram(cfg, process, cells);
+      lim::FlowOptions opt;
+      opt.activity_cycles = 0;
+      synth::synthesize(d.nl, d.lib, cells);
+      place::PlaceOptions popt;
+      popt.macro_halo = halo;
+      return place::place_design(d.nl, d.lib, process, popt).area;
+    };
+    // Pattern-compliant: minimal assembly halo. Legacy: lithography
+    // keepout on the order of several metal pitches (Fig. 1b spacing).
+    const double lim_area = area_with_halo(4e-6);
+    const double legacy_area = area_with_halo(12e-6);
+    t.add_row({c.tag, strformat("%.0f um2", lim_area * 1e12),
+               strformat("%.0f um2", legacy_area * 1e12),
+               strformat("+%.0f%%", 100.0 * (legacy_area / lim_area - 1.0))});
+    std::fprintf(stderr, "[litho] %s done\n", c.tag);
+  }
+  t.print(std::cout);
+  std::printf("\nReading: the penalty grows with macro count — exactly why"
+              " fine-grained\nLiM distribution is \"impractical and"
+              " inefficient\" without pattern-compatible\ncells (paper §6),"
+              " and why E-style partitioning would be prohibitive in a\n"
+              "conventional flow.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Micro-benchmarks (google-benchmark) for the flow's "instantaneous
+// library generation" claims (paper §3): compiling a brick, running the
+// estimator, generating a macro library cell, and the full nine-brick
+// Fig. 4c sweep ("finalized within 2 seconds of wall clock time").
+#include <benchmark/benchmark.h>
+
+#include "brick/brick.hpp"
+#include "brick/estimator.hpp"
+#include "brick/library_gen.hpp"
+#include "lim/dse.hpp"
+#include "tech/process.hpp"
+
+using namespace limsynth;
+
+namespace {
+
+const tech::Process& process() {
+  static const tech::Process p = tech::default_process();
+  return p;
+}
+
+void BM_CompileBrick(benchmark::State& state) {
+  const brick::BrickSpec spec{tech::BitcellKind::kSram8T,
+                              static_cast<int>(state.range(0)), 16, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brick::compile_brick(spec, process()));
+  }
+}
+BENCHMARK(BM_CompileBrick)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_EstimateBrick(benchmark::State& state) {
+  const brick::Brick b = brick::compile_brick(
+      {tech::BitcellKind::kSram8T, static_cast<int>(state.range(0)), 16, 8},
+      process());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brick::estimate_brick(b));
+  }
+}
+BENCHMARK(BM_EstimateBrick)->Arg(16)->Arg(64);
+
+void BM_GenerateMacroLibCell(benchmark::State& state) {
+  const brick::Brick b = brick::compile_brick(
+      {tech::BitcellKind::kSram8T, 16, 10, 4}, process());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brick::make_brick_libcell(b));
+  }
+}
+BENCHMARK(BM_GenerateMacroLibCell);
+
+void BM_CamEstimate(benchmark::State& state) {
+  const brick::Brick b = brick::compile_brick(
+      {tech::BitcellKind::kCamNor10T, 16, 10, 1}, process());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brick::estimate_brick(b));
+  }
+}
+BENCHMARK(BM_CamEstimate);
+
+void BM_Fig4cSweep(benchmark::State& state) {
+  std::vector<lim::PartitionChoice> choices;
+  for (int bits : {8, 16, 32})
+    for (int bw : {16, 32, 64})
+      choices.push_back({128, bits, bw, tech::BitcellKind::kSram8T});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lim::sweep_partitions(choices, process()));
+  }
+}
+BENCHMARK(BM_Fig4cSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Reproduces Fig. 4c of the paper: rapid design-space exploration of
+// single-partition SRAMs built from different brick shapes.
+//
+// Three SRAM sizes (128x8, 128x16, 128x32) are each built from three brick
+// shapes (16xN, 32xN, 64xN, stacked 8x/4x/2x) — nine compiled bricks.
+// The paper's observations to reproduce:
+//   * within a partition size, larger bricks are slower (longer local RBL)
+//     but consume less energy and area (fewer sense/control blocks);
+//   * 128x16 from 16x16 bricks is faster than 128x8 from 64x8 bricks;
+//   * its energy is near the 128x32 memory built from 64x32 bricks;
+//   * the whole sweep evaluates in well under the paper's 2 seconds.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "lim/dse.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace limsynth;
+
+int main() {
+  const tech::Process process = tech::default_process();
+
+  std::vector<lim::PartitionChoice> choices;
+  for (int bits : {8, 16, 32})
+    for (int brick_words : {16, 32, 64})
+      choices.push_back({128, bits, brick_words, tech::BitcellKind::kSram8T});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<lim::DsePoint> points =
+      lim::sweep_partitions(choices, process);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall =
+      std::chrono::duration<double>(t1 - t0).count();
+
+  // Normalize to the first configuration, as the paper plots.
+  const double d0 = points[0].read_delay;
+  const double e0 = points[0].read_energy;
+  const double a0 = points[0].area;
+
+  std::printf("Fig. 4c: design-space exploration of 128xN single partitions"
+              " built from different brick shapes\n\n");
+  Table t({"partition", "brick", "stack", "delay", "norm", "energy", "norm",
+           "area", "norm"});
+  std::ofstream csv("fig4c.csv");
+  CsvWriter w(csv);
+  w.write_row({"partition", "brick_words", "stack", "delay_s", "energy_J",
+               "area_m2", "norm_delay", "norm_energy", "norm_area"});
+  for (const auto& p : points) {
+    t.add_row({strformat("128x%d", p.choice.bits),
+               strformat("%dx%d", p.choice.brick_words, p.choice.bits),
+               strformat("%dx", p.choice.stack()),
+               units::format_si(p.read_delay, "s"),
+               strformat("%.2f", p.read_delay / d0),
+               units::format_si(p.read_energy, "J"),
+               strformat("%.2f", p.read_energy / e0),
+               strformat("%.0f um2", p.area * 1e12),
+               strformat("%.2f", p.area / a0)});
+    w.write_row(strformat("128x%d", p.choice.bits),
+                {static_cast<double>(p.choice.brick_words),
+                 static_cast<double>(p.choice.stack()), p.read_delay,
+                 p.read_energy, p.area, p.read_delay / d0, p.read_energy / e0,
+                 p.area / a0});
+  }
+  t.print(std::cout);
+
+  auto find = [&](int bits, int bw) -> const lim::DsePoint& {
+    for (const auto& p : points)
+      if (p.choice.bits == bits && p.choice.brick_words == bw) return p;
+    throw Error("missing point");
+  };
+
+  std::printf("\nTrend checks (paper Fig. 4c discussion):\n");
+  bool slower_big_bricks = true, cheaper_big_bricks = true,
+       smaller_big_bricks = true;
+  for (int bits : {8, 16, 32}) {
+    slower_big_bricks &= find(bits, 16).read_delay < find(bits, 64).read_delay;
+    cheaper_big_bricks &=
+        find(bits, 16).read_energy > find(bits, 64).read_energy;
+    smaller_big_bricks &= find(bits, 16).area > find(bits, 64).area;
+  }
+  std::printf("  larger bricks are slower (longer local RBL): %s\n",
+              slower_big_bricks ? "PASS" : "FAIL");
+  std::printf("  larger bricks consume less energy (fewer sense/control"
+              " blocks): %s\n",
+              cheaper_big_bricks ? "PASS" : "FAIL");
+  std::printf("  larger bricks consume less area: %s\n",
+              smaller_big_bricks ? "PASS" : "FAIL");
+  std::printf("  128x16 from 16x16 faster than 128x8 from 64x8: %s\n",
+              (find(16, 16).read_delay < find(8, 64).read_delay) ? "PASS"
+                                                                 : "FAIL");
+  const double e_ratio = find(16, 16).read_energy / find(32, 64).read_energy;
+  std::printf("  128x16 from 16x16 energy ~ 128x32 from 64x32 (ratio %.2f):"
+              " %s\n",
+              e_ratio, (e_ratio > 0.7 && e_ratio < 1.4) ? "PASS" : "FAIL");
+
+  // Pareto front over (delay, energy, area).
+  const auto front = lim::pareto_front(points);
+  std::printf("\nPareto-optimal configurations (%zu of %zu):\n", front.size(),
+              points.size());
+  for (std::size_t idx : front)
+    std::printf("  %s\n", points[idx].choice.label().c_str());
+
+  std::printf("\nSweep wall-clock: %.3f ms for %zu compiled bricks + libraries"
+              " (paper: \"within 2 seconds\")\n",
+              wall * 1e3, points.size());
+  std::printf("(wrote fig4c.csv)\n");
+  return wall < 2.0 ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Reproduces the circuit- and chip-level facts of the paper's Section 5:
+//
+//   * same 16x10 array: CAM brick area ~83% bigger than the SRAM brick and
+//     ~26% slower;
+//   * SPICE power at 0.8 GHz: SRAM read 0.73 mW; CAM read 0.87 mW,
+//     CAM match 1.94 mW;
+//   * chip level: LiM SpGEMM f_max 475 MHz vs non-LiM 725 MHz (LiM ~35%
+//     slower); per-clock power 72 mW vs 96 mW (LiM lower);
+//   * LiM computation core ~20% more area than the baseline core.
+#include <cstdio>
+#include <iostream>
+
+#include "arch/chip.hpp"
+#include "brick/estimator.hpp"
+#include "brick/golden.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace limsynth;
+
+int main() {
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  const double kFreq = 0.8e9;
+
+  // ----------------------------------------------------- brick level
+  const brick::Brick sram =
+      brick::compile_brick({tech::BitcellKind::kSram8T, 16, 10, 1}, process);
+  const brick::Brick cam = brick::compile_brick(
+      {tech::BitcellKind::kCamNor10T, 16, 10, 1}, process);
+  const brick::BrickEstimate es = brick::estimate_brick(sram);
+  const brick::BrickEstimate ec = brick::estimate_brick(cam);
+
+  std::printf("Section 5 — circuit level (16x10 bricks)\n\n");
+  Table t({"metric", "SRAM brick", "CAM brick", "ratio", "paper"});
+  t.add_row({"area",
+             strformat("%.0f um2", sram.layout.area * 1e12),
+             strformat("%.0f um2", cam.layout.area * 1e12),
+             strformat("%.2fx", cam.layout.area / sram.layout.area),
+             "1.83x"});
+  t.add_row({"read delay", units::format_si(es.read_delay, "s"),
+             units::format_si(ec.read_delay, "s"),
+             strformat("%.2fx", ec.read_delay / es.read_delay), "1.26x"});
+  t.add_row({"read power @0.8GHz",
+             units::format_si(es.read_energy * kFreq, "W"),
+             units::format_si(ec.read_energy * kFreq, "W"),
+             strformat("%.2fx", ec.read_energy / es.read_energy),
+             "0.73 / 0.87 mW"});
+  t.add_row({"match power @0.8GHz", "-",
+             units::format_si(ec.match_energy * kFreq, "W"), "-", "1.94 mW"});
+  t.print(std::cout);
+
+  // Golden cross-check of the CAM match cost.
+  const brick::GoldenMeasurement gm = brick::golden_match(cam);
+  std::printf("\nGolden match check: tool %s vs golden %s (%+.1f%%)\n",
+              units::format_si(ec.match_energy, "J").c_str(),
+              units::format_si(gm.energy, "J").c_str(),
+              units::percent_error(ec.match_energy, gm.energy));
+
+  // ------------------------------------------------------- chip level
+  const arch::ChipModel lim_chip = arch::build_lim_chip(process, cells);
+  const arch::ChipModel base_chip = arch::build_baseline_chip(process, cells);
+
+  std::printf("\nSection 5 — chip level\n\n");
+  Table c({"metric", "LiM chip", "non-LiM chip", "ratio", "paper"});
+  c.add_row({"f_max", units::format_si(lim_chip.fmax, "Hz"),
+             units::format_si(base_chip.fmax, "Hz"),
+             strformat("%.2f", lim_chip.fmax / base_chip.fmax),
+             "475/725 MHz = 0.66"});
+  c.add_row({"power per clock", units::format_si(lim_chip.power(), "W"),
+             units::format_si(base_chip.power(), "W"),
+             strformat("%.2f", lim_chip.power() / base_chip.power()),
+             "72/96 mW = 0.75"});
+  c.add_row({"core area", strformat("%.3f mm2", lim_chip.core_area * 1e6),
+             strformat("%.3f mm2", base_chip.core_area * 1e6),
+             strformat("%.2f", lim_chip.core_area / base_chip.core_area),
+             "0.39/0.33 mm2 = 1.18"});
+  c.print(std::cout);
+
+  std::printf("\nShape checks:\n");
+  const double ar = cam.layout.area / sram.layout.area;
+  std::printf("  CAM brick area ratio in [1.6, 2.1]: %s (%.2f)\n",
+              (ar > 1.6 && ar < 2.1) ? "PASS" : "FAIL", ar);
+  const double dr = ec.read_delay / es.read_delay;
+  std::printf("  CAM brick slower by 10-50%%: %s (%.2f)\n",
+              (dr > 1.1 && dr < 1.5) ? "PASS" : "FAIL", dr);
+  std::printf("  CAM match costs more than CAM read: %s\n",
+              (ec.match_energy > ec.read_energy) ? "PASS" : "FAIL");
+  const double fr = lim_chip.fmax / base_chip.fmax;
+  std::printf("  LiM chip clock 25-50%% slower: %s (%.2f)\n",
+              (fr > 0.5 && fr < 0.8) ? "PASS" : "FAIL", fr);
+  std::printf("  LiM chip power per clock lower: %s\n",
+              (lim_chip.power() < base_chip.power()) ? "PASS" : "FAIL");
+  std::printf("  LiM core area larger: %s\n",
+              (lim_chip.core_area > base_chip.core_area) ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Interpolation memory example (Zhu et al. [13] from the paper's
+// background): a LiM seed table that emulates a large lookup table by
+// storing coarse samples in two interleaved brick banks and linearly
+// interpolating on the fly — the polar-format SAR accelerator's key block.
+//
+// Demonstrates:
+//   * hardware output == fixed-point reference on a sine table,
+//   * worst-case interpolation error vs the ideal dense table,
+//   * area/energy of seed-table+logic vs the dense table it replaces.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "brick/estimator.hpp"
+#include "lim/smart_memory.hpp"
+#include "netlist/sim.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace limsynth;
+
+int main() {
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+
+  lim::InterpConfig cfg;
+  cfg.dense_entries = 1024;  // the table the application wants
+  cfg.seed_entries = 64;     // what the LiM block actually stores
+  cfg.value_bits = 12;
+
+  lim::InterpDesign d = lim::build_interpolation_memory(cfg, process, cells);
+  netlist::Simulator sim(d.nl, cells);
+  lim::InterpModels models = lim::attach_interp_models(d, sim);
+
+  // Quarter-sine seed table in Q12.
+  std::vector<std::uint64_t> seed;
+  for (int i = 0; i < cfg.seed_entries; ++i) {
+    const double x = (static_cast<double>(i) / cfg.seed_entries) * M_PI / 2;
+    seed.push_back(static_cast<std::uint64_t>(
+        std::lround(std::sin(x) * ((1 << cfg.value_bits) - 1))));
+  }
+  lim::interp_load_table(cfg, models, seed);
+  sim.settle();
+
+  // Sweep the dense domain: hardware vs fixed-point reference vs ideal.
+  double max_err_lsb = 0.0;
+  int mismatches = 0;
+  for (int idx = 0; idx < cfg.dense_entries - cfg.expansion(); idx += 7) {
+    sim.set_bus(d.index, static_cast<std::uint64_t>(idx));
+    sim.settle();
+    sim.clock_edge();
+    sim.clock_edge();
+    const std::uint64_t hw = sim.bus_value(d.out);
+    if (hw != lim::interp_reference(cfg, seed, idx)) ++mismatches;
+    const double x =
+        (static_cast<double>(idx) / cfg.dense_entries) * M_PI / 2;
+    const double ideal = std::sin(x) * ((1 << cfg.value_bits) - 1);
+    max_err_lsb = std::max(max_err_lsb,
+                           std::fabs(static_cast<double>(hw) - ideal));
+  }
+  std::printf("Interpolated sine over %d dense indices: %d hardware/reference"
+              " mismatches,\nmax error vs ideal table = %.1f LSB (12-bit"
+              " output)\n\n",
+              cfg.dense_entries, mismatches, max_err_lsb);
+
+  // Hardware cost: seed banks + interpolation logic vs the dense table.
+  const brick::BrickEstimate dense = brick::estimate_brick(
+      brick::compile_brick({tech::BitcellKind::kSram8T, 64, 12, 16}, process));
+  const brick::BrickEstimate seed_bank = brick::estimate_brick(
+      brick::compile_brick({tech::BitcellKind::kSram8T, 16, 12, 2}, process));
+  const double interp_logic_area =
+      static_cast<double>(d.nl.live_instance_count()) * 2.5e-12;
+
+  Table t({"design", "storage", "area", "energy/lookup"});
+  t.add_row({"dense table", "1024 x 12b",
+             strformat("%.0f um2", dense.bank_area * 1e12),
+             units::format_si(dense.read_energy, "J")});
+  t.add_row({"LiM interpolation memory", "2 x 32 x 12b + MAC",
+             strformat("%.0f um2",
+                       (2 * seed_bank.bank_area + interp_logic_area) * 1e12),
+             units::format_si(2 * seed_bank.read_energy + 1.2e-12, "J")});
+  t.print(std::cout);
+
+  std::printf("\nThe LiM block emulates a %dx larger table \"as if it is"
+              " readily stored\"\n([13] via the paper's §2.2), trading two"
+              " cycles of latency for ~%.0fx less\nstorage area.\n",
+              cfg.expansion(),
+              dense.bank_area / (2 * seed_bank.bank_area + interp_logic_area));
+  return 0;
+}

@@ -1,0 +1,246 @@
+#include "arch/cores.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace limsynth::arch {
+
+namespace {
+
+using spgemm::BlockTask;
+using spgemm::Entry;
+using spgemm::SparseMatrix;
+
+}  // namespace
+
+SparseMatrix lim_spgemm(const SparseMatrix& a, const SparseMatrix& b,
+                        const CoreConfig& cfg, CoreStats* stats) {
+  LIMS_CHECK(a.cols() == b.rows());
+  CoreStats st;
+  std::vector<std::tuple<int, int, double>> trips;
+
+  const auto tasks = spgemm::make_block_tasks(a, b, cfg.blocking);
+  int cached_row_block = -1;
+  spgemm::BlockedColumns a_block;
+  std::int64_t nnz_a_block = 0;
+
+  for (const BlockTask& task : tasks) {
+    bool new_block = false;
+    if (task.row_block_index != cached_row_block) {
+      a_block = spgemm::slice_rows(a, task.row_begin, task.row_end);
+      cached_row_block = task.row_block_index;
+      new_block = true;
+      nnz_a_block = 0;
+      for (const auto& col_entries : a_block.entries)
+        nnz_a_block += static_cast<std::int64_t>(col_entries.size());
+    }
+    const int n_cols = task.col_end - task.col_begin;
+
+    // Per-column accumulation state.
+    struct ColState {
+      std::unordered_map<int, double> values;  // exact accumulation
+      std::unordered_map<int, int> cam_epoch;  // row -> epoch when inserted
+      int epoch = 0;
+      int occupancy = 0;
+      std::int64_t spilled = 0;
+    };
+    std::vector<ColState> cols(static_cast<std::size_t>(n_cols));
+
+    // B entries per k for this stripe: k -> list of (column offset, value).
+    std::map<int, std::vector<std::pair<int, double>>> by_k;
+    std::int64_t nnz_b_stripe = 0;
+    for (int j = task.col_begin; j < task.col_end; ++j) {
+      for (int kb = b.col_begin(j); kb < b.col_end(j); ++kb) {
+        by_k[b.row_index(kb)].emplace_back(j - task.col_begin, b.value(kb));
+        ++nnz_b_stripe;
+      }
+    }
+
+    std::int64_t compute = 0;
+
+    for (const auto& [k, targets] : by_k) {
+      const auto& a_col = a_block.entries[static_cast<std::size_t>(k)];
+      if (a_col.empty()) continue;
+      compute += 1;  // load the B-row values into the column multipliers
+      for (const Entry& ae : a_col) {
+        // One broadcast cycle: every active column matches in parallel.
+        compute += 1;
+        ++st.broadcasts;
+        for (const auto& [cj, bv] : targets) {
+          ColState& col = cols[static_cast<std::size_t>(cj)];
+          ++st.searches;
+          ++st.multiplies;
+          const auto it = col.cam_epoch.find(ae.row);
+          const bool hit = (it != col.cam_epoch.end() && it->second == col.epoch);
+          if (!hit) {
+            if (col.occupancy == cfg.cam_entries) {
+              // Overflow: the CAM contents drain into the spill FIFO in the
+              // background (double-buffered), costing a merge pass at drain
+              // rather than a stall here.
+              ++st.spills;
+              st.spilled_entries += col.occupancy;
+              col.spilled += col.occupancy;
+              col.occupancy = 0;
+              ++col.epoch;
+            }
+            ++st.inserts;
+            col.cam_epoch[ae.row] = col.epoch;
+            ++col.occupancy;
+          }
+          col.values[ae.row] += ae.value * bv;
+        }
+      }
+    }
+
+    // Drain: assemble columns into C through the vertical CAM; spilled
+    // segments take an extra merge pass. Partially hidden behind the next
+    // stripe (double-buffered).
+    std::int64_t drain = 0;
+    for (int cj = 0; cj < n_cols; ++cj) {
+      ColState& col = cols[static_cast<std::size_t>(cj)];
+      if (col.values.empty()) continue;
+      drain += 2;  // vertical CAM column-index match + setup
+      drain += static_cast<std::int64_t>(col.values.size());  // read out
+      drain += 2 * col.spilled;  // re-stream spilled segments through CAM
+      std::vector<std::pair<int, double>> sorted(col.values.begin(),
+                                                 col.values.end());
+      std::sort(sorted.begin(), sorted.end());
+      for (const auto& [row, v] : sorted) {
+        trips.emplace_back(row + task.row_begin, cj + task.col_begin, v);
+        ++st.output_entries;
+      }
+    }
+    drain = static_cast<std::int64_t>(
+        static_cast<double>(drain) * (1.0 - cfg.drain_overlap));
+
+    // On-chip buffer fill from the 3D DRAM stack, double-buffered against
+    // compute. The A block is loaded once per row block and reused across
+    // all 32-column stripes.
+    const std::int64_t load =
+        dram_stream_cycles(cfg.dram, nnz_b_stripe) +
+        (new_block ? dram_stream_cycles(cfg.dram, nnz_a_block) : 0);
+    st.load_cycles += load;
+    st.cycles += std::max(compute, load) + drain;
+    ++st.block_tasks;
+  }
+
+  if (stats != nullptr) *stats = st;
+  return SparseMatrix::from_triplets(a.rows(), b.cols(), std::move(trips));
+}
+
+SparseMatrix heap_spgemm(const SparseMatrix& a, const SparseMatrix& b,
+                         const CoreConfig& cfg, CoreStats* stats) {
+  LIMS_CHECK(a.cols() == b.rows());
+  CoreStats st;
+  std::vector<std::tuple<int, int, double>> trips;
+
+  const auto tasks = spgemm::make_block_tasks(a, b, cfg.blocking);
+  int cached_row_block = -1;
+  spgemm::BlockedColumns a_block;
+  std::int64_t nnz_a_block = 0;
+
+  for (const BlockTask& task : tasks) {
+    bool new_block = false;
+    if (task.row_block_index != cached_row_block) {
+      a_block = spgemm::slice_rows(a, task.row_begin, task.row_end);
+      cached_row_block = task.row_block_index;
+      new_block = true;
+      nnz_a_block = 0;
+      for (const auto& col_entries : a_block.entries)
+        nnz_a_block += static_cast<std::int64_t>(col_entries.size());
+    }
+    std::int64_t nnz_b_stripe = 0;
+    std::int64_t compute = 0;
+
+    for (int j = task.col_begin; j < task.col_end; ++j) {
+      // Gather the lists to merge: one per nonzero B(k, j).
+      struct List {
+        const std::vector<Entry>* entries;
+        double scale;
+        std::size_t pos = 0;
+      };
+      std::vector<List> lists;
+      for (int kb = b.col_begin(j); kb < b.col_end(j); ++kb) {
+        ++nnz_b_stripe;
+        const int k = b.row_index(kb);
+        const auto& a_col = a_block.entries[static_cast<std::size_t>(k)];
+        if (a_col.empty()) continue;
+        lists.push_back({&a_col, b.value(kb), 0});
+        st.fifo_loads += static_cast<std::int64_t>(a_col.size());
+        compute += static_cast<std::int64_t>(a_col.size());  // fill FIFO
+      }
+      if (lists.empty()) continue;
+
+      // Sorted head FIFO: (row, list index), smallest row at the front.
+      // Building it costs one shift (read+write pair) per displaced entry.
+      std::vector<std::pair<int, std::size_t>> heads;
+      for (std::size_t l = 0; l < lists.size(); ++l) {
+        const int row = (*lists[l].entries)[0].row;
+        auto it = std::lower_bound(
+            heads.begin(), heads.end(), std::make_pair(row, l));
+        const auto displaced =
+            static_cast<std::int64_t>(heads.end() - it);
+        st.shift_cycles += 2 * displaced;
+        compute += 2 * displaced + 1;
+        heads.insert(it, {row, l});
+      }
+
+      // Merge.
+      int last_row = -1;
+      double acc = 0.0;
+      auto emit = [&]() {
+        if (last_row >= 0) {
+          trips.emplace_back(last_row + task.row_begin, j, acc);
+          ++st.output_entries;
+        }
+      };
+      while (!heads.empty()) {
+        const auto [row, l] = heads.front();
+        heads.erase(heads.begin());
+        ++st.pops;
+        ++st.multiplies;
+        compute += 2;  // FIFO read + pointer update, fused multiply-accum.
+        const Entry& e = (*lists[l].entries)[lists[l].pos];
+        const double product = e.value * lists[l].scale;
+        if (row == last_row) {
+          acc += product;
+        } else {
+          emit();
+          if (last_row >= 0) compute += 1;  // result write to output SRAM
+          last_row = row;
+          acc = product;
+        }
+        // Advance the list; re-insert its new head with FIFO shifting.
+        if (++lists[l].pos < lists[l].entries->size()) {
+          const int nrow = (*lists[l].entries)[lists[l].pos].row;
+          auto it = std::lower_bound(heads.begin(), heads.end(),
+                                     std::make_pair(nrow, l));
+          const auto displaced =
+              static_cast<std::int64_t>(heads.end() - it);
+          st.shift_cycles += 2 * displaced;
+          compute += 2 * displaced + 1;
+          heads.insert(it, {nrow, l});
+        }
+      }
+      emit();
+      // Re-arrange (reset) the FIFO bank for the next column.
+      compute += static_cast<std::int64_t>(lists.size());
+    }
+
+    const std::int64_t load =
+        dram_stream_cycles(cfg.dram, nnz_b_stripe) +
+        (new_block ? dram_stream_cycles(cfg.dram, nnz_a_block) : 0);
+    st.load_cycles += load;
+    st.cycles += std::max(compute, load);
+    ++st.block_tasks;
+  }
+
+  if (stats != nullptr) *stats = st;
+  return SparseMatrix::from_triplets(a.rows(), b.cols(), std::move(trips));
+}
+
+}  // namespace limsynth::arch

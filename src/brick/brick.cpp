@@ -1,0 +1,119 @@
+#include "brick/brick.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/logical_effort.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::brick {
+
+std::string BrickSpec::name() const {
+  return std::string("brick_") + tech::bitcell_kind_name(bitcell) + "_" +
+         std::to_string(words) + "x" + std::to_string(bits) +
+         (stack > 1 ? "_s" + std::to_string(stack) : "");
+}
+
+Brick compile_brick(const BrickSpec& spec, const tech::Process& process) {
+  LIMS_CHECK_MSG(spec.words >= 2 && spec.words <= 1024,
+                 "brick words out of range: " << spec.words);
+  LIMS_CHECK_MSG(spec.bits >= 1 && spec.bits <= 256,
+                 "brick bits out of range: " << spec.bits);
+  LIMS_CHECK_MSG(spec.stack >= 1 && spec.stack <= 64,
+                 "brick stack out of range: " << spec.stack);
+
+  Brick b;
+  b.spec = spec;
+  b.process = process;
+  b.cell = tech::make_bitcell(spec.bitcell, process);
+
+  const double c0 = process.c_unit();
+
+  // ------------------------------------------------------------ wordline
+  b.wl_length = b.cell.width * spec.bits;
+  b.wl_cap = static_cast<double>(spec.bits) * b.cell.c_wordline;
+
+  // Size the DWL NAND + wordline driver inverter as a logical-effort path
+  // from a fixed DWL pin cap (2 C0) into the wordline load.
+  {
+    std::vector<circuit::PathStage> path{
+        {4.0 / 3.0, 1.0, 2.0},  // NAND2(DWL, wl_en)
+        {1.0, 1.0, 1.0},        // WL driver inverter
+    };
+    const circuit::SizedPath sized =
+        circuit::size_path(path, 2.0, b.wl_cap / c0);
+    b.wl_nand_drive = std::max(1.0, sized.stage_cin[0] / (4.0 / 3.0));
+    b.wl_inv_drive = std::max(1.0, sized.stage_cin[1]);
+    // Cap driver growth: wordline drivers are pitch-limited leaf cells.
+    b.wl_inv_drive = std::min(b.wl_inv_drive, 24.0);
+    b.wl_nand_drive = std::min(b.wl_nand_drive, 8.0);
+  }
+
+  // wl_en is distributed hierarchically: the predecoded address gates it
+  // per 16-row group, so only one group's NAND pins load the toggling
+  // enable each cycle (plus one gating cell per group and the spine wire).
+  // This is what keeps per-access control energy nearly flat in the brick
+  // row count — the "fewer control blocks per word" efficiency of larger
+  // bricks that Fig. 4c exposes.
+  {
+    const double nand_cin = (4.0 / 3.0) * b.wl_nand_drive * c0;
+    const int group_rows = std::min(16, spec.words);
+    const int n_groups = (spec.words + 15) / 16;
+    b.wl_en_cap = group_rows * nand_cin + n_groups * 2.0 * c0 +
+                  process.c_wire * b.cell.height * spec.words;
+  }
+
+  // Control buffer chain (clk -> wl_en): two stages sized for the fanout.
+  {
+    const double fanout = b.wl_en_cap / (2.0 * c0);
+    const double stage = std::sqrt(std::max(1.0, fanout));
+    b.ctrl_drive1 = std::clamp(2.0 * stage / 2.0, 1.0, 12.0);
+    b.ctrl_drive2 = std::clamp(b.ctrl_drive1 * stage, 2.0, 48.0);
+  }
+
+  // -------------------------------------------------------------- bitline
+  b.bl_length = b.cell.height * spec.words;
+  b.bl_cap = static_cast<double>(spec.words) * b.cell.c_bitline;
+  b.precharge_drive = std::clamp(b.bl_cap / (6.0 * c0), 2.0, 12.0);
+
+  // ------------------------------------------------ ARBL (brick stacking)
+  // Each stacked brick contributes a segment of array read bitline: wire
+  // over the brick height plus the tap (sense driver diffusion + merge
+  // gate input) of that brick.
+  b.arbl_seg_len = b.bl_length + 2.0 * b.cell.height;  // small overhead rows
+  const double tap_cap = 1.9e-15;  // F: output tap per brick (diff + via)
+  b.arbl_seg_cap = process.c_wire * b.arbl_seg_len + tap_cap;
+
+  // The sense is a fixed pre-laid-out leaf cell (pitch-limited), so the
+  // ARBL slows as bricks stack — the stacking trend Table 1 shows.
+  b.sense_drive = 2.0;
+  b.out_rcv_drive = 2.0;
+  b.out_buf_drive = 4.0;
+
+  // Control-block clock network (see Process::c_clknet_*).
+  b.c_clock_net = process.c_clknet_base +
+                  process.c_clknet_per_bit * spec.bits +
+                  process.c_clknet_per_word * spec.words;
+
+  // ------------------------------------------------------------ CAM loads
+  if (b.is_cam()) {
+    b.ml_cap = static_cast<double>(spec.bits) * b.cell.c_matchline;
+    b.sl_cap = static_cast<double>(spec.words) * b.cell.c_searchline;
+    b.sl_drive = std::clamp(b.sl_cap / (4.0 * c0), 2.0, 16.0);
+    b.ml_detect_drive = 2.0;
+  }
+
+  // --------------------------------------------------------------- layout
+  layout::BrickLayoutSpec lspec;
+  lspec.bitcell = b.cell;
+  lspec.words = spec.words;
+  lspec.bits = spec.bits;
+  lspec.wl_driver_drive = b.wl_inv_drive;
+  lspec.sense_drive = b.sense_drive;
+  lspec.control_drive = b.ctrl_drive2;
+  b.layout = layout::build_brick_layout(lspec);
+
+  return b;
+}
+
+}  // namespace limsynth::brick

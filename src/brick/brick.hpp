@@ -1,0 +1,77 @@
+// Memory-brick compiler (paper §3, "Automated brick generation").
+//
+// A brick is a bitcell array with simplified local periphery — wordline
+// drivers, local sense, and a control block — but no decoder or write
+// driver (those are synthesized with the logic so the memory stays a
+// white box). The compiler takes the memory type, array size (words x
+// bits), and the number of bricks stacked per bank, and sizes the
+// peripheral gates with logical effort, exactly as described in the paper.
+// The resulting Brick carries every structural parameter both the analytic
+// estimator and the golden transient simulation consume, so the two
+// evaluations share one design but independent math.
+#pragma once
+
+#include <string>
+
+#include "layout/brick_layout.hpp"
+#include "tech/bitcell.hpp"
+#include "tech/process.hpp"
+
+namespace limsynth::brick {
+
+struct BrickSpec {
+  tech::BitcellKind bitcell = tech::BitcellKind::kSram8T;
+  int words = 16;  // rows in this brick
+  int bits = 10;   // columns
+  int stack = 1;   // bricks stacked to form the bank this brick lives in
+
+  std::string name() const;
+};
+
+/// A compiled brick: spec + sized periphery + layout.
+struct Brick {
+  BrickSpec spec;
+  tech::Process process;
+  tech::Bitcell cell;
+
+  // Compiler-assigned drive strengths (unit-inverter multiples).
+  double ctrl_drive1 = 1.0;   // first wl_en buffer stage
+  double ctrl_drive2 = 4.0;   // second wl_en buffer stage
+  double wl_nand_drive = 2.0; // DWL & wl_en NAND
+  double wl_inv_drive = 4.0;  // wordline driver inverter
+  double sense_drive = 3.0;   // skewed local sense inverter
+  double out_buf_drive = 4.0; // bank output buffer (one per bit, bottom)
+  double precharge_drive = 2.0;
+
+  layout::BrickLayout layout;
+
+  // Derived wire/load summary (for one brick).
+  double wl_length = 0.0;      // m
+  double wl_cap = 0.0;         // F, total wordline load (cells + wire)
+  double bl_length = 0.0;      // m
+  double bl_cap = 0.0;         // F, total local read-bitline load
+  double wl_en_cap = 0.0;      // F, wl_en fanout to all row NANDs
+  double arbl_seg_len = 0.0;   // m, ARBL length contributed per brick
+  double arbl_seg_cap = 0.0;   // F per stacked brick (wire + tap)
+  double c_clock_net = 0.0;    // F, control-block clock network
+  double out_rcv_drive = 2.0;  // ARBL receiver inverter at bank bottom
+
+  /// Number of bits that toggle when reading the alternating test pattern
+  /// <1010...> used throughout the paper's measurements.
+  int switching_bits() const { return (spec.bits + 1) / 2; }
+
+  bool is_cam() const { return spec.bitcell == tech::BitcellKind::kCamNor10T; }
+
+  // CAM-only loads.
+  double ml_cap = 0.0;  // F, matchline per word (all bits)
+  double sl_cap = 0.0;  // F, searchline per bit (all words)
+  double ml_detect_drive = 2.0;
+  double sl_drive = 4.0;
+};
+
+/// Compiles a brick for the given process: builds the bitcell, sizes the
+/// periphery with logical effort, and generates the layout. Throws on
+/// unbuildable specs (non-positive dims, stack < 1).
+Brick compile_brick(const BrickSpec& spec, const tech::Process& process);
+
+}  // namespace limsynth::brick

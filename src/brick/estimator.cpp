@@ -1,0 +1,238 @@
+#include "brick/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/elmore.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::brick {
+
+namespace {
+
+/// Crossing factor for a 50% logic threshold under a dominant-pole model.
+constexpr double kLn2 = 0.6931471805599453;
+
+/// Gate-output parasitic ratio used by the estimator (diffusion/gate cap).
+double parasitic_cap(const tech::Process& p, double drive, double stages = 1.0) {
+  return stages * drive * p.c_unit() * (p.c_diff / p.c_gate);
+}
+
+}  // namespace
+
+BrickEstimate estimate_brick(const Brick& b, double output_load) {
+  const tech::Process& p = b.process;
+  const double c0 = p.c_unit();
+  const double r0 = p.r_unit();
+  const double v2 = p.vdd * p.vdd;
+  const int S = b.spec.stack;
+
+  BrickEstimate e;
+
+  // ------------------------------------------------------------- control
+  // Bank clock spine (the addressed brick may sit at the top of the
+  // stack), pulse generation (fixed, calibrated), and the two wl_en
+  // buffer stages.
+  {
+    const double spine_len = static_cast<double>(S) * b.arbl_seg_len;
+    circuit::RcTree spine(r0 / 8.0, parasitic_cap(p, 8.0));
+    const int far = spine.add_line(
+        0, p.r_wire * spine_len,
+        p.c_wire * spine_len + static_cast<double>(S - 1) * 2.0 * c0,
+        std::max(2, S));
+    spine.add_node(far, 1.0, 2.0 * c0);
+    const double t_spine = kLn2 * spine.elmore(far);
+
+    // Spine launch buffer (drive 4 into the drive-8 repeater).
+    const double d_spine_buf =
+        kLn2 * (r0 / 4.0) * (parasitic_cap(p, 4.0) + 8.0 * c0);
+
+    const double cin2 = b.ctrl_drive2 * c0;
+    const double d1 =
+        kLn2 * (r0 / b.ctrl_drive1) * (parasitic_cap(p, b.ctrl_drive1) + cin2);
+    const double d2 = kLn2 * (r0 / b.ctrl_drive2) *
+                      (parasitic_cap(p, b.ctrl_drive2) + b.wl_en_cap);
+    e.t_control = d_spine_buf + t_spine + p.t_control + d1 + d2;
+  }
+
+  // ------------------------------------------------------------ wordline
+  {
+    const double nand_r = r0 / b.wl_nand_drive;
+    const double nand_load = b.wl_inv_drive * c0;
+    const double t_nand =
+        kLn2 * nand_r * (parasitic_cap(p, b.wl_nand_drive, 2.0) + nand_load);
+    // WL driver into the distributed wordline.
+    circuit::RcTree wl(r0 / b.wl_inv_drive,
+                       parasitic_cap(p, b.wl_inv_drive));
+    const int far = wl.add_line(0, p.r_wire * b.wl_length, b.wl_cap,
+                                std::min(b.spec.bits, 8));
+    e.t_wordline = t_nand + kLn2 * wl.elmore(far);
+  }
+
+  // ------------------------------------------------------------- bitline
+  {
+    // Worst case: the addressed cell is the farthest row from the sense.
+    // The cell's read stack discharges the whole distributed RBL.
+    circuit::RcTree bl(b.cell.r_read, 0.0);
+    const int sense_node =
+        bl.add_line(0, p.r_wire * b.bl_length, b.bl_cap,
+                    std::min(b.spec.words, 8));
+    // Precharge device diffusion at the sense end.
+    bl.add_node(sense_node, 1.0, b.precharge_drive * 0.4 * c0);
+    e.t_bitline = -std::log(1.0 - p.sense_swing) * bl.elmore(sense_node);
+  }
+
+  // ------------------------------------------------- sense + stacked ARBL
+  {
+    circuit::RcTree arbl(r0 / b.sense_drive,
+                         parasitic_cap(p, b.sense_drive));
+    // Worst brick: farthest from the output buffer; its sense drives the
+    // full ARBL run across all stacked bricks.
+    const int out_node = arbl.add_line(
+        0, p.r_wire * b.arbl_seg_len * S, b.arbl_seg_cap * S, std::max(2, S));
+    arbl.add_node(out_node, 1.0, b.out_rcv_drive * c0);
+    e.t_sense = kLn2 * arbl.elmore(out_node);
+
+    // ARBL receiver inverter + output buffer into the external load.
+    const double t_rcv = kLn2 * (r0 / b.out_rcv_drive) *
+                         (parasitic_cap(p, b.out_rcv_drive) +
+                          b.out_buf_drive * c0);
+    e.t_output = t_rcv + kLn2 * (r0 / b.out_buf_drive) *
+                             (parasitic_cap(p, b.out_buf_drive) + output_load);
+  }
+
+  e.read_delay =
+      e.t_control + e.t_wordline + e.t_bitline + e.t_sense + e.t_output;
+
+  // ------------------------------------------------------------- energies
+  const int nsw = b.switching_bits();
+  const double e_wl_en = b.wl_en_cap * v2;
+  const double e_wl = (b.wl_cap + parasitic_cap(p, b.wl_inv_drive)) * v2;
+  const double e_bl = (b.bl_cap + b.precharge_drive * 0.4 * c0) * v2;
+  // Domino sense: PMOS pull-up plus reset device — pure CV^2, no crowbar.
+  const double e_sense =
+      (b.sense_drive * 2.4 * c0 + parasitic_cap(p, b.sense_drive)) * v2;
+  const double e_arbl_per_brick = b.arbl_seg_cap * v2;
+  const double e_out =
+      (b.out_rcv_drive * c0 + parasitic_cap(p, b.out_rcv_drive) +
+       b.out_buf_drive * c0 + parasitic_cap(p, b.out_buf_drive) + output_load) *
+      v2;
+
+  // Clock-spine switching: wire over the stack + per-brick taps + the two
+  // launch buffers.
+  const double spine_cap_per_brick = p.c_wire * b.arbl_seg_len + 2.0 * c0;
+  const double e_spine =
+      (static_cast<double>(S) * spine_cap_per_brick +
+       12.0 * c0 * (1.0 + p.c_diff / p.c_gate)) *
+      v2;
+  const double e_ctrl_active =
+      p.e_control + e_wl_en + b.c_clock_net * v2 + e_spine;
+  // Idle stacked bricks are clock-gated from the address MSBs (paper's
+  // Fig. 3 discussion): they pay the clock-gate + local clock wire only.
+  e.clock_energy_idle =
+      0.18 * p.e_control +
+      p.c_wire * b.cell.width * b.spec.bits * v2;
+
+  const double e_bit_fixed = e_bl + e_sense + e_out;  // per switching bit
+  e.read_energy = e_ctrl_active + e_wl +
+                  static_cast<double>(S - 1) * e.clock_energy_idle +
+                  nsw * (e_bit_fixed +
+                         static_cast<double>(S) * e_arbl_per_brick);
+  e.energy_per_extra_brick =
+      e.clock_energy_idle + nsw * e_arbl_per_brick + spine_cap_per_brick * v2;
+
+  // --------------------------------------------------------------- write
+  {
+    // Write bitlines span the brick like read bitlines; the (external)
+    // write driver is assumed sized to drive 4x the bitline cap budget.
+    const double wr_drive = std::clamp(b.bl_cap / (4.0 * c0), 2.0, 16.0);
+    circuit::RcTree wbl(r0 / wr_drive, parasitic_cap(p, wr_drive));
+    const int far = wbl.add_line(0, p.r_wire * b.bl_length, b.bl_cap,
+                                 std::min(b.spec.words, 8));
+    const double t_flip = 3.0 * p.tau();  // cross-coupled pair flip
+    e.write_delay = e.t_control + e.t_wordline + kLn2 * wbl.elmore(far) + t_flip;
+    e.write_energy =
+        e_ctrl_active + e_wl +
+        static_cast<double>(S - 1) * e.clock_energy_idle +
+        nsw * (b.bl_cap + parasitic_cap(p, wr_drive)) * v2 +
+        static_cast<double>(b.spec.bits) * 0.5 * c0 * v2;  // cell internals
+  }
+
+  // ----------------------------------------------------------------- CAM
+  if (b.is_cam()) {
+    // Search-line drive.
+    circuit::RcTree sl(r0 / b.sl_drive, parasitic_cap(p, b.sl_drive));
+    const int sl_far = sl.add_line(0, p.r_wire * b.bl_length, b.sl_cap,
+                                   std::min(b.spec.words, 8));
+    const double t_sl = kLn2 * sl.elmore(sl_far);
+    // Worst-case matchline: a single mismatching bit discharges the full
+    // ML through one cell's match stack.
+    circuit::RcTree ml(b.cell.r_match, 0.0);
+    const int ml_far = ml.add_line(0, p.r_wire * b.wl_length, b.ml_cap,
+                                   std::min(b.spec.bits, 8));
+    const double t_ml = -std::log(1.0 - 0.5) * ml.elmore(ml_far);
+    const double t_detect =
+        kLn2 * (r0 / b.ml_detect_drive) *
+        (parasitic_cap(p, b.ml_detect_drive) + 3.0 * c0);
+    e.match_delay = e.t_control + t_sl + t_ml + t_detect;
+
+    // Energy: all (differential SL/SLb) search lines toggle; every
+    // mismatching row's matchline discharges and is precharged back. With
+    // random data, words-1 rows mismatch.
+    const double e_sl = 2.0 * static_cast<double>(b.spec.bits) *
+                        (b.sl_cap + parasitic_cap(p, b.sl_drive)) * v2;
+    const double e_ml_row =
+        (b.ml_cap + b.ml_detect_drive * 1.2 * c0 + 6.0 * c0) * v2;
+    e.match_energy = e_ctrl_active + e_sl +
+                     static_cast<double>(b.spec.words - 1) * e_ml_row +
+                     static_cast<double>(b.spec.words) * 0.8 * c0 * v2;
+  }
+
+  // ------------------------------------------------------------ sequential
+  // The decoded wordline must climb the bank to the addressed brick before
+  // wl_en fires there, so setup grows with stacking — the term that makes
+  // a tall single partition (Fig. 4b config D) pay on its decode path.
+  {
+    const double dwl_len = static_cast<double>(S) * b.arbl_seg_len;
+    circuit::RcTree dwl(r0 / 2.0, parasitic_cap(p, 2.0));
+    const double dwl_pin_cap = (4.0 / 3.0) * b.wl_nand_drive * c0;
+    const int far = dwl.add_line(0, p.r_wire * dwl_len,
+                                 p.c_wire * dwl_len + dwl_pin_cap,
+                                 std::max(2, S));
+    e.setup = 2.0 * p.tau() + 0.25 * p.t_control + kLn2 * dwl.elmore(far);
+  }
+  e.hold = 0.5 * p.tau();
+  const double slowest =
+      std::max({e.read_delay, e.write_delay, e.match_delay});
+  e.min_cycle = slowest * 1.15 + e.setup;  // margin for clock skew
+
+  // ------------------------------------------------------ eDRAM retention
+  if (b.spec.bitcell == tech::BitcellKind::kEdram1T1C) {
+    // Gain-cell storage node: ~1.2 fF must hold above ~0.35*Vdd against
+    // subthreshold leakage of the write device (~1/50th of the nominal
+    // per-um figure thanks to the stacked/boosted write transistor).
+    const double c_store = 1.2e-15;
+    const double i_cell_leak = p.i_leak * 0.20e-6 / 50.0;
+    e.retention_time = c_store * (0.65 * p.vdd) / i_cell_leak;
+    // Refresh = rewrite every row once per retention period.
+    const double rows = static_cast<double>(b.spec.words) * S;
+    e.refresh_power = rows * e.write_energy / (0.5 * e.retention_time);
+  }
+
+  // -------------------------------------------------------- leakage, pins
+  const double cells = static_cast<double>(b.spec.words) * b.spec.bits * S;
+  e.leakage = cells * b.cell.leakage +
+              static_cast<double>(S) * 40.0 * p.i_leak * p.wn_unit * p.vdd;
+  e.input_cap_clk = 2.0 * c0;
+  e.input_cap_dwl = (4.0 / 3.0) * b.wl_nand_drive * c0;
+  e.input_cap_data = 2.0 * c0;
+
+  // ------------------------------------------------------------- geometry
+  e.bank_width = b.layout.outline.width();
+  e.bank_height = b.layout.outline.height() * S;
+  e.bank_area = b.layout.area * S;
+
+  return e;
+}
+
+}  // namespace limsynth::brick

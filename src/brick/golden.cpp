@@ -1,0 +1,373 @@
+#include "brick/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "circuit/circuit.hpp"
+#include "circuit/transient.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::brick {
+
+namespace {
+
+using circuit::Circuit;
+using circuit::DeviceType;
+using circuit::NodeId;
+
+/// Common scaffolding: clock, control buffers, wordline path. Returns the
+/// far-end wordline node (gate of the addressed cell's access device).
+struct BrickHarness {
+  Circuit ckt;
+  NodeId clk = 0;
+  NodeId wl_en = 0;
+  NodeId wl_far = 0;
+  double t_edge = 0.0;   // time of the launching clock edge
+  double t_fall = 0.0;   // clock falling edge (precharge phase begins)
+
+  explicit BrickHarness(const tech::Process& p) : ckt(p) {}
+};
+
+BrickHarness build_harness(const Brick& b) {
+  const tech::Process& p = b.process;
+  BrickHarness h(p);
+  Circuit& ckt = h.ckt;
+
+  h.t_edge = 200e-12;
+  h.t_fall = h.t_edge + 60.0 * p.tau() + 4.0 * b.spec.stack * 1e-12 + 600e-12;
+  const double tr = 25e-12;
+  h.clk = ckt.add_node("clk");
+  ckt.add_pwl(h.clk, {{0.0, 0.0},
+                      {h.t_edge, 0.0},
+                      {h.t_edge + tr, p.vdd},
+                      {h.t_fall, p.vdd},
+                      {h.t_fall + tr, 0.0}});
+
+  // Bank clock spine: the clock climbs the stack to the addressed brick
+  // (worst case: the top one).
+  NodeId spine_in = ckt.add_node("spine_in");
+  ckt.add_inverter(h.clk, spine_in, 4.0);
+  NodeId spine_buf = ckt.add_node("spine_buf");
+  ckt.add_inverter(spine_in, spine_buf, 8.0);
+  const double spine_len = b.arbl_seg_len * b.spec.stack;
+  const double spine_tap =
+      (b.spec.stack > 1)
+          ? (b.spec.stack - 1) * 2.0 * p.c_unit() / std::max(2, b.spec.stack)
+          : 0.0;
+  NodeId spine_end = ckt.add_wire(spine_buf, spine_len,
+                                  std::max(2, b.spec.stack), spine_tap, "spine");
+
+  // Control: pulse-generation delay line (6 stages) then the two sized
+  // wl_en buffers (8 inversions total keeps wl_en in clock polarity).
+  NodeId stage = spine_end;
+  for (int i = 0; i < 6; ++i) {
+    NodeId next = ckt.add_node("pulse" + std::to_string(i));
+    ckt.add_inverter(stage, next, (i % 2 == 0) ? 1.0 : 2.0);
+    stage = next;
+  }
+  NodeId c3 = ckt.add_node("ctrl3");
+  h.wl_en = ckt.add_node("wl_en");
+  ckt.add_inverter(stage, c3, b.ctrl_drive1);
+  ckt.add_inverter(c3, h.wl_en, b.ctrl_drive2);
+
+  // Control-block clock network: a dedicated buffer drives the clock load
+  // of precharge clocking / output latches (side branch, not on the
+  // critical path).
+  NodeId clknet = ckt.add_node("clknet");
+  ckt.add_inverter(h.clk, clknet, 8.0);
+  ckt.add_cap(clknet, b.c_clock_net);
+
+  // Idle stacked bricks: clock-gated; they load the (buffered, vdd-powered)
+  // clock distribution with their clock-gate input caps. Lump them behind a
+  // clock buffer so their switching energy is drawn from the rail.
+  const double v2 = p.vdd * p.vdd;
+  const double idle_e = 0.18 * p.e_control +
+                        p.c_wire * b.cell.width * b.spec.bits * v2;
+  if (b.spec.stack > 1) {
+    NodeId idle_clk = ckt.add_node("idle_clk");
+    ckt.add_inverter(h.clk, idle_clk, 6.0);
+    ckt.add_cap(idle_clk, (b.spec.stack - 1) * idle_e / v2);
+  }
+
+  // wl_en fanout: the addressed row's NAND is explicit below; the other
+  // rows' NAND inputs are a lumped load.
+  const double explicit_nand_cin =
+      (4.0 / 3.0) * b.wl_nand_drive * p.c_unit();
+  ckt.add_cap(h.wl_en, std::max(0.0, b.wl_en_cap - explicit_nand_cin));
+
+  // DWL: decoded address, valid before the clock edge.
+  NodeId dwl = ckt.add_node("dwl");
+  ckt.add_pwl(dwl, {{0.0, p.vdd}});
+
+  // NAND2(wl_en, dwl) -> wordline driver inverter.
+  const double wn_nand = 2.0 * b.wl_nand_drive * p.wn_unit;  // series stack
+  const double wp_nand = b.wl_nand_drive * p.wn_unit * p.beta;
+  NodeId nand_out = ckt.add_node("wl_nand");
+  NodeId nand_mid = ckt.add_node("wl_nand_mid");
+  ckt.add_device(DeviceType::kNmos, h.wl_en, nand_out, nand_mid,
+                 p.r_nmos / wn_nand);
+  ckt.add_device(DeviceType::kNmos, dwl, nand_mid, ckt.gnd(),
+                 p.r_nmos / wn_nand);
+  ckt.add_device(DeviceType::kPmos, h.wl_en, nand_out, ckt.vdd(),
+                 p.r_pmos / wp_nand);
+  ckt.add_device(DeviceType::kPmos, dwl, nand_out, ckt.vdd(),
+                 p.r_pmos / wp_nand);
+  ckt.add_cap(nand_out, (wn_nand + 2.0 * wp_nand) * p.c_diff);
+  ckt.add_cap(nand_mid, wn_nand * p.c_diff);
+
+  NodeId wl_near = ckt.add_node("wl_near");
+  ckt.add_inverter(nand_out, wl_near, b.wl_inv_drive);
+
+  // Wordline wire with distributed cell gate load.
+  const int segs = std::min(b.spec.bits, 8);
+  const double wire_cap = b.process.c_wire * b.wl_length;
+  const double tap = std::max(0.0, (b.wl_cap - wire_cap)) / segs;
+  h.wl_far = ckt.add_wire(wl_near, b.wl_length, segs, tap, "wl");
+  return h;
+}
+
+/// Skewed local-sense inverter (used for the CAM matchline detect):
+/// strong pull-up / weak pull-down so it trips early on a falling input.
+void add_sense_inverter(Circuit& ckt, const tech::Process& p, NodeId in,
+                        NodeId out, double drive) {
+  const double wn = 0.4 * p.wn_unit * drive;
+  const double wp = 2.0 * p.wn_unit * p.beta * drive;
+  ckt.add_device(DeviceType::kNmos, in, out, ckt.gnd(), p.r_nmos / wn);
+  ckt.add_device(DeviceType::kPmos, in, out, ckt.vdd(), p.r_pmos / wp);
+  ckt.add_cap(out, (wn + wp) * p.c_diff);
+  ckt.add_cap(in, (wn + wp) * p.c_gate);
+}
+
+/// Domino local sense for the read bitline: a PMOS pull-up fires as the
+/// precharged RBL collapses; an NMOS reset (active while wl_en is low)
+/// holds the output down between accesses. No complementary fight, hence
+/// no crowbar — the standard dynamic local merge of 8T arrays, and what
+/// keeps large-array read energy close to CV^2.
+void add_sense_domino(Circuit& ckt, const tech::Process& p, NodeId rbl,
+                      NodeId wl_en, NodeId out, double drive) {
+  const double wp = 2.0 * p.wn_unit * p.beta * drive;
+  const double wn = 0.5 * p.wn_unit * drive;
+  ckt.add_device(DeviceType::kPmos, rbl, out, ckt.vdd(), p.r_pmos / wp);
+  // Reset device gated by the inverted wordline enable.
+  NodeId wl_en_b = ckt.add_node("sense_rst");
+  ckt.add_inverter(wl_en, wl_en_b, 1.0);
+  ckt.add_device(DeviceType::kNmos, wl_en_b, out, ckt.gnd(), p.r_nmos / wn);
+  ckt.add_cap(out, (wn + wp) * p.c_diff);
+  ckt.add_cap(rbl, wp * p.c_gate);
+}
+
+/// Adds the read slice: bitcell (storing `data`), local RBL with
+/// precharge, skewed sense, stacked ARBL, output buffer into `load`.
+/// Returns the output node.
+NodeId add_read_slice(BrickHarness& h, const Brick& b, bool data,
+                      double load) {
+  const tech::Process& p = b.process;
+  Circuit& ckt = h.ckt;
+
+  // RBL: cell at the far (top) end, sense + precharge at the near end.
+  NodeId rbl_far = ckt.add_node("rbl_far");
+  const int segs = std::min(b.spec.words, 8);
+  const double wire_cap = p.c_wire * b.bl_length;
+  const double tap = std::max(0.0, b.bl_cap - wire_cap) / segs;
+  NodeId rbl_near = ckt.add_wire(rbl_far, b.bl_length, segs, tap, "rbl");
+
+  // 8T read stack: WL-gated device in series with the data-gated device.
+  const double w_read = 2.0 * p.r_nmos / b.cell.r_read;  // per-device width
+  NodeId mid = ckt.add_node("cell_mid");
+  ckt.add_device(DeviceType::kNmos, h.wl_far, rbl_far, mid,
+                 p.r_nmos / w_read);
+  NodeId data_node = ckt.add_node("cell_data");
+  ckt.add_pwl(data_node, {{0.0, data ? p.vdd : 0.0}});
+  ckt.add_device(DeviceType::kNmos, data_node, mid, ckt.gnd(),
+                 p.r_nmos / w_read);
+
+  // Precharge PMOS on the near end, active when wl_en is low.
+  const double wp_pre = b.precharge_drive * p.wn_unit * p.beta;
+  ckt.add_device(DeviceType::kPmos, h.wl_en, rbl_near, ckt.vdd(),
+                 p.r_pmos / wp_pre);
+  ckt.add_cap(rbl_near, wp_pre * p.c_diff);
+
+  // Precharged-high initial state along the whole RBL.
+  ckt.set_initial(rbl_far, p.vdd);
+
+  // Sense -> stacked ARBL -> output buffer.
+  NodeId sense_out = ckt.add_node("sense_out");
+  add_sense_domino(ckt, p, rbl_near, h.wl_en, sense_out, b.sense_drive);
+
+  const int arbl_segs = std::max(2, b.spec.stack);
+  const double arbl_len = b.arbl_seg_len * b.spec.stack;
+  const double arbl_wire = p.c_wire * arbl_len;
+  const double arbl_tap =
+      std::max(0.0, b.arbl_seg_cap * b.spec.stack - arbl_wire) / arbl_segs;
+  NodeId arbl_end = ckt.add_wire(sense_out, arbl_len, arbl_segs, arbl_tap, "arbl");
+
+  NodeId rcv = ckt.add_node("dout_rcv");
+  ckt.add_inverter(arbl_end, rcv, b.out_rcv_drive);
+  NodeId out = ckt.add_node("dout");
+  ckt.add_inverter(rcv, out, b.out_buf_drive);
+  ckt.add_cap(out, load);
+  return out;
+}
+
+circuit::TransientResult run(const BrickHarness& h, bool record) {
+  circuit::TransientConfig cfg;
+  cfg.dt = h.ckt.process().tau() / 25.0;
+  cfg.t_stop = h.t_fall + 900e-12;
+  cfg.dc_settle = 500e-12;
+  cfg.record_waveforms = record;
+  cfg.waveform_stride = 2;
+  return circuit::simulate(h.ckt, cfg);
+}
+
+}  // namespace
+
+GoldenMeasurement golden_read(const Brick& b, double output_load) {
+  // Switching slice (cell stores 1): delay + slice energy.
+  BrickHarness h1 = build_harness(b);
+  const NodeId out1 = add_read_slice(h1, b, true, output_load);
+  const auto res1 = run(h1, true);
+  const double t_clk = res1.cross_time(h1.clk, 0.5, true);
+  const double t_out = res1.cross_time(out1, 0.5, true, t_clk);
+  LIMS_CHECK_MSG(t_out > t_clk, "golden read: output never switched for "
+                                    << b.spec.name());
+
+  // Non-switching slice (cell stores 0): shared energy.
+  BrickHarness h0 = build_harness(b);
+  (void)add_read_slice(h0, b, false, output_load);
+  const auto res0 = run(h0, false);
+
+  GoldenMeasurement m;
+  m.delay = t_out - t_clk;
+  const double e_shared = res0.energy();
+  const double e_slice = res1.energy() - res0.energy();
+  m.energy = e_shared + b.switching_bits() * e_slice;
+  return m;
+}
+
+GoldenMeasurement golden_write(const Brick& b) {
+  const tech::Process& p = b.process;
+  BrickHarness h = build_harness(b);
+  Circuit& ckt = h.ckt;
+
+  // External write driver: inverter driven from wl_en (data assumed ready),
+  // charging the write bitline that spans the brick.
+  const double wr_drive =
+      std::clamp(b.bl_cap / (4.0 * p.c_unit()), 2.0, 16.0);
+  NodeId wbl_near = ckt.add_node("wbl_near");
+  ckt.add_inverter(h.wl_en, wbl_near, wr_drive);  // falls when wl_en rises
+  const int segs = std::min(b.spec.words, 8);
+  const double wire_cap = p.c_wire * b.bl_length;
+  const double tap = std::max(0.0, b.bl_cap - wire_cap) / segs;
+  NodeId wbl_far = ckt.add_wire(wbl_near, b.bl_length, segs, tap, "wbl");
+  ckt.set_initial(wbl_far, p.vdd);
+
+  // Cell storage node flipped through the access device at the far row.
+  const double w_acc = p.r_nmos / b.cell.r_write;
+  NodeId store = ckt.add_node("store");
+  ckt.add_device(DeviceType::kNmos, h.wl_far, wbl_far, store,
+                 p.r_nmos / w_acc);
+  ckt.add_cap(store, 1.2e-15);  // cross-coupled pair equivalent
+  ckt.set_initial(store, p.vdd);
+
+  const auto res = run(h, true);
+  const double t_clk = res.cross_time(h.clk, 0.5, true);
+  const double t_store = res.cross_time(store, 0.5, false, t_clk);
+  LIMS_CHECK_MSG(t_store > t_clk,
+                 "golden write: cell never flipped for "
+                     << b.spec.name() << " (v_store(end)="
+                     << res.final_voltage(store) << " v_wblfar@800ps="
+                     << res.voltage_at(wbl_far, 800e-12) << " v_wlfar@800ps="
+                     << res.voltage_at(h.wl_far, 800e-12) << " v_wlen@800ps="
+                     << res.voltage_at(h.wl_en, 800e-12) << ")");
+
+  // Shared-energy reference: same harness without the write slice.
+  BrickHarness h0 = build_harness(b);
+  const auto res0 = run(h0, false);
+
+  GoldenMeasurement m;
+  m.delay = t_store - t_clk;
+  const double e_slice = res.energy() - res0.energy();
+  m.energy = res0.energy() + b.switching_bits() * e_slice +
+             b.spec.bits * 0.5 * p.c_unit() * p.vdd * p.vdd;
+  return m;
+}
+
+GoldenMeasurement golden_match(const Brick& b) {
+  LIMS_CHECK_MSG(b.is_cam(), "golden_match requires a CAM brick");
+  const tech::Process& p = b.process;
+
+  // Three differential harnesses: (A) SL toggles + ML discharges,
+  // (B) SL toggles, ML holds, (C) control only.
+  struct MatchHarness {
+    BrickHarness h;
+    NodeId detect;
+  };
+  auto build = [&](bool sl_active, bool mismatch) -> MatchHarness {
+    BrickHarness h = build_harness(b);
+    Circuit& ckt = h.ckt;
+
+    NodeId sl_far = ckt.gnd();
+    if (sl_active) {
+      // Search-line driver fires from wl_en (search data gated by clock).
+      NodeId sl_inv = ckt.add_node("slb");
+      ckt.add_inverter(h.wl_en, sl_inv, 2.0);
+      NodeId sl_near = ckt.add_node("sl_near");
+      ckt.add_inverter(sl_inv, sl_near, b.sl_drive);
+      const int segs = std::min(b.spec.words, 8);
+      const double wire_cap = p.c_wire * b.bl_length;
+      const double tap = std::max(0.0, b.sl_cap - wire_cap) / segs;
+      sl_far = ckt.add_wire(sl_near, b.bl_length, segs, tap, "sl");
+    }
+
+    // Matchline: precharged, discharged through one mismatching cell at
+    // the far end, detected at the near end.
+    NodeId ml_far = ckt.add_node("ml_far");
+    const int msegs = std::min(b.spec.bits, 8);
+    const double ml_wire = p.c_wire * b.wl_length;
+    const double mtap = std::max(0.0, b.ml_cap - ml_wire) / msegs;
+    NodeId ml_near = ckt.add_wire(ml_far, b.wl_length, msegs, mtap, "ml");
+    const double wp_pre = 2.0 * p.wn_unit * p.beta;
+    ckt.add_device(DeviceType::kPmos, h.wl_en, ml_near, ckt.vdd(),
+                   p.r_pmos / wp_pre);
+    ckt.set_initial(ml_far, p.vdd);
+
+    if (mismatch) {
+      const double w_match = 2.0 * p.r_nmos / b.cell.r_match;
+      NodeId mmid = ckt.add_node("match_mid");
+      ckt.add_device(DeviceType::kNmos, sl_far, ml_far, mmid,
+                     p.r_nmos / w_match);
+      NodeId stored = ckt.add_node("stored_bar");
+      ckt.add_pwl(stored, {{0.0, p.vdd}});
+      ckt.add_device(DeviceType::kNmos, stored, mmid, ckt.gnd(),
+                     p.r_nmos / w_match);
+    }
+
+    NodeId detect = ckt.add_node("match_out");
+    add_sense_inverter(ckt, p, ml_near, detect, b.ml_detect_drive);
+    return MatchHarness{std::move(h), detect};
+  };
+
+  MatchHarness mhA = build(true, true);
+  const auto resA = run(mhA.h, true);
+  const double t_clk = resA.cross_time(mhA.h.clk, 0.5, true);
+  const double t_det = resA.cross_time(mhA.detect, 0.5, true, t_clk);
+  LIMS_CHECK_MSG(t_det > t_clk,
+                 "golden match: detect never fired for " << b.spec.name());
+
+  MatchHarness mhB = build(true, false);
+  const auto resB = run(mhB.h, false);
+  MatchHarness mhC = build(false, false);
+  const auto resC = run(mhC.h, false);
+
+  GoldenMeasurement m;
+  m.delay = t_det - t_clk;
+  const double e_sl = resB.energy() - resC.energy();   // one search line
+  const double e_ml = resA.energy() - resB.energy();   // one ML discharge
+  // Differential search lines: each bit toggles SL and SLb.
+  m.energy = resC.energy() + 2.0 * b.spec.bits * e_sl +
+             (b.spec.words - 1) * e_ml;
+  return m;
+}
+
+}  // namespace limsynth::brick

@@ -1,0 +1,35 @@
+// Golden (transient-simulated) brick measurement — the reproduction's
+// stand-in for the paper's "SPICE simulations with RC extracted bitcell
+// array layouts" (Table 1's reference column).
+//
+// The circuits are built from the same compiled Brick the estimator reads,
+// but evaluated with the switch-level transient solver: distributed RC
+// wires, real device turn-on, precharge devices, and a full clock cycle so
+// precharge energy is captured. Per-bit slices are simulated once and the
+// shared/slice energy split is obtained by differential simulation (cell
+// storing 1 vs 0), then scaled to the brick's bit count.
+#pragma once
+
+#include "brick/brick.hpp"
+#include "brick/estimator.hpp"
+
+namespace limsynth::brick {
+
+struct GoldenMeasurement {
+  double delay = 0.0;   // s
+  double energy = 0.0;  // J per operation (full cycle, precharge included)
+};
+
+/// Read of the alternating <1010...> pattern, worst-case addressed row.
+GoldenMeasurement golden_read(const Brick& brick,
+                              double output_load = kReferenceLoad);
+
+/// Write of the alternating pattern (external write driver included).
+GoldenMeasurement golden_write(const Brick& brick);
+
+/// CAM search with a single-bit worst-case mismatch on the critical row;
+/// energy assumes words-1 rows mismatch (random data). Throws for
+/// non-CAM bricks.
+GoldenMeasurement golden_match(const Brick& brick);
+
+}  // namespace limsynth::brick

@@ -1,0 +1,103 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace limsynth::circuit {
+
+double PwlSource::value_at(double t) const {
+  LIMS_CHECK(!points.empty());
+  if (t <= points.front().first) return points.front().second;
+  if (t >= points.back().first) return points.back().second;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (t <= points[i].first) {
+      const auto& [t0, v0] = points[i - 1];
+      const auto& [t1, v1] = points[i];
+      if (t1 == t0) return v1;
+      return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+    }
+  }
+  return points.back().second;
+}
+
+Circuit::Circuit(const tech::Process& process) : process_(process) {
+  node_names_.push_back("gnd");
+  node_names_.push_back("vdd");
+}
+
+NodeId Circuit::add_node(std::string name) {
+  node_names_.push_back(std::move(name));
+  return static_cast<NodeId>(node_names_.size() - 1);
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double ohms) {
+  LIMS_CHECK(ohms > 0.0);
+  LIMS_CHECK(a != b);
+  resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::add_cap(NodeId node, double farads) {
+  LIMS_CHECK(farads >= 0.0);
+  if (farads == 0.0) return;
+  caps_.push_back({node, farads});
+}
+
+void Circuit::set_initial(NodeId node, double volts) {
+  initial_conditions_.emplace_back(node, volts);
+}
+
+void Circuit::add_device(DeviceType type, NodeId gate, NodeId drain,
+                         NodeId source, double r_on) {
+  LIMS_CHECK(r_on > 0.0);
+  devices_.push_back({type, gate, drain, source, r_on});
+}
+
+void Circuit::add_pwl(NodeId node, std::vector<std::pair<double, double>> points) {
+  LIMS_CHECK(!points.empty());
+  LIMS_CHECK(std::is_sorted(points.begin(), points.end(),
+                            [](const auto& a, const auto& b) {
+                              return a.first < b.first;
+                            }));
+  sources_.push_back({node, std::move(points)});
+}
+
+void Circuit::add_inverter(NodeId in, NodeId out, double drive) {
+  LIMS_CHECK(drive > 0.0);
+  const double wn = process_.wn_unit * drive;
+  const double wp = wn * process_.beta;
+  add_device(DeviceType::kNmos, in, out, gnd(), process_.r_nmos / wn);
+  add_device(DeviceType::kPmos, in, out, vdd(), process_.r_pmos / wp);
+  // Diffusion self-load on the output and gate load on the input.
+  add_cap(out, (wn + wp) * process_.c_diff);
+  add_cap(in, (wn + wp) * process_.c_gate);
+}
+
+NodeId Circuit::add_wire(NodeId from, double length, int segments,
+                         double extra_cap_per_segment,
+                         const std::string& name_prefix) {
+  LIMS_CHECK(segments >= 1);
+  LIMS_CHECK(length > 0.0);
+  const double r_seg = process_.r_wire * length / segments;
+  const double c_seg = process_.c_wire * length / segments;
+  NodeId prev = from;
+  // Pi model: half cap at each end of every segment.
+  add_cap(prev, 0.5 * c_seg);
+  for (int i = 0; i < segments; ++i) {
+    NodeId next = add_node(name_prefix + "." + std::to_string(i));
+    add_resistor(prev, next, r_seg);
+    const bool last = (i == segments - 1);
+    add_cap(next, (last ? 0.5 : 1.0) * c_seg + extra_cap_per_segment);
+    prev = next;
+  }
+  return prev;
+}
+
+void Circuit::add_ramp_input(NodeId node, double t0, double transition,
+                             bool rising) {
+  const double v0 = rising ? 0.0 : process_.vdd;
+  const double v1 = rising ? process_.vdd : 0.0;
+  add_pwl(node, {{0.0, v0}, {t0, v0}, {t0 + transition, v1}});
+}
+
+}  // namespace limsynth::circuit

@@ -1,0 +1,114 @@
+// Switch-level circuit netlist.
+//
+// This is the substrate for the "golden" simulator that stands in for SPICE
+// on RC-extracted layouts (paper Table 1's reference column). Circuits are
+// built from:
+//   * resistors and grounded capacitors (extracted wire parasitics),
+//   * NMOS/PMOS switch devices (gate-voltage-controlled conductances),
+//   * fixed rails (gnd, vdd) and piecewise-linear forced sources.
+//
+// Node 0 is ground; Circuit::vdd() is the supply rail. Wire helpers build
+// distributed RC lines from tech::Process constants.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tech/process.hpp"
+
+namespace limsynth::circuit {
+
+using NodeId = int;
+
+struct Resistor {
+  NodeId a = 0;
+  NodeId b = 0;
+  double ohms = 0.0;
+};
+
+struct Capacitor {
+  NodeId node = 0;
+  double farads = 0.0;  // to ground
+};
+
+enum class DeviceType { kNmos, kPmos };
+
+/// A switch-level MOS device: conductance between drain and source ramps
+/// smoothly with gate voltage (see transient.cpp for the model).
+struct Device {
+  DeviceType type = DeviceType::kNmos;
+  NodeId gate = 0;
+  NodeId drain = 0;
+  NodeId source = 0;
+  double r_on = 0.0;  // Ohm, fully-on resistance
+};
+
+/// Piecewise-linear voltage source forcing a node.
+struct PwlSource {
+  NodeId node = 0;
+  std::vector<std::pair<double, double>> points;  // (time, volts), sorted
+
+  double value_at(double t) const;
+};
+
+class Circuit {
+ public:
+  explicit Circuit(const tech::Process& process);
+
+  const tech::Process& process() const { return process_; }
+
+  NodeId gnd() const { return 0; }
+  NodeId vdd() const { return 1; }
+
+  NodeId add_node(std::string name);
+  std::size_t node_count() const { return node_names_.size(); }
+  const std::string& node_name(NodeId n) const { return node_names_.at(static_cast<std::size_t>(n)); }
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_cap(NodeId node, double farads);
+
+  /// Sets the node's voltage at t=0 (e.g. a precharged bitline). Nodes
+  /// without an initial condition start at 0 V and are settled by the
+  /// simulator's DC phase.
+  void set_initial(NodeId node, double volts);
+  void add_device(DeviceType type, NodeId gate, NodeId drain, NodeId source,
+                  double r_on);
+  void add_pwl(NodeId node, std::vector<std::pair<double, double>> points);
+
+  /// Convenience: a full CMOS inverter from `in` to `out`.
+  /// r_pull is the on-resistance of each network (pull-up uses r_pull
+  /// scaled by beta internally via the process PMOS constant ratio).
+  /// Returns the output node's self-capacitance added (diffusion).
+  void add_inverter(NodeId in, NodeId out, double drive /* unit-inverter multiples */);
+
+  /// Distributed RC wire of `length` meters split into `segments` pi
+  /// segments; returns the far-end node. `extra_cap_per_segment` models
+  /// attached pin/diffusion load spread along the wire (e.g. bitcells).
+  NodeId add_wire(NodeId from, double length, int segments,
+                  double extra_cap_per_segment = 0.0,
+                  const std::string& name_prefix = "w");
+
+  /// A step/ramp input: 0 -> vdd starting at t0 with the given transition
+  /// time (or vdd -> 0 when `rising` is false).
+  void add_ramp_input(NodeId node, double t0, double transition, bool rising);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& caps() const { return caps_; }
+  const std::vector<Device>& devices() const { return devices_; }
+  const std::vector<PwlSource>& sources() const { return sources_; }
+  const std::vector<std::pair<NodeId, double>>& initial_conditions() const {
+    return initial_conditions_;
+  }
+
+ private:
+  tech::Process process_;
+  std::vector<std::string> node_names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> caps_;
+  std::vector<Device> devices_;
+  std::vector<PwlSource> sources_;
+  std::vector<std::pair<NodeId, double>> initial_conditions_;
+};
+
+}  // namespace limsynth::circuit

@@ -1,0 +1,71 @@
+#include "circuit/logical_effort.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace limsynth::circuit {
+
+SizedPath size_path(const std::vector<PathStage>& path, double cin_c0,
+                    double load_c0) {
+  LIMS_CHECK(!path.empty());
+  LIMS_CHECK(cin_c0 > 0.0 && load_c0 > 0.0);
+
+  double G = 1.0, B = 1.0, P = 0.0;
+  for (const auto& s : path) {
+    LIMS_CHECK(s.logical_effort > 0.0 && s.branching >= 1.0);
+    G *= s.logical_effort;
+    B *= s.branching;
+    P += s.parasitic;
+  }
+  const double H = load_c0 / cin_c0;
+  const auto N = static_cast<double>(path.size());
+  const double F = G * B * H;
+  const double f = std::pow(F, 1.0 / N);
+
+  SizedPath out;
+  out.stage_effort = f;
+  out.delay_tau = N * f + P;
+  out.stage_cin.resize(path.size());
+  // Size backwards: cin_i = g_i * b_i * cout_i / f, where cout of the last
+  // stage is the load.
+  double cout = load_c0;
+  for (std::size_t i = path.size(); i-- > 0;) {
+    const double cin = path[i].logical_effort * path[i].branching * cout / f;
+    out.stage_cin[i] = cin;
+    cout = cin;
+  }
+  return out;
+}
+
+SizedPath size_path_with_buffers(const std::vector<PathStage>& path,
+                                 double cin_c0, double load_c0,
+                                 int max_extra) {
+  SizedPath best;
+  bool have_best = false;
+  std::vector<PathStage> extended = path;
+  for (int extra = 0; extra <= max_extra; ++extra) {
+    const SizedPath candidate = size_path(extended, cin_c0, load_c0);
+    // Reject sizings where a stage effort is below 1 (stages would shrink
+    // below the input cap — physically silly).
+    if (candidate.stage_effort >= 1.0 || !have_best) {
+      if (!have_best || candidate.delay_tau < best.delay_tau) {
+        best = candidate;
+        have_best = true;
+      }
+    }
+    extended.push_back(PathStage{1.0, 1.0, 1.0});
+  }
+  return best;
+}
+
+double buffer_chain_delay_tau(double fanout, double parasitic) {
+  LIMS_CHECK(fanout > 0.0);
+  if (fanout <= 1.0) return 1.0 + parasitic;  // single min inverter
+  const double n_opt = std::log(fanout) / std::log(4.0);  // stage effort ~4
+  const double n = std::max(1.0, std::round(n_opt));
+  const double f = std::pow(fanout, 1.0 / n);
+  return n * (f + parasitic);
+}
+
+}  // namespace limsynth::circuit

@@ -1,0 +1,281 @@
+#include "circuit/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace limsynth::circuit {
+
+namespace {
+
+/// Smooth 0..1 turn-on of a MOS switch as a function of its overdrive,
+/// normalized to vdd. Centered near a 0.45*vdd threshold with a soft knee,
+/// approximating the effective-current behaviour of a short-channel device
+/// between cutoff and full-on.
+double switch_fraction(double v_over_vdd) {
+  const double lo = 0.30;  // below: off
+  const double hi = 0.75;  // above: fully on
+  if (v_over_vdd <= lo) return 0.0;
+  if (v_over_vdd >= hi) return 1.0;
+  const double x = (v_over_vdd - lo) / (hi - lo);
+  return x * x * (3.0 - 2.0 * x);  // smoothstep
+}
+
+/// Dense LU solve with partial pivoting (in-place). Matrices here are tiny
+/// (tens of nodes), so dense is both simpler and faster than sparse setup.
+void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
+  for (int col = 0; col < n; ++col) {
+    // Pivot.
+    int pivot = col;
+    double best = std::fabs(a[static_cast<std::size_t>(col) * n + col]);
+    for (int row = col + 1; row < n; ++row) {
+      const double v = std::fabs(a[static_cast<std::size_t>(row) * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    LIMS_CHECK_MSG(best > 1e-30, "singular conductance matrix at col " << col);
+    if (pivot != col) {
+      for (int k = 0; k < n; ++k)
+        std::swap(a[static_cast<std::size_t>(pivot) * n + k],
+                  a[static_cast<std::size_t>(col) * n + k]);
+      std::swap(b[static_cast<std::size_t>(pivot)], b[static_cast<std::size_t>(col)]);
+    }
+    const double inv = 1.0 / a[static_cast<std::size_t>(col) * n + col];
+    for (int row = col + 1; row < n; ++row) {
+      const double f = a[static_cast<std::size_t>(row) * n + col] * inv;
+      if (f == 0.0) continue;
+      a[static_cast<std::size_t>(row) * n + col] = 0.0;
+      for (int k = col + 1; k < n; ++k)
+        a[static_cast<std::size_t>(row) * n + k] -=
+            f * a[static_cast<std::size_t>(col) * n + k];
+      b[static_cast<std::size_t>(row)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int row = n - 1; row >= 0; --row) {
+    double acc = b[static_cast<std::size_t>(row)];
+    for (int k = row + 1; k < n; ++k)
+      acc -= a[static_cast<std::size_t>(row) * n + k] * b[static_cast<std::size_t>(k)];
+    b[static_cast<std::size_t>(row)] = acc / a[static_cast<std::size_t>(row) * n + row];
+  }
+}
+
+}  // namespace
+
+TransientResult::TransientResult(std::vector<double> times,
+                                 std::vector<std::vector<double>> waves,
+                                 double energy_from_vdd, double vdd)
+    : times_(std::move(times)),
+      waves_(std::move(waves)),
+      energy_(energy_from_vdd),
+      vdd_(vdd) {}
+
+double TransientResult::cross_time(NodeId node, double frac, bool rising,
+                                   double after) const {
+  const auto& w = waves_.at(static_cast<std::size_t>(node));
+  const double level = frac * vdd_;
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] < after) continue;
+    const double v0 = w[i - 1];
+    const double v1 = w[i];
+    const bool crossed = rising ? (v0 < level && v1 >= level)
+                                : (v0 > level && v1 <= level);
+    if (crossed) {
+      const double f = (level - v0) / (v1 - v0);
+      return times_[i - 1] + f * (times_[i] - times_[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+double TransientResult::voltage_at(NodeId node, double t) const {
+  const auto& w = waves_.at(static_cast<std::size_t>(node));
+  if (t <= times_.front()) return w.front();
+  if (t >= times_.back()) return w.back();
+  const auto it = std::lower_bound(times_.begin(), times_.end(), t);
+  const auto i = static_cast<std::size_t>(it - times_.begin());
+  if (i == 0) return w.front();
+  const double f = (t - times_[i - 1]) / (times_[i] - times_[i - 1]);
+  return w[i - 1] + f * (w[i] - w[i - 1]);
+}
+
+double TransientResult::final_voltage(NodeId node) const {
+  return waves_.at(static_cast<std::size_t>(node)).back();
+}
+
+TransientResult simulate(const Circuit& circuit, const TransientConfig& config) {
+  const auto& process = circuit.process();
+  const double vdd = process.vdd;
+  const int total_nodes = static_cast<int>(circuit.node_count());
+  const double dt = config.dt > 0.0 ? config.dt : process.tau() / 40.0;
+  LIMS_CHECK(config.t_stop > dt);
+
+  // Node classification: fixed nodes are gnd, vdd, and PWL-forced nodes.
+  std::vector<int> solve_index(static_cast<std::size_t>(total_nodes), -1);
+  std::vector<const PwlSource*> forced(static_cast<std::size_t>(total_nodes), nullptr);
+  for (const auto& src : circuit.sources())
+    forced[static_cast<std::size_t>(src.node)] = &src;
+
+  int n_unknown = 0;
+  for (int node = 0; node < total_nodes; ++node) {
+    if (node == circuit.gnd() || node == circuit.vdd() ||
+        forced[static_cast<std::size_t>(node)] != nullptr)
+      continue;
+    solve_index[static_cast<std::size_t>(node)] = n_unknown++;
+  }
+
+  // Lumped capacitance per node (grounded caps).
+  std::vector<double> cap(static_cast<std::size_t>(total_nodes), 0.0);
+  for (const auto& c : circuit.caps()) cap[static_cast<std::size_t>(c.node)] += c.farads;
+  // Gate caps of devices load their gate node.
+  // (Device gate load is included explicitly by circuit builders via
+  // add_cap; no implicit load here to keep extraction explicit.)
+
+  // State.
+  std::vector<double> volt(static_cast<std::size_t>(total_nodes), 0.0);
+  volt[static_cast<std::size_t>(circuit.vdd())] = vdd;
+  for (const auto& src : circuit.sources())
+    volt[static_cast<std::size_t>(src.node)] = src.value_at(0.0);
+  for (const auto& [node, v] : circuit.initial_conditions())
+    volt[static_cast<std::size_t>(node)] = v;
+
+  const auto steps = static_cast<std::size_t>(config.t_stop / dt);
+  const auto settle_steps = static_cast<std::size_t>(config.dc_settle / dt);
+  std::vector<double> rec_times;
+  std::vector<std::vector<double>> rec_waves(
+      static_cast<std::size_t>(total_nodes));
+  auto record = [&](double t) {
+    rec_times.push_back(t);
+    for (int node = 0; node < total_nodes; ++node)
+      rec_waves[static_cast<std::size_t>(node)].push_back(
+          volt[static_cast<std::size_t>(node)]);
+  };
+  record(0.0);
+
+  std::vector<double> mat;
+  std::vector<double> rhs;
+  double energy = 0.0;
+
+  // Advances one backward-Euler step with sources evaluated at time `t`;
+  // returns the energy drawn from vdd during the step.
+  auto advance = [&](double t) -> double {
+    // Update forced nodes.
+    for (const auto& src : circuit.sources())
+      volt[static_cast<std::size_t>(src.node)] = src.value_at(t);
+
+    if (n_unknown > 0) {
+      mat.assign(static_cast<std::size_t>(n_unknown) * n_unknown, 0.0);
+      rhs.assign(static_cast<std::size_t>(n_unknown), 0.0);
+
+      auto stamp = [&](NodeId a, NodeId b, double g) {
+        const int ia = solve_index[static_cast<std::size_t>(a)];
+        const int ib = solve_index[static_cast<std::size_t>(b)];
+        if (ia >= 0) {
+          mat[static_cast<std::size_t>(ia) * n_unknown + ia] += g;
+          if (ib >= 0)
+            mat[static_cast<std::size_t>(ia) * n_unknown + ib] -= g;
+          else
+            rhs[static_cast<std::size_t>(ia)] += g * volt[static_cast<std::size_t>(b)];
+        }
+        if (ib >= 0) {
+          mat[static_cast<std::size_t>(ib) * n_unknown + ib] += g;
+          if (ia >= 0)
+            mat[static_cast<std::size_t>(ib) * n_unknown + ia] -= g;
+          else
+            rhs[static_cast<std::size_t>(ib)] += g * volt[static_cast<std::size_t>(a)];
+        }
+      };
+
+      for (const auto& r : circuit.resistors()) stamp(r.a, r.b, 1.0 / r.ohms);
+      for (const auto& d : circuit.devices()) {
+        const double vg = volt[static_cast<std::size_t>(d.gate)];
+        const double frac = d.type == DeviceType::kNmos
+                                ? switch_fraction(vg / vdd)
+                                : switch_fraction((vdd - vg) / vdd);
+        if (frac <= 0.0) continue;
+        stamp(d.drain, d.source, frac / d.r_on);
+      }
+      // Capacitor companion models (backward Euler): g = C/dt, i = C/dt * v_prev.
+      for (int node = 0; node < total_nodes; ++node) {
+        const int i = solve_index[static_cast<std::size_t>(node)];
+        if (i < 0) continue;
+        const double c = cap[static_cast<std::size_t>(node)];
+        if (c <= 0.0) continue;
+        const double g = c / dt;
+        mat[static_cast<std::size_t>(i) * n_unknown + i] += g;
+        rhs[static_cast<std::size_t>(i)] += g * volt[static_cast<std::size_t>(node)];
+      }
+      // Tiny leak to ground keeps floating nodes (e.g. all devices off)
+      // well-conditioned without visibly affecting waveforms.
+      for (int i = 0; i < n_unknown; ++i)
+        mat[static_cast<std::size_t>(i) * n_unknown + i] += 1e-12;
+
+      solve_dense(mat, rhs, n_unknown);
+      for (int node = 0; node < total_nodes; ++node) {
+        const int i = solve_index[static_cast<std::size_t>(node)];
+        if (i >= 0) volt[static_cast<std::size_t>(node)] = rhs[static_cast<std::size_t>(i)];
+      }
+    }
+
+    // Supply current: every branch touching vdd.
+    double i_vdd = 0.0;
+    for (const auto& r : circuit.resistors()) {
+      if (r.a == circuit.vdd())
+        i_vdd += (vdd - volt[static_cast<std::size_t>(r.b)]) / r.ohms;
+      else if (r.b == circuit.vdd())
+        i_vdd += (vdd - volt[static_cast<std::size_t>(r.a)]) / r.ohms;
+    }
+    for (const auto& d : circuit.devices()) {
+      NodeId other;
+      if (d.drain == circuit.vdd()) other = d.source;
+      else if (d.source == circuit.vdd()) other = d.drain;
+      else continue;
+      const double vg = volt[static_cast<std::size_t>(d.gate)];
+      const double frac = d.type == DeviceType::kNmos
+                              ? switch_fraction(vg / vdd)
+                              : switch_fraction((vdd - vg) / vdd);
+      if (frac <= 0.0) continue;
+      i_vdd += (vdd - volt[static_cast<std::size_t>(other)]) * frac / d.r_on;
+    }
+    return vdd * i_vdd * dt;
+  };
+
+  // DC settling phase: sources pinned at t=0, nothing recorded/accounted.
+  for (std::size_t step = 0; step < settle_steps; ++step) (void)advance(0.0);
+  // Re-impose user initial conditions after settling (.ic semantics):
+  // settling establishes the gates' DC states, but nodes the caller pinned
+  // (precharged bitlines, storage cells) must start t=0 at their declared
+  // voltage even if start-up glitches disturbed them.
+  for (const auto& [node, v] : circuit.initial_conditions())
+    volt[static_cast<std::size_t>(node)] = v;
+  // Settling may have moved node voltages; refresh the t=0 record.
+  rec_times.clear();
+  for (auto& w : rec_waves) w.clear();
+  record(0.0);
+
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * dt;
+    energy += advance(t);
+    if (config.record_waveforms &&
+        (step % static_cast<std::size_t>(config.waveform_stride) == 0 ||
+         step == steps))
+      record(t);
+  }
+
+  return TransientResult(std::move(rec_times), std::move(rec_waves), energy, vdd);
+}
+
+double measure_delay(const TransientResult& result, const Circuit& circuit,
+                     NodeId in, bool in_rising, NodeId out, bool out_rising,
+                     double after) {
+  (void)circuit;
+  const double t_in = result.cross_time(in, 0.5, in_rising, after);
+  if (t_in < 0.0) return -1.0;
+  const double t_out = result.cross_time(out, 0.5, out_rising, t_in);
+  if (t_out < 0.0) return -1.0;
+  return t_out - t_in;
+}
+
+}  // namespace limsynth::circuit

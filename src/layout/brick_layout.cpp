@@ -1,0 +1,88 @@
+#include "layout/brick_layout.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace limsynth::layout {
+
+BrickLayout build_brick_layout(const BrickLayoutSpec& spec) {
+  LIMS_CHECK(spec.words >= 1 && spec.bits >= 1);
+  const tech::Bitcell& cell = spec.bitcell;
+
+  const LeafCell wl = make_leaf(LeafKind::kWordlineDriver, cell, spec.wl_driver_drive);
+  const LeafCell sense = make_leaf(LeafKind::kLocalSense, cell, spec.sense_drive);
+  const LeafCell ctrl = make_leaf(LeafKind::kControl, cell, spec.control_drive);
+
+  BrickLayout out;
+
+  const double array_w = cell.width * spec.bits;
+  const double array_h = cell.height * spec.words;
+  // Column of WL drivers to the left of the array; sense row beneath it;
+  // control block in the bottom-left corner under the drivers.
+  const double left_w = std::max(wl.width, ctrl.width);
+  const double bottom_h = std::max(sense.height, ctrl.height);
+
+  out.array = Rect{left_w, bottom_h, left_w + array_w, bottom_h + array_h};
+  out.regions.push_back({"array", out.array, tech::PatternClass::kBitcell});
+
+  // WL drivers: one per row, left of the array.
+  for (int r = 0; r < spec.words; ++r) {
+    const double y = bottom_h + r * cell.height;
+    out.regions.push_back(
+        {"wl_driver[" + std::to_string(r) + "]",
+         Rect{left_w - wl.width, y, left_w, y + wl.height},
+         wl.pattern});
+  }
+  if (left_w > wl.width) {
+    // Fill strip between driver column and outline edge.
+    out.regions.push_back({"fill_left",
+                           Rect{0.0, bottom_h, left_w - wl.width,
+                                bottom_h + array_h},
+                           tech::PatternClass::kFill});
+  }
+
+  // Local sense: one per column, under the array.
+  for (int c = 0; c < spec.bits; ++c) {
+    const double x = left_w + c * cell.width;
+    out.regions.push_back(
+        {"local_sense[" + std::to_string(c) + "]",
+         Rect{x, bottom_h - sense.height, x + sense.width, bottom_h},
+         sense.pattern});
+  }
+  if (bottom_h > sense.height) {
+    out.regions.push_back({"fill_bottom",
+                           Rect{left_w, 0.0, left_w + array_w,
+                                bottom_h - sense.height},
+                           tech::PatternClass::kFill});
+  }
+
+  // Control block: bottom-left corner.
+  out.regions.push_back(
+      {"control", Rect{0.0, 0.0, ctrl.width, ctrl.height}, ctrl.pattern});
+  const Rect corner{0.0, 0.0, left_w, bottom_h};
+  if (corner.area() > ctrl.width * ctrl.height) {
+    // Remaining corner area becomes fill (abstract; we do not subdivide).
+    out.regions.push_back(
+        {"fill_corner",
+         Rect{ctrl.width, 0.0, left_w, bottom_h},
+         tech::PatternClass::kFill});
+    if (ctrl.height < bottom_h) {
+      out.regions.push_back(
+          {"fill_corner2",
+           Rect{0.0, ctrl.height, ctrl.width, bottom_h},
+           tech::PatternClass::kFill});
+    }
+  }
+
+  out.outline = Rect{0.0, 0.0, left_w + array_w, bottom_h + array_h};
+  out.area = out.outline.area();
+  out.array_area = out.array.area();
+  // Bitcell array blocks all routing over it; periphery blocks ~40%.
+  const double periphery_area = out.area - out.array_area;
+  out.blockage_fraction =
+      (out.array_area + 0.4 * periphery_area) / out.area;
+  return out;
+}
+
+}  // namespace limsynth::layout

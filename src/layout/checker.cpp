@@ -1,0 +1,32 @@
+#include "layout/checker.hpp"
+
+namespace limsynth::layout {
+
+CheckResult check_patterns(const std::vector<Region>& regions) {
+  CheckResult result;
+  for (std::size_t i = 0; i < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      const Region& a = regions[i];
+      const Region& b = regions[j];
+      const bool overlap = a.rect.overlaps(b.rect);
+      const bool abut = overlap || a.rect.abuts(b.rect);
+      if (!abut) continue;
+      ++result.abutments_checked;
+
+      bool bad = false;
+      if (overlap && a.pattern != tech::PatternClass::kFill &&
+          b.pattern != tech::PatternClass::kFill) {
+        bad = true;  // two real pattern sets printed on the same area
+      } else if (!tech::patterns_compatible(a.pattern, b.pattern)) {
+        bad = true;
+      }
+      if (bad) {
+        result.violations.push_back(
+            {a.pattern, b.pattern, a.name + " <-> " + b.name});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace limsynth::layout

@@ -1,0 +1,27 @@
+// Pattern-construct legality checker.
+//
+// Scans a set of placed regions and reports every pair of abutting (or
+// overlapping) regions whose pattern classes are lithographically
+// incompatible — the check that lets the flow place random logic directly
+// against bitcell arrays (paper §2.1 / Fig. 1).
+#pragma once
+
+#include <vector>
+
+#include "layout/geometry.hpp"
+#include "tech/pattern.hpp"
+
+namespace limsynth::layout {
+
+struct CheckResult {
+  std::vector<tech::PatternViolation> violations;
+  int abutments_checked = 0;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Checks every abutting/overlapping region pair. Overlap of two non-fill
+/// regions is always a violation (double-patterned area).
+CheckResult check_patterns(const std::vector<Region>& regions);
+
+}  // namespace limsynth::layout

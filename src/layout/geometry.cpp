@@ -1,0 +1,35 @@
+#include "layout/geometry.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace limsynth::layout {
+
+bool Rect::abuts(const Rect& o, double tol) const {
+  if (overlaps(o)) return false;
+  // Vertical shared edge.
+  const bool x_touch =
+      std::abs(x1 - o.x0) <= tol || std::abs(o.x1 - x0) <= tol;
+  const bool y_span = std::min(y1, o.y1) - std::max(y0, o.y0) > tol;
+  if (x_touch && y_span) return true;
+  // Horizontal shared edge.
+  const bool y_touch =
+      std::abs(y1 - o.y0) <= tol || std::abs(o.y1 - y0) <= tol;
+  const bool x_span = std::min(x1, o.x1) - std::max(x0, o.x0) > tol;
+  return y_touch && x_span;
+}
+
+Rect Rect::united(const Rect& o) const {
+  return Rect{std::min(x0, o.x0), std::min(y0, o.y0), std::max(x1, o.x1),
+              std::max(y1, o.y1)};
+}
+
+Rect bounding_box(const std::vector<Region>& regions) {
+  LIMS_CHECK(!regions.empty());
+  Rect bb = regions.front().rect;
+  for (const auto& r : regions) bb = bb.united(r.rect);
+  return bb;
+}
+
+}  // namespace limsynth::layout

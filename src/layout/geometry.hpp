@@ -1,0 +1,45 @@
+// Rectilinear geometry primitives for abstract (pattern-level) layout.
+// Units: meters, like everything else in limsynth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/pattern.hpp"
+
+namespace limsynth::layout {
+
+struct Rect {
+  double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;
+
+  double width() const { return x1 - x0; }
+  double height() const { return y1 - y0; }
+  double area() const { return width() * height(); }
+  bool valid() const { return x1 > x0 && y1 > y0; }
+
+  /// Area overlap with a picometer tolerance so exact-tiling rectangles
+  /// (accumulated float error) do not read as overlapping.
+  bool overlaps(const Rect& o, double tol = 1e-12) const {
+    return x0 < o.x1 - tol && o.x0 < x1 - tol && y0 < o.y1 - tol &&
+           o.y0 < y1 - tol;
+  }
+
+  /// True when the rectangles share an edge segment (touch but do not
+  /// overlap). `tol` absorbs floating-point snap error.
+  bool abuts(const Rect& o, double tol = 1e-12) const;
+
+  /// Smallest rectangle containing both.
+  Rect united(const Rect& o) const;
+};
+
+/// One placed region of a layout with its lithography pattern class.
+struct Region {
+  std::string name;
+  Rect rect;
+  tech::PatternClass pattern = tech::PatternClass::kFill;
+};
+
+/// Bounding box of a set of regions; throws on empty input.
+Rect bounding_box(const std::vector<Region>& regions);
+
+}  // namespace limsynth::layout

@@ -1,0 +1,46 @@
+#include "layout/leafcell.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace limsynth::layout {
+
+const char* leaf_kind_name(LeafKind kind) {
+  switch (kind) {
+    case LeafKind::kWordlineDriver: return "wl_driver";
+    case LeafKind::kLocalSense: return "local_sense";
+    case LeafKind::kControl: return "control";
+  }
+  return "?";
+}
+
+LeafCell make_leaf(LeafKind kind, const tech::Bitcell& cell, double drive) {
+  LIMS_CHECK(drive >= 1.0);
+  LeafCell leaf;
+  leaf.kind = kind;
+  leaf.drive = drive;
+  leaf.name = std::string(leaf_kind_name(kind)) + "_d" +
+              std::to_string(static_cast<int>(std::lround(drive)));
+  // Transistor area grows linearly with drive but folds into fingers, so
+  // the pitch-constrained dimension stays fixed and the free dimension
+  // grows sub-linearly then linearly: base + k*drive.
+  switch (kind) {
+    case LeafKind::kWordlineDriver:
+      leaf.height = cell.height;                       // one per row
+      leaf.width = 1.2e-6 + 0.18e-6 * drive;           // m
+      break;
+    case LeafKind::kLocalSense:
+      leaf.width = cell.width;                         // one per column
+      leaf.height = 1.6e-6 + 0.22e-6 * drive;          // m
+      break;
+    case LeafKind::kControl:
+      leaf.height = 2.0 * cell.height;
+      leaf.width = 2.6e-6 + 0.08e-6 * drive;
+      break;
+  }
+  leaf.pattern = tech::PatternClass::kPeriphery;
+  return leaf;
+}
+
+}  // namespace limsynth::layout

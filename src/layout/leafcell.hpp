@@ -1,0 +1,42 @@
+// Brick leaf cells (paper §3, "Automated brick generation"):
+// three pre-laid-out template cells — wordline driver, local sense, and
+// control block — pitch-matched to the bitcell and modified by the compiler
+// according to the computed gate sizes. Widths grow with drive strength;
+// heights snap to the bitcell pitch so the cells tile around the array.
+#pragma once
+
+#include <string>
+
+#include "tech/bitcell.hpp"
+#include "tech/pattern.hpp"
+
+namespace limsynth::layout {
+
+enum class LeafKind {
+  kWordlineDriver,  // one per row, sits left of the array
+  kLocalSense,      // one per column, sits under the array
+  kControl,         // one per brick, bottom-left corner
+};
+
+const char* leaf_kind_name(LeafKind kind);
+
+/// A sized instance of a leaf-cell template.
+struct LeafCell {
+  LeafKind kind = LeafKind::kControl;
+  std::string name;
+  double drive = 1.0;   // drive multiplier the compiler assigned
+  double width = 0.0;   // m, along the direction the cell row grows
+  double height = 0.0;  // m, pitch-matched dimension
+  tech::PatternClass pattern = tech::PatternClass::kPeriphery;
+};
+
+/// Builds a sized leaf cell pitch-matched to `cell`.
+///
+/// * kWordlineDriver: height = bitcell height (one per row); width grows
+///   ~logarithmically with drive (stacked fingers).
+/// * kLocalSense: width = bitcell width (one per column); height grows
+///   with drive.
+/// * kControl: height = 2 bitcell rows, width grows with drive.
+LeafCell make_leaf(LeafKind kind, const tech::Bitcell& cell, double drive);
+
+}  // namespace limsynth::layout

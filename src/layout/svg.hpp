@@ -1,0 +1,29 @@
+// SVG rendering of abstract layouts: brick tilings and block floorplans.
+// Pattern classes are color-coded so the white-box structure (bitcells,
+// pitch-matched periphery, synthesized logic) is visible at a glance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "layout/geometry.hpp"
+
+namespace limsynth::layout {
+
+struct SvgOptions {
+  double scale = 8e6;   // pixels per meter (8 px/um)
+  bool labels = true;   // draw region names on large regions
+};
+
+/// Renders regions (e.g. BrickLayout::regions or floorplan rectangles)
+/// as an SVG document.
+void write_svg(const std::vector<Region>& regions, std::ostream& os,
+               const SvgOptions& options = {});
+std::string to_svg_string(const std::vector<Region>& regions,
+                          const SvgOptions& options = {});
+
+/// Fill color for a pattern class (hex, e.g. "#4477aa").
+const char* pattern_color(tech::PatternClass pc);
+
+}  // namespace limsynth::layout

@@ -1,0 +1,220 @@
+#include "liberty/characterize.hpp"
+
+#include "circuit/circuit.hpp"
+#include "circuit/transient.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::liberty {
+
+namespace {
+
+LibCell shell_for(const tech::StdCell& cell) {
+  LibCell out;
+  out.name = cell.name;
+  out.area = cell.area();
+  out.width = cell.width;
+  out.height = cell.height;
+  out.leakage = cell.leakage;
+  out.sequential = cell.is_sequential();
+  if (out.sequential) out.clock_pin = "CK";
+  for (int i = 0; i < cell.num_inputs(); ++i) {
+    PinModel pin;
+    pin.name = input_pin_name(cell, i);
+    pin.cap = cell.input_cap;
+    out.inputs.push_back(pin);
+  }
+  if (out.sequential) {
+    out.inputs.push_back(PinModel{"CK", cell.clock_cap, true});
+  }
+  if (cell.func != tech::CellFunc::kClkGate) {
+    out.outputs.push_back(
+        PinModel{out.sequential ? "Q" : "Y", 0.0, false});
+  } else {
+    out.outputs.push_back(PinModel{"GCK", 0.0, true});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string input_pin_name(const tech::StdCell& cell, int i) {
+  if (cell.is_sequential()) {
+    if (i == 0) return "D";
+    if (i == 1) return "EN";
+  }
+  static const char* kNames[] = {"A", "B", "C", "D"};
+  LIMS_CHECK(i >= 0 && i < 4);
+  return kNames[i];
+}
+
+LibCell characterize_analytic(const tech::StdCell& cell,
+                              const tech::Process& process) {
+  LibCell out = shell_for(cell);
+  const auto slews = default_slew_axis();
+  const auto loads = default_load_axis();
+  const double vdd = process.vdd;
+
+  auto delay_fn = [&](double slew, double load) {
+    return cell.delay(load, slew);
+  };
+  auto slew_fn = [&](double /*slew*/, double load) {
+    return cell.output_slew(load);
+  };
+  auto energy_fn = [&](double /*slew*/, double load) {
+    // Per output transition: half of the full switching-pair energy.
+    return 0.5 * cell.switch_energy(load, vdd);
+  };
+
+  const std::string out_pin = out.outputs.front().name;
+  if (cell.is_sequential()) {
+    TimingArc arc;
+    arc.from = "CK";
+    arc.to = out_pin;
+    arc.delay = Lut2D::from_function(slews, loads, [&](double s, double l) {
+      return cell.clk_to_q + delay_fn(s, l);
+    });
+    arc.out_slew = Lut2D::from_function(slews, loads, slew_fn);
+    arc.energy = Lut2D::from_function(slews, loads, energy_fn);
+    out.arcs.push_back(std::move(arc));
+    for (const auto& pin : out.inputs) {
+      if (pin.is_clock) continue;
+      out.constraints.push_back(Constraint{pin.name, cell.setup, cell.hold});
+    }
+  } else if (cell.num_inputs() > 0) {
+    for (const auto& pin : out.inputs) {
+      TimingArc arc;
+      arc.from = pin.name;
+      arc.to = out_pin;
+      arc.delay = Lut2D::from_function(slews, loads, delay_fn);
+      arc.out_slew = Lut2D::from_function(slews, loads, slew_fn);
+      arc.energy = Lut2D::from_function(slews, loads, energy_fn);
+      out.arcs.push_back(std::move(arc));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Builds the transistor topology for simple gates and returns in/out nodes.
+struct GateCircuit {
+  circuit::Circuit ckt;
+  circuit::NodeId in;    // the switching input
+  circuit::NodeId out;
+};
+
+GateCircuit build_gate(const tech::StdCell& cell, const tech::Process& process) {
+  GateCircuit g{circuit::Circuit(process), 0, 0};
+  auto& ckt = g.ckt;
+  g.in = ckt.add_node("in");
+  g.out = ckt.add_node("out");
+  const double wn = process.wn_unit * cell.drive;
+  const double wp = wn * process.beta;
+  const double rn = process.r_nmos;
+  const double rp = process.r_pmos;
+
+  switch (cell.func) {
+    case tech::CellFunc::kInv: {
+      ckt.add_device(circuit::DeviceType::kNmos, g.in, g.out, ckt.gnd(), rn / wn);
+      ckt.add_device(circuit::DeviceType::kPmos, g.in, g.out, ckt.vdd(), rp / wp);
+      ckt.add_cap(g.out, (wn + wp) * process.c_diff);
+      break;
+    }
+    case tech::CellFunc::kNand2: {
+      // Series NMOS (2x width each to match unit drive), parallel PMOS.
+      const circuit::NodeId mid = ckt.add_node("mid");
+      const circuit::NodeId b = ckt.add_node("b");
+      ckt.add_pwl(b, {{0.0, process.vdd}});  // other input held high
+      ckt.add_device(circuit::DeviceType::kNmos, g.in, g.out, mid, rn / (2 * wn));
+      ckt.add_device(circuit::DeviceType::kNmos, b, mid, ckt.gnd(), rn / (2 * wn));
+      ckt.add_device(circuit::DeviceType::kPmos, g.in, g.out, ckt.vdd(), rp / wp);
+      ckt.add_device(circuit::DeviceType::kPmos, b, g.out, ckt.vdd(), rp / wp);
+      ckt.add_cap(g.out, (2 * wn + 2 * wp) * process.c_diff);
+      ckt.add_cap(mid, 2 * wn * process.c_diff);
+      break;
+    }
+    case tech::CellFunc::kNor2: {
+      const circuit::NodeId mid = ckt.add_node("mid");
+      const circuit::NodeId b = ckt.add_node("b");
+      ckt.add_pwl(b, {{0.0, 0.0}});  // other input held low
+      ckt.add_device(circuit::DeviceType::kNmos, g.in, g.out, ckt.gnd(), rn / wn);
+      ckt.add_device(circuit::DeviceType::kNmos, b, g.out, ckt.gnd(), rn / wn);
+      ckt.add_device(circuit::DeviceType::kPmos, g.in, g.out, mid, rp / (2 * wp));
+      ckt.add_device(circuit::DeviceType::kPmos, b, mid, ckt.vdd(), rp / (2 * wp));
+      ckt.add_cap(g.out, (2 * wn + 2 * wp) * process.c_diff);
+      ckt.add_cap(mid, 2 * wp * process.c_diff);
+      break;
+    }
+    default:
+      throw Error("characterize_golden: unsupported function " +
+                  std::string(tech::cell_func_name(cell.func)));
+  }
+  return g;
+}
+
+}  // namespace
+
+LibCell characterize_golden(const tech::StdCell& cell,
+                            const tech::Process& process) {
+  LibCell out = shell_for(cell);
+  const auto slews = default_slew_axis();
+  const auto loads = default_load_axis();
+
+  std::vector<double> delays, oslews, energies;
+  delays.reserve(slews.size() * loads.size());
+  for (double slew : slews) {
+    for (double load : loads) {
+      GateCircuit g = build_gate(cell, process);
+      g.ckt.add_cap(g.out, load);
+      // Rising input -> falling output (all supported gates invert).
+      const double t0 = 100e-12;
+      g.ckt.add_ramp_input(g.in, t0, slew, true);
+      circuit::TransientConfig cfg;
+      cfg.t_stop = t0 + 20 * slew + 60 * process.tau() +
+                   40.0 * process.r_unit() * load / cell.drive;
+      cfg.waveform_stride = 1;
+      const auto res = circuit::simulate(g.ckt, cfg);
+      const double d =
+          circuit::measure_delay(res, g.ckt, g.in, true, g.out, false);
+      LIMS_CHECK_MSG(d > 0.0, "golden characterization did not switch for "
+                                  << cell.name);
+      const double t80 = res.cross_time(g.out, 0.8, false);
+      const double t20 = res.cross_time(g.out, 0.2, false);
+      delays.push_back(d);
+      oslews.push_back((t20 - t80) / 0.6);  // normalized 0-100% equivalent
+
+      // Energy of the opposite (charging) transition: rerun with a falling
+      // input so the PMOS network charges the load from the rail.
+      GateCircuit g2 = build_gate(cell, process);
+      g2.ckt.add_cap(g2.out, load);
+      g2.ckt.add_ramp_input(g2.in, t0, slew, false);
+      circuit::TransientConfig cfg2 = cfg;
+      cfg2.record_waveforms = false;
+      const auto res2 = circuit::simulate(g2.ckt, cfg2);
+      // Per-transition energy convention: half the rise energy (the fall
+      // dissipates the stored half), matching the analytic tables.
+      energies.push_back(0.5 * res2.energy());
+    }
+  }
+
+  const std::string out_pin = out.outputs.front().name;
+  for (const auto& pin : out.inputs) {
+    TimingArc arc;
+    arc.from = pin.name;
+    arc.to = out_pin;
+    arc.delay = Lut2D(slews, loads, delays);
+    arc.out_slew = Lut2D(slews, loads, oslews);
+    arc.energy = Lut2D(slews, loads, energies);
+    out.arcs.push_back(std::move(arc));
+  }
+  return out;
+}
+
+Library characterize_stdcell_library(const tech::StdCellLib& lib) {
+  Library out("stdcells_" + lib.process().name);
+  for (const auto& cell : lib.cells())
+    out.add(characterize_analytic(cell, lib.process()));
+  return out;
+}
+
+}  // namespace limsynth::liberty

@@ -1,0 +1,37 @@
+// Library characterization.
+//
+// Two characterization paths produce the same LibCell shape:
+//
+//  * characterize_analytic — instantaneous, from the cell's logical-effort
+//    parameters. This backs the "dynamically generated library ... within
+//    seconds" property the paper's DSE depends on.
+//  * characterize_golden — drives the switch-level transient simulator on a
+//    transistor topology of the cell (INV/NAND2/NOR2 supported) over the
+//    slew x load grid. Used to validate the analytic tables, mirroring the
+//    paper's Table 1 tool-vs-SPICE comparison at the cell level.
+//
+// Pin conventions: combinational inputs A,B,C,D -> output Y; sequential
+// D(,EN) -> Q with clock CK.
+#pragma once
+
+#include "liberty/library.hpp"
+#include "tech/stdcell.hpp"
+
+namespace limsynth::liberty {
+
+/// Analytic NLDM tables from logical-effort parameters.
+LibCell characterize_analytic(const tech::StdCell& cell,
+                              const tech::Process& process);
+
+/// Golden (transient-simulated) tables. Supports kInv, kNand2, kNor2;
+/// throws for other functions.
+LibCell characterize_golden(const tech::StdCell& cell,
+                            const tech::Process& process);
+
+/// Characterizes an entire standard-cell library analytically.
+Library characterize_stdcell_library(const tech::StdCellLib& lib);
+
+/// Conventional input pin name for position `i` (A, B, C, D...).
+std::string input_pin_name(const tech::StdCell& cell, int i);
+
+}  // namespace limsynth::liberty

@@ -1,0 +1,345 @@
+#include "liberty/writer.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace limsynth::liberty {
+
+namespace {
+
+// Unit scales used in the text format.
+constexpr double kTime = 1e-9;    // ns
+constexpr double kCap = 1e-12;    // pF
+constexpr double kEnergy = 1e-12; // pJ
+constexpr double kArea = 1e-12;   // um^2
+constexpr double kLeak = 1e-9;    // nW
+
+void write_values(std::ostream& os, const char* key,
+                  const std::vector<double>& v, double scale,
+                  const char* indent) {
+  os << indent << key << " (\"";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i] / scale;
+  }
+  os << "\");\n";
+}
+
+void write_lut(std::ostream& os, const char* group, const Lut2D& lut,
+               double value_scale) {
+  os << "        " << group << " (lut_5x6) {\n";
+  write_values(os, "index_1", lut.slew_axis(), kTime, "          ");
+  write_values(os, "index_2", lut.load_axis(), kCap, "          ");
+  write_values(os, "values", lut.values(), value_scale, "          ");
+  os << "        }\n";
+}
+
+}  // namespace
+
+void write_liberty(const Library& lib, std::ostream& os) {
+  os << "/* limsynth generated library. units: time ns, cap pF, energy pJ,"
+        " area um2, leakage nW */\n";
+  os << "library (" << lib.name() << ") {\n";
+  for (const auto& cell : lib.cells()) {
+    os << "  cell (" << cell.name << ") {\n";
+    os << "    area : " << cell.area / kArea << ";\n";
+    os << "    cell_leakage_power : " << cell.leakage / kLeak << ";\n";
+    if (cell.is_macro) os << "    is_macro : true;\n";
+    if (cell.sequential) os << "    clock_pin : " << cell.clock_pin << ";\n";
+    if (cell.clock_energy > 0.0)
+      os << "    clock_energy : " << cell.clock_energy / kEnergy << ";\n";
+    for (const auto& pin : cell.inputs) {
+      os << "    pin (" << pin.name << ") {\n";
+      os << "      direction : input;\n";
+      os << "      capacitance : " << pin.cap / kCap << ";\n";
+      if (pin.is_clock) os << "      clock : true;\n";
+      const Constraint* con = cell.find_constraint(pin.name);
+      if (con) {
+        os << "      setup : " << con->setup / kTime << ";\n";
+        os << "      hold : " << con->hold / kTime << ";\n";
+      }
+      os << "    }\n";
+    }
+    for (const auto& pin : cell.outputs) {
+      os << "    pin (" << pin.name << ") {\n";
+      os << "      direction : output;\n";
+      for (const auto& arc : cell.arcs) {
+        if (arc.to != pin.name) continue;
+        os << "      timing () {\n";
+        os << "        related_pin : \"" << arc.from << "\";\n";
+        write_lut(os, "cell_delay", arc.delay, kTime);
+        write_lut(os, "output_slew", arc.out_slew, kTime);
+        write_lut(os, "energy", arc.energy, kEnergy);
+        os << "      }\n";
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+std::string to_liberty_string(const Library& lib) {
+  std::ostringstream os;
+  write_liberty(lib, os);
+  return os.str();
+}
+
+// ------------------------------------------------------------------ parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Library parse() {
+    skip_ws();
+    expect_word("library");
+    std::string name = parse_parens_token();
+    expect_char('{');
+    Library lib(name);
+    skip_ws();
+    while (peek() != '}') {
+      expect_word("cell");
+      lib.add(parse_cell());
+      skip_ws();
+    }
+    return lib;
+  }
+
+ private:
+  LibCell parse_cell() {
+    LibCell cell;
+    cell.name = parse_parens_token();
+    expect_char('{');
+    skip_ws();
+    while (peek() != '}') {
+      const std::string word = parse_word();
+      if (word == "pin") {
+        parse_pin(cell);
+      } else {
+        // attribute : value ;
+        expect_char(':');
+        const std::string value = parse_until(';');
+        expect_char(';');
+        if (word == "area") cell.area = to_double(value) * kArea;
+        else if (word == "cell_leakage_power") cell.leakage = to_double(value) * kLeak;
+        else if (word == "is_macro") cell.is_macro = (trim(value) == "true");
+        else if (word == "clock_pin") { cell.sequential = true; cell.clock_pin = trim(value); }
+        else if (word == "clock_energy") cell.clock_energy = to_double(value) * kEnergy;
+        else fail("unknown cell attribute '" + word + "'");
+      }
+      skip_ws();
+    }
+    expect_char('}');
+    return cell;
+  }
+
+  void parse_pin(LibCell& cell) {
+    PinModel pin;
+    pin.name = parse_parens_token();
+    expect_char('{');
+    skip_ws();
+    bool is_input = false;
+    double setup = -1.0, hold = -1.0;
+    std::vector<TimingArc> arcs;
+    while (peek() != '}') {
+      const std::string word = parse_word();
+      if (word == "timing") {
+        expect_char('(');
+        expect_char(')');
+        arcs.push_back(parse_timing(pin.name));
+      } else {
+        expect_char(':');
+        const std::string value = parse_until(';');
+        expect_char(';');
+        if (word == "direction") is_input = (trim(value) == "input");
+        else if (word == "capacitance") pin.cap = to_double(value) * kCap;
+        else if (word == "clock") pin.is_clock = (trim(value) == "true");
+        else if (word == "setup") setup = to_double(value) * kTime;
+        else if (word == "hold") hold = to_double(value) * kTime;
+        else fail("unknown pin attribute '" + word + "'");
+      }
+      skip_ws();
+    }
+    expect_char('}');
+    if (is_input) {
+      cell.inputs.push_back(pin);
+      if (setup >= 0.0) cell.constraints.push_back({pin.name, setup, hold});
+    } else {
+      cell.outputs.push_back(pin);
+      for (auto& a : arcs) cell.arcs.push_back(std::move(a));
+    }
+  }
+
+  TimingArc parse_timing(const std::string& out_pin) {
+    TimingArc arc;
+    arc.to = out_pin;
+    expect_char('{');
+    skip_ws();
+    while (peek() != '}') {
+      const std::string word = parse_word();
+      if (word == "related_pin") {
+        expect_char(':');
+        const std::string value = parse_until(';');
+        expect_char(';');
+        arc.from = unquote(trim(value));
+      } else if (word == "cell_delay" || word == "output_slew" ||
+                 word == "energy") {
+        parse_parens_token();  // template name, ignored
+        const Lut2D lut = parse_lut(word == "energy" ? kEnergy : kTime);
+        if (word == "cell_delay") arc.delay = lut;
+        else if (word == "output_slew") arc.out_slew = lut;
+        else arc.energy = lut;
+      } else {
+        fail("unknown timing attribute '" + word + "'");
+      }
+      skip_ws();
+    }
+    expect_char('}');
+    return arc;
+  }
+
+  Lut2D parse_lut(double value_scale) {
+    expect_char('{');
+    std::vector<double> i1, i2, values;
+    skip_ws();
+    while (peek() != '}') {
+      const std::string word = parse_word();
+      expect_char('(');
+      skip_ws();
+      expect_char('"');
+      const std::string body = parse_until('"');
+      expect_char('"');
+      expect_char(')');
+      expect_char(';');
+      std::vector<double> nums = split_numbers(body);
+      if (word == "index_1") {
+        for (double& v : nums) v *= kTime;
+        i1 = std::move(nums);
+      } else if (word == "index_2") {
+        for (double& v : nums) v *= kCap;
+        i2 = std::move(nums);
+      } else if (word == "values") {
+        for (double& v : nums) v *= value_scale;
+        values = std::move(nums);
+      } else {
+        fail("unknown lut key '" + word + "'");
+      }
+      skip_ws();
+    }
+    expect_char('}');
+    return Lut2D(std::move(i1), std::move(i2), std::move(values));
+  }
+
+  // --- lexing helpers ---
+  static std::string trim(const std::string& s) {
+    std::size_t a = s.find_first_not_of(" \t\n\r");
+    std::size_t b = s.find_last_not_of(" \t\n\r");
+    if (a == std::string::npos) return "";
+    return s.substr(a, b - a + 1);
+  }
+  static std::string unquote(const std::string& s) {
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+      return s.substr(1, s.size() - 2);
+    return s;
+  }
+  static double to_double(const std::string& s) {
+    try {
+      return std::stod(trim(s));
+    } catch (const std::exception&) {
+      throw Error("liberty parse: bad number '" + s + "'");
+    }
+  }
+  static std::vector<double> split_numbers(const std::string& s) {
+    std::vector<double> out;
+    std::string cur;
+    for (char ch : s + ",") {
+      if (ch == ',') {
+        if (!trim(cur).empty()) out.push_back(to_double(cur));
+        cur.clear();
+      } else {
+        cur += ch;
+      }
+    }
+    return out;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r') {
+        if (ch == '\n') ++line_;
+        ++pos_;
+      } else if (ch == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        const std::size_t end = text_.find("*/", pos_ + 2);
+        LIMS_CHECK_MSG(end != std::string::npos, "unterminated comment");
+        for (std::size_t i = pos_; i < end; ++i)
+          if (text_[i] == '\n') ++line_;
+        pos_ = end + 2;
+      } else {
+        break;
+      }
+    }
+  }
+  char peek() {
+    LIMS_CHECK_MSG(pos_ < text_.size(), "liberty parse: unexpected EOF");
+    return text_[pos_];
+  }
+  void expect_char(char ch) {
+    skip_ws();
+    if (peek() != ch)
+      fail(std::string("expected '") + ch + "', found '" + peek() + "'");
+    ++pos_;
+  }
+  std::string parse_word() {
+    skip_ws();
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_') {
+        out += ch;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (out.empty()) fail("expected identifier");
+    return out;
+  }
+  void expect_word(const std::string& word) {
+    const std::string got = parse_word();
+    if (got != word) fail("expected '" + word + "', found '" + got + "'");
+  }
+  std::string parse_parens_token() {
+    expect_char('(');
+    const std::string tok = parse_until(')');
+    expect_char(')');
+    return trim(tok);
+  }
+  std::string parse_until(char stop) {
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != stop) {
+      if (text_[pos_] == '\n') ++line_;
+      out += text_[pos_++];
+    }
+    return out;
+  }
+  [[noreturn]] void fail(const std::string& msg) {
+    throw Error("liberty parse error (line " + std::to_string(line_) + "): " + msg);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Library parse_liberty(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace limsynth::liberty

@@ -1,0 +1,28 @@
+// Liberty-style text serialization.
+//
+// The paper's flow hands generated brick models to commercial tools as
+// .lib files; this writer emits a compatible-in-spirit subset (library /
+// cell / pin / timing groups with index_1/index_2/values tables) and the
+// reader parses it back, so generated libraries can be persisted and
+// re-loaded across flow stages.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "liberty/library.hpp"
+
+namespace limsynth::liberty {
+
+/// Emits the library in a Liberty-like syntax. Units: time ns, cap pF,
+/// energy pJ, area um^2, leakage nW (stated in the header comment of the
+/// output).
+void write_liberty(const Library& lib, std::ostream& os);
+std::string to_liberty_string(const Library& lib);
+
+/// Parses a library previously produced by write_liberty. This is not a
+/// general Liberty parser; it accepts the writer's subset and throws
+/// limsynth::Error with a line number on malformed input.
+Library parse_liberty(const std::string& text);
+
+}  // namespace limsynth::liberty

@@ -1,0 +1,117 @@
+#include "lim/brick_opt.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace limsynth::lim {
+
+const char* objective_name(OptObjective objective) {
+  switch (objective) {
+    case OptObjective::kEnergy: return "energy";
+    case OptObjective::kArea: return "area";
+    case OptObjective::kDelay: return "delay";
+  }
+  return "?";
+}
+
+BrickOptResult optimize_brick_selection(int words, int bits,
+                                        const BrickOptTarget& target,
+                                        const tech::Process& process,
+                                        const tech::StdCellLib& cells) {
+  LIMS_CHECK(words >= 16 && bits >= 1);
+  (void)exact_log2(words);  // must be a power of two
+
+  BrickOptResult result;
+
+  // ------------------------------------------------- estimator-level sweep
+  for (int banks : {1, 2, 4, 8}) {
+    if (words % banks != 0) continue;
+    const int rows = words / banks;
+    for (int brick_words : {8, 16, 32, 64}) {
+      if (rows % brick_words != 0) continue;
+      if (rows / brick_words > 64) continue;
+      BrickOptCandidate cand;
+      cand.config = SramConfig{words, bits, banks, brick_words};
+      const brick::Brick b = brick::compile_brick(
+          {cand.config.bitcell, brick_words, bits,
+           cand.config.bricks_per_bank()},
+          process);
+      cand.estimate = brick::estimate_brick(b);
+
+      // Screen: the bank alone must comfortably beat the system target
+      // (decode/mux/margins eat the rest of the cycle).
+      if (target.min_fmax > 0.0 &&
+          1.0 / cand.estimate.min_cycle < 1.15 * target.min_fmax) {
+        cand.pruned = true;
+      }
+      switch (target.objective) {
+        case OptObjective::kEnergy:
+          // System estimate: active bank + idle banks' select overhead.
+          cand.score = cand.estimate.read_energy +
+                       0.05e-12 * static_cast<double>(banks - 1);
+          break;
+        case OptObjective::kArea:
+          cand.score = cand.estimate.bank_area * banks;
+          break;
+        case OptObjective::kDelay:
+          cand.score = cand.estimate.read_delay;
+          break;
+      }
+      result.candidates.push_back(std::move(cand));
+    }
+  }
+  LIMS_CHECK_MSG(!result.candidates.empty(), "no legal brick division for "
+                                                 << words << "x" << bits);
+
+  // Rank the survivors by objective; keep pruned ones at the back as a
+  // fallback so an infeasible target still returns the nearest design.
+  std::stable_sort(result.candidates.begin(), result.candidates.end(),
+                   [](const BrickOptCandidate& a, const BrickOptCandidate& b) {
+                     if (a.pruned != b.pruned) return !a.pruned;
+                     return a.score < b.score;
+                   });
+
+  // ------------------------------------------------- full-flow validation
+  bool have_fallback = false;
+  FlowReport fallback_report;
+  SramConfig fallback_config;
+  double fallback_fmax = 0.0;
+
+  const int to_validate =
+      std::min<int>(target.validate_top,
+                    static_cast<int>(result.candidates.size()));
+  for (int i = 0; i < to_validate; ++i) {
+    const SramConfig cfg = result.candidates[static_cast<std::size_t>(i)].config;
+    SramDesign d = build_sram(cfg, process, cells);
+    FlowOptions opt;
+    opt.activity_cycles = 100;
+    FlowReport rep = run_sram_flow(d, cells, process, opt);
+    ++result.validated;
+    LIMS_INFO << "brick_opt: " << cfg.name() << " fmax="
+              << rep.fmax / 1e6 << " MHz, E/cyc="
+              << rep.power.energy_per_cycle * 1e12 << " pJ";
+    if (target.min_fmax <= 0.0 || rep.fmax >= target.min_fmax) {
+      result.feasible = true;
+      result.best = cfg;
+      result.report = std::move(rep);
+      return result;
+    }
+    if (!have_fallback || rep.fmax > fallback_fmax) {
+      have_fallback = true;
+      fallback_fmax = rep.fmax;
+      fallback_report = std::move(rep);
+      fallback_config = cfg;
+    }
+  }
+
+  // Target missed everywhere: report the fastest validated design.
+  result.feasible = false;
+  if (have_fallback) {
+    result.best = fallback_config;
+    result.report = std::move(fallback_report);
+  }
+  return result;
+}
+
+}  // namespace limsynth::lim

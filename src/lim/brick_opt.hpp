@@ -1,0 +1,56 @@
+// Brick selection optimization — the paper's §6 future work, implemented:
+// "enhance the design flexibility by allowing the selection of memory
+// bricks to be optimized like standard cells."
+//
+// Just as the gate sizer picks a drive from a cell's X1..X16 family, this
+// pass picks the brick shape and partition count of a memory from the
+// compiled brick family: a fast estimator sweep prunes the candidate space
+// (microseconds per point), then the top candidates are validated through
+// the full physical flow and the best one meeting the timing target wins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lim/dse.hpp"
+#include "lim/flow.hpp"
+#include "lim/sram_builder.hpp"
+
+namespace limsynth::lim {
+
+enum class OptObjective { kEnergy, kArea, kDelay };
+
+struct BrickOptTarget {
+  double min_fmax = 0.0;  // Hz; 0 = unconstrained
+  OptObjective objective = OptObjective::kEnergy;
+  int validate_top = 3;   // candidates taken through the full flow
+};
+
+struct BrickOptCandidate {
+  SramConfig config;
+  brick::BrickEstimate estimate;  // per-bank estimator result
+  double score = 0.0;             // objective value (lower is better)
+  bool pruned = false;            // failed the estimator-level timing screen
+};
+
+struct BrickOptResult {
+  bool feasible = false;
+  SramConfig best;
+  FlowReport report;              // full flow results of the winner
+  std::vector<BrickOptCandidate> candidates;  // the whole explored space
+  int validated = 0;
+};
+
+/// Optimizes the brick selection for a `words x bits` 1R1W SRAM.
+/// Candidate space: banks in {1,2,4,8}, brick_words in {8,16,32,64},
+/// restricted to legal divisions. Throws only on invalid inputs; an
+/// unachievable target returns feasible=false with the closest candidate's
+/// report.
+BrickOptResult optimize_brick_selection(int words, int bits,
+                                        const BrickOptTarget& target,
+                                        const tech::Process& process,
+                                        const tech::StdCellLib& cells);
+
+const char* objective_name(OptObjective objective);
+
+}  // namespace limsynth::lim

@@ -1,0 +1,75 @@
+// Gate-level horizontal-CAM block (paper Fig. 5).
+//
+// The unit cell of the LiM SpGEMM accelerator, built as a white-box
+// netlist: a CAM brick holds row indices, a scratchpad SRAM brick holds
+// the accumulating values, and synthesized logic implements the
+// "multiply and add, or new entry" decision — the mismatch-detection block
+// acting as a priority decoder for the scratchpad, plus a free-entry
+// allocator for inserts.
+//
+// Pipeline (one operation in flight per stage):
+//   stage 0: present (row index, addend, op_valid)
+//   stage 1: CAM search resolved; hit -> scratchpad read launched,
+//            miss -> CAM + scratchpad written at the free entry
+//   stage 2: hit path: accumulate and write back
+// Operations must be spaced >= 3 cycles apart (no forwarding network);
+// arch/cores.cpp models the fully-bypassed silicon at 1 op/cycle.
+#pragma once
+
+#include <memory>
+
+#include "liberty/library.hpp"
+#include "lim/macro_models.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
+#include "tech/stdcell.hpp"
+
+namespace limsynth::lim {
+
+struct CamBlockConfig {
+  int entries = 16;     // CAM/scratchpad depth (power of two)
+  int index_bits = 10;  // row-index width
+  int value_bits = 12;  // accumulator width (wraparound add)
+  int brick_words = 16;
+};
+
+struct CamBlockDesign {
+  CamBlockConfig config;
+  netlist::Netlist nl;
+  liberty::Library lib;
+  netlist::InstId cam_inst = -1;
+  netlist::InstId scratch_inst = -1;
+
+  netlist::NetId clk = netlist::kNoNet;
+  std::vector<netlist::NetId> row;    // index to search / insert
+  std::vector<netlist::NetId> addend; // value to accumulate
+  netlist::NetId op_valid = netlist::kNoNet;
+  netlist::NetId match_out = netlist::kNoNet;  // stage-1 hit indicator
+  netlist::NetId full_out = netlist::kNoNet;   // no free entry left
+
+  CamBlockDesign(const CamBlockConfig& cfg, const std::string& name)
+      : config(cfg), nl(name), lib("design_" + name) {}
+};
+
+CamBlockDesign build_cam_block(const CamBlockConfig& config,
+                               const tech::Process& process,
+                               const tech::StdCellLib& cells);
+
+struct CamBlockModels {
+  std::shared_ptr<CamBankModel> cam;
+  std::shared_ptr<SramBankModel> scratch;
+};
+CamBlockModels attach_cam_block_models(CamBlockDesign& design,
+                                       netlist::Simulator& sim);
+
+/// Test driver: applies one (row, addend) operation and advances the
+/// pipeline (3 clock edges, with op_valid dropped after the first).
+void cam_block_apply(CamBlockDesign& design, netlist::Simulator& sim,
+                     int row, std::uint64_t addend);
+
+/// Reads the accumulated (row -> value) contents back through the
+/// attached models.
+std::vector<std::pair<int, std::uint64_t>> cam_block_contents(
+    const CamBlockDesign& design, const CamBlockModels& models);
+
+}  // namespace limsynth::lim

@@ -1,0 +1,68 @@
+#include "lim/dse.hpp"
+
+#include "util/error.hpp"
+
+namespace limsynth::lim {
+
+std::string PartitionChoice::label() const {
+  return std::to_string(words) + "x" + std::to_string(bits) + " from " +
+         std::to_string(brick_words) + "x" + std::to_string(bits) +
+         " bricks (" + std::to_string(stack()) + "x stack)";
+}
+
+DsePoint evaluate_partition(const PartitionChoice& choice,
+                            const tech::Process& process) {
+  LIMS_CHECK_MSG(choice.words % choice.brick_words == 0,
+                 "partition words not divisible by brick words");
+  const brick::BrickSpec spec{choice.bitcell, choice.brick_words, choice.bits,
+                              choice.stack()};
+  const brick::Brick b = brick::compile_brick(spec, process);
+  DsePoint p;
+  p.choice = choice;
+  p.estimate = brick::estimate_brick(b);
+  p.read_delay = p.estimate.read_delay;
+  p.read_energy = p.estimate.read_energy;
+  p.area = p.estimate.bank_area;
+  return p;
+}
+
+std::vector<DsePoint> sweep_partitions(
+    const std::vector<PartitionChoice>& choices, const tech::Process& process) {
+  std::vector<DsePoint> out;
+  out.reserve(choices.size());
+  for (const auto& c : choices) out.push_back(evaluate_partition(c, process));
+  return out;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<std::array<double, 3>>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i == j) continue;
+      bool le_all = true, lt_any = false;
+      for (int k = 0; k < 3; ++k) {
+        if (points[j][static_cast<std::size_t>(k)] >
+            points[i][static_cast<std::size_t>(k)])
+          le_all = false;
+        if (points[j][static_cast<std::size_t>(k)] <
+            points[i][static_cast<std::size_t>(k)])
+          lt_any = true;
+      }
+      dominated = le_all && lt_any;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points) {
+  std::vector<std::array<double, 3>> raw;
+  raw.reserve(points.size());
+  for (const auto& p : points)
+    raw.push_back({p.read_delay, p.read_energy, p.area});
+  return pareto_front(raw);
+}
+
+}  // namespace limsynth::lim

@@ -1,0 +1,57 @@
+// Rapid design-space exploration (paper §3 "Rapid design-space
+// exploration", Fig. 4c).
+//
+// Because brick libraries are generated analytically in microseconds, a
+// sweep over array sizes, brick shapes and partition counts evaluates
+// instantly ("compiling the netlists and generating the library
+// estimations were finalized within 2 seconds of wall clock time") and
+// Pareto fronts over {delay, energy, area} drop out.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "brick/brick.hpp"
+#include "brick/estimator.hpp"
+
+namespace limsynth::lim {
+
+/// One memory partition built from stacked bricks: a `words x bits` array
+/// assembled from `brick_words x bits` bricks stacked words/brick_words
+/// times.
+struct PartitionChoice {
+  int words = 128;
+  int bits = 8;
+  int brick_words = 16;
+  tech::BitcellKind bitcell = tech::BitcellKind::kSram8T;
+
+  int stack() const { return words / brick_words; }
+  std::string label() const;
+};
+
+struct DsePoint {
+  PartitionChoice choice;
+  double read_delay = 0.0;  // s
+  double read_energy = 0.0; // J
+  double area = 0.0;        // m^2
+  brick::BrickEstimate estimate;  // full detail
+};
+
+/// Evaluates one partition through the brick compiler + estimator.
+DsePoint evaluate_partition(const PartitionChoice& choice,
+                            const tech::Process& process);
+
+/// Sweeps a list of partitions.
+std::vector<DsePoint> sweep_partitions(const std::vector<PartitionChoice>& choices,
+                                       const tech::Process& process);
+
+/// Indices of the Pareto-minimal points over (delay, energy, area):
+/// a point survives unless another point is <= on all axes and < on one.
+std::vector<std::size_t> pareto_front(
+    const std::vector<std::array<double, 3>>& points);
+
+/// Convenience: Pareto front of a DSE sweep.
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points);
+
+}  // namespace limsynth::lim

@@ -1,0 +1,82 @@
+#include "lim/flow.hpp"
+
+#include "lim/macro_models.hpp"
+#include "util/log.hpp"
+
+namespace limsynth::lim {
+
+FlowReport run_flow(
+    netlist::Netlist& nl, liberty::Library& lib,
+    const tech::StdCellLib& cells, const tech::Process& process,
+    const std::function<void(netlist::Simulator&)>& attach_models,
+    const std::function<void(netlist::Simulator&, Rng&)>& stimulus,
+    const FlowOptions& opt) {
+  FlowReport rep;
+
+  rep.synthesis = synth::synthesize(nl, lib, cells, opt.synth);
+
+  if (opt.run_placement) {
+    rep.floorplan = place::place_design(nl, lib, process);
+    // Post-placement timing recovery: resize against extracted wire caps,
+    // then re-place/re-extract (the ICC optimize loop).
+    std::vector<double> wire_caps(nl.nets().size(), 0.0);
+    for (std::size_t n = 0; n < wire_caps.size(); ++n)
+      wire_caps[n] = rep.floorplan.parasitics[n].wire_cap;
+    synth::SynthOptions resize_opt = opt.synth;
+    resize_opt.net_wire_caps = &wire_caps;
+    rep.synthesis.resized +=
+        synth::resize_gates(nl, lib, cells, resize_opt);
+    rep.floorplan = place::place_design(nl, lib, process);
+    rep.area = rep.floorplan.area;
+    rep.wirelength = rep.floorplan.total_wirelength;
+  }
+
+  sta::StaOptions sta_opt = opt.sta;
+  if (opt.run_placement) sta_opt.floorplan = &rep.floorplan;
+  rep.timing = sta::run_sta(nl, lib, sta_opt);
+  rep.fmax = rep.timing.fmax();
+
+  if (stimulus) {
+    netlist::Simulator sim(nl, cells);
+    if (attach_models) attach_models(sim);
+    Rng rng(opt.stimulus_seed);
+    sim.settle();
+    stimulus(sim, rng);
+    LIMS_CHECK_MSG(sim.cycles() > 0, "stimulus ran zero cycles");
+
+    power::PowerOptions popt;
+    popt.vdd = process.vdd;
+    popt.frequency =
+        opt.power_frequency > 0.0 ? opt.power_frequency : rep.fmax;
+    popt.floorplan = opt.run_placement ? &rep.floorplan : nullptr;
+    rep.power = power::analyze_power(nl, lib, sim, popt);
+    rep.analysis_frequency = popt.frequency;
+  }
+  return rep;
+}
+
+FlowReport run_sram_flow(SramDesign& d, const tech::StdCellLib& cells,
+                         const tech::Process& process,
+                         const FlowOptions& options) {
+  const int rows = d.config.rows_per_bank();
+  const int bits = d.config.bits;
+  auto attach = [&](netlist::Simulator& sim) {
+    for (netlist::InstId bank : d.banks)
+      sim.attach(bank, std::make_shared<SramBankModel>(rows, bits));
+  };
+  auto stim = [&, rows, bits](netlist::Simulator& sim, Rng& rng) {
+    const int addr_bits = exact_log2(d.config.words);
+    (void)rows;
+    for (int c = 0; c < options.activity_cycles; ++c) {
+      sim.set_bus(d.raddr, rng.next_u64() & ((1u << addr_bits) - 1));
+      sim.set_bus(d.waddr, rng.next_u64() & ((1u << addr_bits) - 1));
+      sim.set_bus(d.wdata, rng.next_u64() & ((1ull << bits) - 1));
+      sim.set_input(d.wen, rng.chance(0.5));
+      sim.settle();
+      sim.clock_edge();
+    }
+  };
+  return run_flow(d.nl, d.lib, cells, process, attach, stim, options);
+}
+
+}  // namespace limsynth::lim

@@ -1,0 +1,82 @@
+#include "lim/macro_models.hpp"
+
+#include "util/error.hpp"
+
+namespace limsynth::lim {
+
+namespace {
+
+std::string idx(const char* base, int i) {
+  return std::string(base) + "[" + std::to_string(i) + "]";
+}
+
+}  // namespace
+
+void SramBankModel::on_clock(netlist::Simulator& sim, netlist::InstId inst) {
+  // Write port.
+  int wrow = -1;
+  for (int r = 0; r < rows_; ++r) {
+    if (sim.pin_value(inst, idx("WWL", r))) {
+      LIMS_CHECK_MSG(wrow < 0, "multiple write wordlines hot");
+      wrow = r;
+    }
+  }
+  if (wrow >= 0) {
+    std::uint64_t v = 0;
+    for (int j = 0; j < bits_; ++j)
+      if (sim.pin_value(inst, idx("WDATA", j))) v |= (std::uint64_t{1} << j);
+    mem_[static_cast<std::size_t>(wrow)] = v;
+    sim.note_macro_access(inst);
+  }
+  // Read port.
+  int rrow = -1;
+  for (int r = 0; r < rows_; ++r) {
+    if (sim.pin_value(inst, idx("RWL", r))) {
+      LIMS_CHECK_MSG(rrow < 0, "multiple read wordlines hot");
+      rrow = r;
+    }
+  }
+  if (rrow >= 0) {
+    const std::uint64_t v = mem_[static_cast<std::size_t>(rrow)];
+    for (int j = 0; j < bits_; ++j)
+      sim.drive_pin(inst, idx("DO", j), (v >> j) & 1);
+    sim.note_macro_access(inst);
+  }
+}
+
+void CamBankModel::on_clock(netlist::Simulator& sim, netlist::InstId inst) {
+  // Write port (stores + validates an entry).
+  int wrow = -1;
+  for (int r = 0; r < rows_; ++r) {
+    if (sim.pin_value(inst, idx("WWL", r))) {
+      LIMS_CHECK_MSG(wrow < 0, "multiple write wordlines hot");
+      wrow = r;
+    }
+  }
+  if (wrow >= 0) {
+    std::uint64_t v = 0;
+    for (int j = 0; j < bits_; ++j)
+      if (sim.pin_value(inst, idx("WDATA", j))) v |= (std::uint64_t{1} << j);
+    set_word(wrow, v);
+    sim.note_macro_access(inst);
+  }
+
+  // Search: single-cycle match against all valid rows.
+  std::uint64_t key = 0;
+  for (int j = 0; j < bits_; ++j)
+    if (sim.pin_value(inst, idx("SDATA", j))) key |= (std::uint64_t{1} << j);
+  int hit = -1;
+  for (int r = 0; r < rows_; ++r) {
+    if (valid_[static_cast<std::size_t>(r)] &&
+        mem_[static_cast<std::size_t>(r)] == key) {
+      hit = r;
+      break;  // priority: lowest index
+    }
+  }
+  sim.drive_pin(inst, "MATCH", hit >= 0);
+  for (int j = 0; j < bits_; ++j)
+    sim.drive_pin(inst, idx("DO", j), hit >= 0 && ((hit >> j) & 1));
+  sim.note_macro_access(inst);
+}
+
+}  // namespace limsynth::lim

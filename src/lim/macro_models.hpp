@@ -1,0 +1,59 @@
+// Behavioral models for brick macros, attached to the gate-level
+// simulator for functional verification and switching-activity capture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/sim.hpp"
+
+namespace limsynth::lim {
+
+/// 1R1W SRAM bank: RWL/WWL decoded wordline buses, WDATA in, DO out.
+/// Contents persist across cycles; reads are synchronous (DO updates at
+/// the clock edge, like the clocked brick).
+class SramBankModel : public netlist::MacroModel {
+ public:
+  SramBankModel(int rows, int bits)
+      : rows_(rows), bits_(bits),
+        mem_(static_cast<std::size_t>(rows), 0) {}
+
+  void on_clock(netlist::Simulator& sim, netlist::InstId inst) override;
+
+  /// Backdoor access for tests.
+  std::uint64_t word(int row) const { return mem_.at(static_cast<std::size_t>(row)); }
+  void set_word(int row, std::uint64_t v) { mem_.at(static_cast<std::size_t>(row)) = v; }
+
+ private:
+  int rows_;
+  int bits_;
+  std::vector<std::uint64_t> mem_;
+};
+
+/// CAM bank: stores index words; on search (SDATA), MATCH goes high when
+/// any row equals the search word; DO returns the matching row's index
+/// (priority: lowest row). Writes via WWL/WDATA as in the SRAM.
+class CamBankModel : public netlist::MacroModel {
+ public:
+  CamBankModel(int rows, int bits)
+      : rows_(rows), bits_(bits),
+        mem_(static_cast<std::size_t>(rows), 0),
+        valid_(static_cast<std::size_t>(rows), false) {}
+
+  void on_clock(netlist::Simulator& sim, netlist::InstId inst) override;
+
+  void set_word(int row, std::uint64_t v, bool valid = true) {
+    mem_.at(static_cast<std::size_t>(row)) = v;
+    valid_.at(static_cast<std::size_t>(row)) = valid;
+  }
+  std::uint64_t word(int row) const { return mem_.at(static_cast<std::size_t>(row)); }
+  bool is_valid(int row) const { return valid_.at(static_cast<std::size_t>(row)); }
+
+ private:
+  int rows_;
+  int bits_;
+  std::vector<std::uint64_t> mem_;
+  std::vector<bool> valid_;
+};
+
+}  // namespace limsynth::lim

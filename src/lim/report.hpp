@@ -1,0 +1,31 @@
+// Human-readable flow reports — the report_timing / report_power / QoR
+// artifacts a physical-synthesis run leaves behind. Used by the CLI and
+// examples; also renders the floorplan (with brick macros highlighted) to
+// SVG for inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lim/flow.hpp"
+
+namespace limsynth::lim {
+
+/// report_timing-style text: period/fmax, critical endpoint, and the
+/// critical path with per-point arrival and slew.
+void write_timing_report(const FlowReport& report, std::ostream& os);
+
+/// report_power-style text: per-category power at the analysis frequency.
+void write_power_report(const FlowReport& report, std::ostream& os);
+
+/// QoR one-pager: instances, area split, wirelength, fmax, power.
+void write_qor_report(const netlist::Netlist& nl, const FlowReport& report,
+                      std::ostream& os);
+
+/// Floorplan rendering: macros (bitcell pattern), logic region, die
+/// outline. Returns the SVG text.
+std::string floorplan_svg(const netlist::Netlist& nl,
+                          const liberty::Library& lib,
+                          const place::Floorplan& floorplan);
+
+}  // namespace limsynth::lim

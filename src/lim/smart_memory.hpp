@@ -1,0 +1,131 @@
+// Application-specific smart memories from the paper's background (§2.2),
+// built with the LiM flow to demonstrate white-box customization:
+//
+//  * Parallel-access memory (Murachi et al. [7]): a K x L pixel store that
+//    reads an m x n window at any (x, y) in a single cycle. The smart (LiM)
+//    variant shares customized row/column decoders across banks and
+//    replaces per-bank address adders with an increment-select; the
+//    conventional ASIC variant gives every bank its own adders + decoder.
+//
+//  * Interpolation memory (Zhu et al. [13]): a LiM seed table that stores
+//    a coarsely sampled function in two interleaved banks (so f[i] and
+//    f[i+1] read in one cycle) and linearly interpolates on the fly,
+//    standing in for a dense table 2^k times its size.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lim/macro_models.hpp"
+#include "lim/sram_builder.hpp"
+#include "netlist/sim.hpp"
+
+namespace limsynth::lim {
+
+// ------------------------------------------------------------------ PAM
+
+struct ParallelAccessConfig {
+  int image_rows = 32;   // K (power of two)
+  int image_cols = 32;   // L (power of two)
+  int win_m = 2;         // window rows (power of two, <= K)
+  int win_n = 2;         // window cols (power of two, <= L)
+  int pixel_bits = 8;
+  int brick_words = 16;  // brick shape for the banks
+  bool smart = true;     // false = conventional per-bank addressing
+
+  int banks() const { return win_m * win_n; }
+  int bank_rows() const { return (image_rows / win_m) * (image_cols / win_n); }
+};
+
+struct ParallelAccessDesign {
+  ParallelAccessConfig config;
+  netlist::Netlist nl;
+  liberty::Library lib;
+  std::vector<netlist::InstId> banks;  // row-major (a * win_n + b)
+
+  netlist::NetId clk = netlist::kNoNet;
+  std::vector<netlist::NetId> x;  // window origin row
+  std::vector<netlist::NetId> y;  // window origin col
+  // Write port: full pixel address + data.
+  std::vector<netlist::NetId> wr;  // row
+  std::vector<netlist::NetId> wc;  // col
+  std::vector<netlist::NetId> wdata;
+  netlist::NetId wen = netlist::kNoNet;
+  /// window[a][b] bus (pixel at image position derived from (x,y,a,b)).
+  std::vector<std::vector<std::vector<netlist::NetId>>> window;
+
+  ParallelAccessDesign(const ParallelAccessConfig& cfg, const std::string& n)
+      : config(cfg), nl(n), lib("design_" + n) {}
+};
+
+ParallelAccessDesign build_parallel_access_memory(
+    const ParallelAccessConfig& config, const tech::Process& process,
+    const tech::StdCellLib& cells);
+
+/// Attaches SRAM bank models; returns them (row-major) for backdoor access.
+std::vector<std::shared_ptr<SramBankModel>> attach_pam_models(
+    ParallelAccessDesign& design, netlist::Simulator& sim);
+
+/// Backdoor image load into the attached models, using the same pixel ->
+/// (bank, row) mapping the hardware uses.
+void pam_load_image(const ParallelAccessConfig& config,
+                    std::vector<std::shared_ptr<SramBankModel>>& models,
+                    const std::vector<std::vector<std::uint64_t>>& image);
+
+/// The (bank, row) location of pixel (r, c).
+struct PamLocation {
+  int bank;  // a * win_n + b
+  int row;
+};
+PamLocation pam_locate(const ParallelAccessConfig& config, int r, int c);
+
+// ---------------------------------------------------------------- interp
+
+struct InterpConfig {
+  int dense_entries = 1024;  // entries the dense baseline table would hold
+  int seed_entries = 64;     // coarse samples stored (power of two)
+  int value_bits = 12;
+  int brick_words = 16;
+
+  int expansion() const { return dense_entries / seed_entries; }
+  int frac_bits() const;  // log2(expansion)
+};
+
+struct InterpDesign {
+  InterpConfig config;
+  netlist::Netlist nl;
+  liberty::Library lib;
+  netlist::InstId bank_even = -1;  // seed entries 0,2,4,...
+  netlist::InstId bank_odd = -1;   // seed entries 1,3,5,...
+
+  netlist::NetId clk = netlist::kNoNet;
+  std::vector<netlist::NetId> index;  // dense-domain index input
+  std::vector<netlist::NetId> out;    // interpolated value
+  // Pipeline note: out is valid 2 cycles after index (table read, then
+  // registered interpolation).
+
+  InterpDesign(const InterpConfig& cfg, const std::string& n)
+      : config(cfg), nl(n), lib("design_" + n) {}
+};
+
+InterpDesign build_interpolation_memory(const InterpConfig& config,
+                                        const tech::Process& process,
+                                        const tech::StdCellLib& cells);
+
+struct InterpModels {
+  std::shared_ptr<SramBankModel> even;
+  std::shared_ptr<SramBankModel> odd;
+};
+InterpModels attach_interp_models(InterpDesign& design,
+                                  netlist::Simulator& sim);
+
+/// Loads seed samples f[0..seed_entries) into the interleaved banks.
+void interp_load_table(const InterpConfig& config, InterpModels& models,
+                       const std::vector<std::uint64_t>& samples);
+
+/// Reference fixed-point interpolation the hardware must match.
+std::uint64_t interp_reference(const InterpConfig& config,
+                               const std::vector<std::uint64_t>& samples,
+                               int dense_index);
+
+}  // namespace limsynth::lim

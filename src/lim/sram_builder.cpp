@@ -1,0 +1,194 @@
+#include "lim/sram_builder.hpp"
+
+#include "brick/library_gen.hpp"
+#include "liberty/characterize.hpp"
+#include "netlist/generators.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::lim {
+
+int exact_log2(int n) {
+  LIMS_CHECK_MSG(n >= 1 && (n & (n - 1)) == 0,
+                 n << " is not a power of two");
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+
+std::string SramConfig::name() const {
+  std::string s = "sram" + std::to_string(words) + "x" + std::to_string(bits);
+  if (banks > 1) s += "_b" + std::to_string(banks);
+  s += "_bw" + std::to_string(brick_words);
+  return s;
+}
+
+SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
+                      const tech::StdCellLib& cells) {
+  LIMS_CHECK_MSG(cfg.words % cfg.banks == 0,
+                 "words not divisible by banks");
+  LIMS_CHECK_MSG(cfg.rows_per_bank() % cfg.brick_words == 0,
+                 "bank rows not divisible by brick words");
+  const int addr_bits = exact_log2(cfg.words);
+  const int bank_bits = exact_log2(cfg.banks);
+  const int row_bits = addr_bits - bank_bits;
+
+  SramDesign d(cfg, cfg.name());
+
+  // Libraries: standard cells + the one brick shape this design uses.
+  d.lib = liberty::characterize_stdcell_library(cells);
+  const brick::BrickSpec brick_spec{cfg.bitcell, cfg.brick_words, cfg.bits,
+                                    cfg.bricks_per_bank()};
+  const brick::Brick bank_brick = brick::compile_brick(brick_spec, process);
+  d.bricks.push_back(bank_brick);
+  d.lib.add(brick::make_brick_libcell(bank_brick));
+  const std::string macro_name = brick_spec.name();
+
+  // ----------------------------------------------------------- interface
+  netlist::Netlist& nl = d.nl;
+  d.clk = nl.add_net("clk");
+  nl.set_clock(d.clk);
+  nl.add_port("clk", netlist::PortDir::kInput, d.clk);
+  d.raddr = nl.make_bus("raddr", addr_bits);
+  d.waddr = nl.make_bus("waddr", addr_bits);
+  d.wdata = nl.make_bus("wdata", cfg.bits);
+  d.wen = nl.add_net("wen");
+  for (int i = 0; i < addr_bits; ++i) {
+    nl.add_port("raddr" + std::to_string(i), netlist::PortDir::kInput,
+                d.raddr[static_cast<std::size_t>(i)]);
+    nl.add_port("waddr" + std::to_string(i), netlist::PortDir::kInput,
+                d.waddr[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < cfg.bits; ++i)
+    nl.add_port("wdata" + std::to_string(i), netlist::PortDir::kInput,
+                d.wdata[static_cast<std::size_t>(i)]);
+  nl.add_port("wen", netlist::PortDir::kInput, d.wen);
+
+  netlist::Builder b(nl, "sram");
+
+  // -------------------------------------------------- input registers
+  // The chip registers its address/data/control inputs, so one clock cycle
+  // contains register -> decoder -> brick wordline setup, and the brick's
+  // CK -> DO -> mux -> output register path. This is what makes config E's
+  // "slower decoder and global signal routing" visible in f_max, as the
+  // paper discusses.
+  const std::vector<netlist::NetId> raddr_r = b.registers(d.raddr, d.clk);
+  const std::vector<netlist::NetId> waddr_r = b.registers(d.waddr, d.clk);
+  const std::vector<netlist::NetId> wdata_r = b.registers(d.wdata, d.clk);
+  const netlist::NetId wen_r = b.registers({d.wen}, d.clk)[0];
+
+  const std::vector<netlist::NetId> r_row(raddr_r.begin(),
+                                          raddr_r.begin() + row_bits);
+  const std::vector<netlist::NetId> w_row(waddr_r.begin(),
+                                          waddr_r.begin() + row_bits);
+
+  // Bank select (address MSBs), for both ports. The write-enable folds
+  // into the write bank decoder as its enable, so it costs no extra level.
+  std::vector<netlist::NetId> r_bank_sel, w_bank_sel;
+  if (bank_bits > 0) {
+    const std::vector<netlist::NetId> r_hi(raddr_r.begin() + row_bits,
+                                           raddr_r.end());
+    const std::vector<netlist::NetId> w_hi(waddr_r.begin() + row_bits,
+                                           waddr_r.end());
+    r_bank_sel = b.decoder(r_hi);
+    w_bank_sel = b.decoder(w_hi, wen_r);
+  } else {
+    r_bank_sel = {b.tie1()};
+    w_bank_sel = {b.tie1()};
+  }
+
+  // ------------------------------------------------------------- banks
+  // Row predecoding is shared across banks (the customization the paper
+  // cites from [7]); each bank only carries the final AND stage, gated by
+  // its bank select so deselected banks stay quiet — configuration E's
+  // energy win over D.
+  const int rows = cfg.rows_per_bank();
+  const int lo_cnt = row_bits / 2;
+  auto predecode = [&](const std::vector<netlist::NetId>& bits, bool low) {
+    const std::vector<netlist::NetId> part =
+        low ? std::vector<netlist::NetId>(bits.begin(), bits.begin() + lo_cnt)
+            : std::vector<netlist::NetId>(bits.begin() + lo_cnt, bits.end());
+    if (part.empty()) return std::vector<netlist::NetId>{b.tie1()};
+    return b.decoder(part);
+  };
+  const std::vector<netlist::NetId> r_lo_hot = predecode(r_row, true);
+  const std::vector<netlist::NetId> r_hi_hot = predecode(r_row, false);
+  const std::vector<netlist::NetId> w_lo_hot = predecode(w_row, true);
+  const std::vector<netlist::NetId> w_hi_hot = predecode(w_row, false);
+  auto final_stage = [&](const std::vector<netlist::NetId>& lo_hot,
+                         const std::vector<netlist::NetId>& hi_hot, int row,
+                         netlist::NetId en) {
+    const auto lo = static_cast<std::size_t>(row) % lo_hot.size();
+    const auto hi = static_cast<std::size_t>(row) / lo_hot.size();
+    netlist::NetId hot = b.and2(hi_hot[hi], lo_hot[lo]);
+    if (en != netlist::kNoNet) hot = b.and2(hot, en);
+    return hot;
+  };
+
+  std::vector<std::vector<netlist::NetId>> bank_do;
+  for (int k = 0; k < cfg.banks; ++k) {
+    const netlist::NetId r_en = cfg.banks > 1
+                                    ? r_bank_sel[static_cast<std::size_t>(k)]
+                                    : netlist::kNoNet;
+    const netlist::NetId w_en = cfg.banks > 1
+                                    ? w_bank_sel[static_cast<std::size_t>(k)]
+                                    : wen_r;
+    std::vector<netlist::NetId> rwl_row, wwl_row;
+    rwl_row.reserve(static_cast<std::size_t>(rows));
+    wwl_row.reserve(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+      rwl_row.push_back(final_stage(r_lo_hot, r_hi_hot, r, r_en));
+      wwl_row.push_back(final_stage(w_lo_hot, w_hi_hot, r, w_en));
+    }
+    std::vector<netlist::Connection> conns;
+    conns.push_back({"CK", d.clk});
+    for (int r = 0; r < rows; ++r) {
+      conns.push_back(
+          {"RWL[" + std::to_string(r) + "]", rwl_row[static_cast<std::size_t>(r)]});
+      conns.push_back(
+          {"WWL[" + std::to_string(r) + "]", wwl_row[static_cast<std::size_t>(r)]});
+    }
+    for (int j = 0; j < cfg.bits; ++j)
+      conns.push_back(
+          {"WDATA[" + std::to_string(j) + "]", wdata_r[static_cast<std::size_t>(j)]});
+    std::vector<netlist::NetId> dos =
+        nl.make_bus("bank" + std::to_string(k) + "_do", cfg.bits);
+    for (int j = 0; j < cfg.bits; ++j)
+      conns.push_back({"DO[" + std::to_string(j) + "]", dos[static_cast<std::size_t>(j)]});
+    const netlist::InstId inst = nl.add_instance(
+        "bank" + std::to_string(k), macro_name, std::move(conns));
+    d.banks.push_back(inst);
+    bank_do.push_back(std::move(dos));
+  }
+
+  // ------------------------------------------------------ output muxing
+  std::vector<netlist::NetId> rdata_comb;
+  if (cfg.banks == 1) {
+    rdata_comb = bank_do[0];
+  } else {
+    // Bank outputs are registered locally before the global mux, so the
+    // long inter-bank route is a register-to-register path and the brick
+    // read stays a short local path — the banked organization's speed win
+    // (Fig. 4b: E faster than D).
+    const std::vector<netlist::NetId> sel_reg2 =
+        b.registers(b.registers(r_bank_sel, d.clk), d.clk);
+    std::vector<std::vector<netlist::NetId>> do_reg;
+    do_reg.reserve(static_cast<std::size_t>(cfg.banks));
+    for (int k = 0; k < cfg.banks; ++k)
+      do_reg.push_back(b.registers(bank_do[static_cast<std::size_t>(k)], d.clk));
+    rdata_comb.reserve(static_cast<std::size_t>(cfg.bits));
+    for (int j = 0; j < cfg.bits; ++j) {
+      std::vector<netlist::NetId> per_bank;
+      per_bank.reserve(static_cast<std::size_t>(cfg.banks));
+      for (int k = 0; k < cfg.banks; ++k)
+        per_bank.push_back(do_reg[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]);
+      rdata_comb.push_back(b.onehot_mux(sel_reg2, per_bank));
+    }
+  }
+  d.rdata = b.registers(rdata_comb, d.clk);
+  for (int j = 0; j < cfg.bits; ++j)
+    nl.add_port("rdata" + std::to_string(j), netlist::PortDir::kOutput,
+                d.rdata[static_cast<std::size_t>(j)]);
+  return d;
+}
+
+}  // namespace limsynth::lim

@@ -1,0 +1,37 @@
+// Monte-Carlo yield analysis.
+//
+// The paper reports chip measurements "averaged out of multiple chips, with
+// maximum and minimum tested speeds shown as bars" (Fig. 4b). This utility
+// generalizes the same machinery: sample fabricated-chip process variants,
+// run the flow on each, and report the f_max distribution plus parametric
+// yield at a target frequency — the speed-binning view a product team
+// would ask of the methodology.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tech/process.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace limsynth::lim {
+
+struct YieldResult {
+  std::vector<double> fmax_samples;  // Hz, one per simulated chip
+  OnlineStats stats;
+  /// Fraction of chips meeting each queried frequency.
+  std::vector<std::pair<double, double>> yield_curve;  // (freq, yield)
+
+  double yield_at(double freq) const;
+};
+
+/// Runs `chips` Monte-Carlo samples. `measure_fmax` maps a sampled process
+/// to the chip's f_max (typically a flow run); `bins` are the frequencies
+/// for the yield curve (defaults to 80%..110% of the sample mean).
+YieldResult analyze_yield(
+    const tech::Process& nominal, int chips, std::uint64_t seed,
+    const std::function<double(const tech::Process&)>& measure_fmax,
+    std::vector<double> bins = {});
+
+}  // namespace limsynth::lim

@@ -1,0 +1,127 @@
+#include "netlist/netlist.hpp"
+
+namespace limsynth::netlist {
+
+NetId Netlist::add_net(const std::string& name) {
+  LIMS_CHECK_MSG(net_index_.find(name) == net_index_.end(),
+                 "duplicate net " << name);
+  const NetId id = static_cast<NetId>(nets_.size());
+  nets_.push_back(Net{name});
+  net_index_[name] = id;
+  index_valid_ = false;
+  return id;
+}
+
+NetId Netlist::make_net() {
+  return add_net("n" + std::to_string(auto_net_counter_++));
+}
+
+std::vector<NetId> Netlist::make_bus(const std::string& base, int width) {
+  LIMS_CHECK(width >= 1);
+  std::vector<NetId> bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    bus.push_back(add_net(base + "[" + std::to_string(i) + "]"));
+  return bus;
+}
+
+InstId Netlist::add_instance(const std::string& name, const std::string& cell,
+                             std::vector<Connection> conns) {
+  for (const auto& c : conns)
+    LIMS_CHECK_MSG(c.net >= 0 && c.net < static_cast<NetId>(nets_.size()),
+                   "instance " << name << " pin " << c.pin << " unconnected");
+  const InstId id = static_cast<InstId>(instances_.size());
+  instances_.push_back(Instance{name, cell, std::move(conns)});
+  dead_.push_back(false);
+  index_valid_ = false;
+  return id;
+}
+
+void Netlist::remove_instance(InstId inst) {
+  LIMS_CHECK(inst >= 0 && inst < static_cast<InstId>(instances_.size()));
+  dead_[static_cast<std::size_t>(inst)] = true;
+  index_valid_ = false;
+}
+
+void Netlist::add_port(const std::string& name, PortDir dir, NetId net) {
+  ports_.push_back(Port{name, dir, net});
+  index_valid_ = false;
+}
+
+std::size_t Netlist::live_instance_count() const {
+  std::size_t n = 0;
+  for (bool d : dead_)
+    if (!d) ++n;
+  return n;
+}
+
+const Instance& Netlist::instance(InstId id) const {
+  LIMS_CHECK(id >= 0 && id < static_cast<InstId>(instances_.size()));
+  return instances_[static_cast<std::size_t>(id)];
+}
+
+Instance& Netlist::instance(InstId id) {
+  LIMS_CHECK(id >= 0 && id < static_cast<InstId>(instances_.size()));
+  index_valid_ = false;
+  return instances_[static_cast<std::size_t>(id)];
+}
+
+const std::string& Netlist::net_name(NetId net) const {
+  LIMS_CHECK(net >= 0 && net < static_cast<NetId>(nets_.size()));
+  return nets_[static_cast<std::size_t>(net)].name;
+}
+
+NetId Netlist::find_net(const std::string& name) const {
+  const auto it = net_index_.find(name);
+  return it == net_index_.end() ? kNoNet : it->second;
+}
+
+bool Netlist::is_output_pin(const std::string& pin) {
+  // Conventional output names, including indexed bus pins like DO[3].
+  const auto base_len = pin.find('[');
+  const std::string base =
+      base_len == std::string::npos ? pin : pin.substr(0, base_len);
+  return base == "Y" || base == "Q" || base == "DO" || base == "MATCH" ||
+         base == "GCK";
+}
+
+void Netlist::rebuild_index() const {
+  drivers_.assign(nets_.size(), PinRef{-1, ""});
+  sinks_.assign(nets_.size(), {});
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (dead_[i]) continue;
+    for (const auto& c : instances_[i].conns) {
+      const auto net = static_cast<std::size_t>(c.net);
+      if (is_output_pin(c.pin)) {
+        drivers_[net] = PinRef{static_cast<InstId>(i), c.pin};
+      } else {
+        sinks_[net].push_back(PinRef{static_cast<InstId>(i), c.pin});
+      }
+    }
+  }
+  index_valid_ = true;
+}
+
+Netlist::PinRef Netlist::driver_of(NetId net) const {
+  if (!index_valid_) rebuild_index();
+  return drivers_[static_cast<std::size_t>(net)];
+}
+
+const std::vector<Netlist::PinRef>& Netlist::sinks_of(NetId net) const {
+  if (!index_valid_) rebuild_index();
+  return sinks_[static_cast<std::size_t>(net)];
+}
+
+bool Netlist::is_primary_input(NetId net) const {
+  for (const auto& p : ports_)
+    if (p.net == net && p.dir == PortDir::kInput) return true;
+  return false;
+}
+
+bool Netlist::is_primary_output(NetId net) const {
+  for (const auto& p : ports_)
+    if (p.net == net && p.dir == PortDir::kOutput) return true;
+  return false;
+}
+
+}  // namespace limsynth::netlist

@@ -1,0 +1,191 @@
+#include "netlist/sim.hpp"
+
+#include <algorithm>
+
+namespace limsynth::netlist {
+
+namespace {
+
+/// Strips the drive suffix: "NAND2_X4" -> "NAND2".
+std::string cell_stem(const std::string& cell) {
+  const auto pos = cell.rfind("_X");
+  return pos == std::string::npos ? cell : cell.substr(0, pos);
+}
+
+}  // namespace
+
+Simulator::Simulator(const Netlist& nl, const tech::StdCellLib& cells)
+    : nl_(nl) {
+  for (const auto& c : cells.cells())
+    func_by_cell_[cell_stem(c.name)] = c.func;
+  values_.assign(nl.nets().size(), false);
+  toggle_counts_.assign(nl.nets().size(), 0);
+  ff_state_.assign(nl.instance_storage_size(), false);
+}
+
+void Simulator::attach(InstId inst, std::shared_ptr<MacroModel> model) {
+  macros_[inst] = std::move(model);
+}
+
+void Simulator::set_input(NetId net, bool value) {
+  set_net(net, value, true);
+}
+
+void Simulator::set_bus(const std::vector<NetId>& bus, std::uint64_t value) {
+  LIMS_CHECK(bus.size() <= 64);
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    set_net(bus[i], (value >> i) & 1, true);
+}
+
+void Simulator::set_net(NetId net, bool value, bool count_toggle) {
+  const auto n = static_cast<std::size_t>(net);
+  LIMS_CHECK(n < values_.size());
+  if (values_[n] != value) {
+    values_[n] = value;
+    if (count_toggle) ++toggle_counts_[n];
+  }
+}
+
+bool Simulator::value(NetId net) const {
+  return values_[static_cast<std::size_t>(net)];
+}
+
+std::uint64_t Simulator::bus_value(const std::vector<NetId>& bus) const {
+  LIMS_CHECK(bus.size() <= 64);
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    if (value(bus[i])) v |= (std::uint64_t{1} << i);
+  return v;
+}
+
+bool Simulator::pin_value(InstId inst, const std::string& pin) const {
+  const NetId* net = nl_.instance(inst).find_pin(pin);
+  LIMS_CHECK_MSG(net != nullptr, "instance " << nl_.instance(inst).name
+                                             << " has no pin " << pin);
+  return value(*net);
+}
+
+void Simulator::drive_pin(InstId inst, const std::string& pin, bool v) {
+  const NetId* net = nl_.instance(inst).find_pin(pin);
+  LIMS_CHECK_MSG(net != nullptr, "instance " << nl_.instance(inst).name
+                                             << " has no pin " << pin);
+  set_net(*net, v, true);
+}
+
+bool Simulator::eval_cell(const Instance& inst) const {
+  const auto it = func_by_cell_.find(cell_stem(inst.cell));
+  LIMS_CHECK_MSG(it != func_by_cell_.end(),
+                 "unknown cell " << inst.cell << " in simulation");
+  auto in = [&](const char* pin) {
+    const NetId* net = inst.find_pin(pin);
+    LIMS_CHECK_MSG(net != nullptr,
+                   "cell " << inst.name << " missing pin " << pin);
+    return value(*net);
+  };
+  using tech::CellFunc;
+  switch (it->second) {
+    case CellFunc::kInv: return !in("A");
+    case CellFunc::kBuf: return in("A");
+    case CellFunc::kNand2: return !(in("A") && in("B"));
+    case CellFunc::kNand3: return !(in("A") && in("B") && in("C"));
+    case CellFunc::kNand4: return !(in("A") && in("B") && in("C") && in("D"));
+    case CellFunc::kNor2: return !(in("A") || in("B"));
+    case CellFunc::kNor3: return !(in("A") || in("B") || in("C"));
+    case CellFunc::kAnd2: return in("A") && in("B");
+    case CellFunc::kOr2: return in("A") || in("B");
+    case CellFunc::kXor2: return in("A") != in("B");
+    case CellFunc::kXnor2: return in("A") == in("B");
+    case CellFunc::kMux2: return in("C") ? in("B") : in("A");
+    case CellFunc::kAoi21: return !((in("A") && in("B")) || in("C"));
+    case CellFunc::kOai21: return !((in("A") || in("B")) && in("C"));
+    case CellFunc::kTie0: return false;
+    case CellFunc::kTie1: return true;
+    default:
+      LIMS_UNREACHABLE("sequential cell in combinational eval");
+  }
+}
+
+void Simulator::settle() {
+  const std::size_t n_inst = nl_.instance_storage_size();
+  // Bounded fixpoint iteration: each pass evaluates every combinational
+  // gate; netlists are acyclic so this converges within depth passes.
+  const std::size_t max_passes = n_inst + 2;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n_inst; ++i) {
+      const auto id = static_cast<InstId>(i);
+      if (!nl_.is_live(id)) continue;
+      const Instance& inst = nl_.instance(id);
+      if (macros_.count(id)) continue;
+      const auto fit = func_by_cell_.find(cell_stem(inst.cell));
+      LIMS_CHECK_MSG(fit != func_by_cell_.end(),
+                     "unknown cell " << inst.cell);
+      if (tech::cell_func_sequential(fit->second)) continue;
+      const bool v = eval_cell(inst);
+      const NetId* out = inst.find_pin("Y");
+      LIMS_CHECK(out != nullptr);
+      if (value(*out) != v) {
+        set_net(*out, v, true);
+        changed = true;
+      }
+    }
+    if (!changed) return;
+  }
+  throw Error("netlist simulation did not settle (combinational loop?)");
+}
+
+void Simulator::clock_edge() {
+  ++cycles_;
+  // Sample all flop D inputs first (old values), then commit.
+  struct Capture {
+    InstId inst;
+    bool d;
+  };
+  std::vector<Capture> captures;
+  const std::size_t n_inst = nl_.instance_storage_size();
+  for (std::size_t i = 0; i < n_inst; ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (!nl_.is_live(id) || macros_.count(id)) continue;
+    const Instance& inst = nl_.instance(id);
+    const auto fit = func_by_cell_.find(cell_stem(inst.cell));
+    if (fit == func_by_cell_.end() ||
+        !tech::cell_func_sequential(fit->second))
+      continue;
+    bool d = ff_state_[i];
+    if (fit->second == tech::CellFunc::kDff) {
+      d = value(*inst.find_pin("D"));
+    } else if (fit->second == tech::CellFunc::kDffEn) {
+      if (value(*inst.find_pin("EN"))) d = value(*inst.find_pin("D"));
+    }
+    captures.push_back({id, d});
+  }
+  // Macro models fire on pre-edge pin values (like the flop D sampling
+  // above), then flop outputs commit, then logic resettles.
+  for (auto& [inst, model] : macros_) model->on_clock(*this, inst);
+  for (const auto& c : captures) {
+    ff_state_[static_cast<std::size_t>(c.inst)] = c.d;
+    const Instance& inst = nl_.instance(c.inst);
+    set_net(*inst.find_pin("Q"), c.d, true);
+  }
+  settle();
+}
+
+std::uint64_t Simulator::toggles(NetId net) const {
+  return toggle_counts_[static_cast<std::size_t>(net)];
+}
+
+double Simulator::activity(NetId net) const {
+  if (cycles_ == 0) return 0.0;
+  return static_cast<double>(toggles(net)) / static_cast<double>(cycles_);
+}
+
+std::uint64_t Simulator::macro_accesses(InstId inst) const {
+  const auto it = macro_access_counts_.find(inst);
+  return it == macro_access_counts_.end() ? 0 : it->second;
+}
+
+void Simulator::note_macro_access(InstId inst) {
+  ++macro_access_counts_[inst];
+}
+
+}  // namespace limsynth::netlist

@@ -1,0 +1,86 @@
+// Gate-level two-phase logic simulation.
+//
+// Plays the role Modelsim plays in the paper's flow: functional
+// verification of the elaborated netlists and generation of switching
+// activity (.saif substitute) for power analysis. Memory-brick macros are
+// attached as behavioral models through the MacroModel interface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "tech/stdcell.hpp"
+
+namespace limsynth::netlist {
+
+class Simulator;
+
+/// Behavioral model for a macro instance (e.g. a memory brick bank).
+/// Called on every clock edge with read access to current net values and
+/// the ability to schedule its output values for the new cycle.
+class MacroModel {
+ public:
+  virtual ~MacroModel() = default;
+  /// Invoked at the clock edge, before combinational resettling. Read pin
+  /// values with sim.pin_value(inst, "NAME[i]") and drive outputs with
+  /// sim.drive_pin(inst, "DO[j]", v).
+  virtual void on_clock(Simulator& sim, InstId inst) = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const Netlist& nl, const tech::StdCellLib& cells);
+
+  /// Attaches a behavioral model to a macro instance.
+  void attach(InstId inst, std::shared_ptr<MacroModel> model);
+
+  /// Sets a primary input (call settle() afterwards).
+  void set_input(NetId net, bool value);
+  void set_bus(const std::vector<NetId>& bus, std::uint64_t value);
+
+  /// Propagates combinational logic to a fixpoint. Throws on oscillation
+  /// (combinational loop).
+  void settle();
+
+  /// One rising clock edge: DFFs capture, macro models fire, then logic
+  /// resettles. Counts as one cycle for activity statistics.
+  void clock_edge();
+
+  bool value(NetId net) const;
+  std::uint64_t bus_value(const std::vector<NetId>& bus) const;
+
+  /// Macro-model helpers.
+  bool pin_value(InstId inst, const std::string& pin) const;
+  void drive_pin(InstId inst, const std::string& pin, bool value);
+
+  /// Activity statistics for power analysis.
+  std::uint64_t toggles(NetId net) const;
+  std::uint64_t cycles() const { return cycles_; }
+  /// Toggle rate per cycle of a net (both edges counted).
+  double activity(NetId net) const;
+  /// Number of clock cycles in which a macro instance was "accessed"
+  /// (its model reported activity via note_macro_access).
+  std::uint64_t macro_accesses(InstId inst) const;
+  void note_macro_access(InstId inst);
+
+  const Netlist& netlist() const { return nl_; }
+
+ private:
+  void set_net(NetId net, bool value, bool count_toggle);
+  bool eval_cell(const Instance& inst) const;
+
+  const Netlist& nl_;
+  std::map<std::string, tech::CellFunc> func_by_cell_;
+  std::vector<bool> values_;
+  std::vector<bool> ff_state_;  // per instance (DFF/DFFE)
+  std::vector<std::uint64_t> toggle_counts_;
+  std::map<InstId, std::shared_ptr<MacroModel>> macros_;
+  std::map<InstId, std::uint64_t> macro_access_counts_;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace limsynth::netlist

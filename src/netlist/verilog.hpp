@@ -1,0 +1,27 @@
+// Structural Verilog emission.
+//
+// The paper's flow describes smart memories in Verilog (Fig. 3) and hands
+// gate-level netlists between tools. This writer emits the elaborated /
+// synthesized netlist as structural Verilog-2001 so designs built with the
+// generators can be inspected, diffed, or taken to an external flow; the
+// reader parses the same subset back for round-tripping.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace limsynth::netlist {
+
+/// Emits `nl` as a single structural module. Net names are sanitized to
+/// Verilog identifiers (bus-index brackets become escaped identifiers).
+void write_verilog(const Netlist& nl, std::ostream& os);
+std::string to_verilog_string(const Netlist& nl);
+
+/// Parses a module previously produced by write_verilog (writer subset
+/// only: one module, primitive instances with named port connections).
+/// Throws limsynth::Error on malformed input.
+Netlist parse_verilog(const std::string& text);
+
+}  // namespace limsynth::netlist

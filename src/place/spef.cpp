@@ -1,0 +1,64 @@
+#include "place/spef.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace limsynth::place {
+
+void write_spef(const netlist::Netlist& nl, const Floorplan& fp,
+                std::ostream& os) {
+  os << "*SPEF \"limsynth lumped\"\n";
+  os << "*DESIGN " << nl.name() << "\n";
+  os << "*C_UNIT fF\n*R_UNIT OHM\n*L_UNIT um\n";
+  for (netlist::NetId net = 0; net < static_cast<netlist::NetId>(nl.nets().size());
+       ++net) {
+    const NetParasitics& p = fp.net(net);
+    if (p.wire_cap <= 0.0 && p.wire_res <= 0.0) continue;
+    os << "*D_NET " << nl.net_name(net) << ' ' << p.wire_cap * 1e15 << ' '
+       << p.wire_res << ' ' << p.length * 1e6 << "\n";
+  }
+  os << "*END\n";
+}
+
+std::string to_spef_string(const netlist::Netlist& nl, const Floorplan& fp) {
+  std::ostringstream os;
+  write_spef(nl, fp, os);
+  return os.str();
+}
+
+std::vector<NetParasitics> parse_spef(const netlist::Netlist& nl,
+                                      const std::string& text) {
+  std::vector<NetParasitics> out(nl.nets().size());
+  std::istringstream is(text);
+  std::string line;
+  bool saw_header = false, saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.rfind("*SPEF", 0) == 0) {
+      saw_header = true;
+      continue;
+    }
+    if (line.rfind("*END", 0) == 0) {
+      saw_end = true;
+      break;
+    }
+    if (line.rfind("*D_NET", 0) != 0) continue;
+    std::istringstream ls(line);
+    std::string tag, net_name;
+    double cap_ff = 0, res = 0, len_um = 0;
+    ls >> tag >> net_name >> cap_ff >> res >> len_um;
+    LIMS_CHECK_MSG(!ls.fail(), "spef parse: bad line '" << line << "'");
+    const netlist::NetId net = nl.find_net(net_name);
+    LIMS_CHECK_MSG(net != netlist::kNoNet,
+                   "spef parse: unknown net " << net_name);
+    auto& p = out[static_cast<std::size_t>(net)];
+    p.wire_cap = cap_ff * 1e-15;
+    p.wire_res = res;
+    p.length = len_um * 1e-6;
+  }
+  LIMS_CHECK_MSG(saw_header && saw_end, "spef parse: missing header or *END");
+  return out;
+}
+
+}  // namespace limsynth::place

@@ -1,0 +1,28 @@
+// SPEF-style parasitic export.
+//
+// The paper's flow feeds extracted parasitics (.spef) into PrimeTime; this
+// writer serializes the placement-extracted per-net wire RC in a
+// SPEF-inspired format so parasitics can be persisted and re-read into
+// STA/power without re-running placement.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+
+namespace limsynth::place {
+
+/// Emits per-net lumped RC (name, cap in fF, res in Ohm, length in um).
+void write_spef(const netlist::Netlist& nl, const Floorplan& fp,
+                std::ostream& os);
+std::string to_spef_string(const netlist::Netlist& nl, const Floorplan& fp);
+
+/// Parses parasitics written by write_spef back into a vector indexed by
+/// NetId (net names are resolved against `nl`). Nets absent from the file
+/// get zero parasitics. Throws limsynth::Error on malformed input.
+std::vector<NetParasitics> parse_spef(const netlist::Netlist& nl,
+                                      const std::string& text);
+
+}  // namespace limsynth::place

@@ -1,0 +1,93 @@
+#include "power/power.hpp"
+
+#include "synth/synth.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::power {
+
+namespace {
+
+using netlist::InstId;
+using netlist::Netlist;
+using netlist::NetId;
+using synth::pin_base;
+
+}  // namespace
+
+PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
+                          const netlist::Simulator& sim,
+                          const PowerOptions& opt) {
+  LIMS_CHECK_MSG(sim.cycles() > 0, "run the simulator before power analysis");
+  PowerReport rep;
+  const double f = opt.frequency;
+  const std::size_t n_nets = nl.nets().size();
+
+  // Per-net total load (wire + sink pins), as in STA.
+  std::vector<double> net_load(n_nets, 0.0);
+  for (NetId net = 0; net < static_cast<NetId>(n_nets); ++net) {
+    double pins = 0.0;
+    for (const auto& sink : nl.sinks_of(net)) {
+      const liberty::LibCell& cell = lib.cell(nl.instance(sink.inst).cell);
+      const liberty::PinModel* pin = cell.find_input(pin_base(sink.pin));
+      if (pin != nullptr) pins += pin->cap;
+    }
+    const double wire = opt.floorplan != nullptr
+                            ? opt.floorplan->net(net).wire_cap
+                            : opt.prelayout_cap_per_sink *
+                                  static_cast<double>(nl.sinks_of(net).size());
+    net_load[static_cast<std::size_t>(net)] = pins + wire;
+  }
+
+  const double cycles = static_cast<double>(sim.cycles());
+  for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (!nl.is_live(id)) continue;
+    const auto& inst = nl.instance(id);
+    const liberty::LibCell& cell = lib.cell(inst.cell);
+    rep.leakage += cell.leakage;
+
+    if (cell.is_macro) {
+      // Brick: fixed energy per accessed cycle + output-arc energy below.
+      const double access_rate =
+          static_cast<double>(sim.macro_accesses(id)) / cycles;
+      rep.macro += cell.clock_energy * access_rate * f;
+    }
+
+    // Clock pin loading (ideal clock network, vdd-rail powered):
+    // one full swing pair per cycle -> C * Vdd^2 * f.
+    for (const auto& pin : cell.inputs) {
+      if (!pin.is_clock) continue;
+      rep.clock_tree += pin.cap * opt.vdd * opt.vdd * f;
+    }
+
+    // Output switching: activity * per-transition arc energy.
+    for (const auto& c : inst.conns) {
+      if (!Netlist::is_output_pin(c.pin)) continue;
+      const double act = sim.activity(c.net);  // toggles per cycle
+      if (act <= 0.0) continue;
+      const liberty::TimingArc* arc = nullptr;
+      if (cell.sequential || cell.is_macro) {
+        arc = cell.find_arc(cell.clock_pin.empty() ? "CK" : cell.clock_pin,
+                            pin_base(c.pin));
+      } else {
+        for (const auto& in : inst.conns) {
+          if (Netlist::is_output_pin(in.pin)) continue;
+          arc = cell.find_arc(pin_base(in.pin), pin_base(c.pin));
+          if (arc != nullptr) break;
+        }
+      }
+      if (arc == nullptr) continue;
+      const double e_per_toggle = arc->energy.lookup(
+          opt.default_slew, net_load[static_cast<std::size_t>(c.net)]);
+      const double watts = act * e_per_toggle * f;
+      if (cell.is_macro) rep.macro += watts;
+      else if (cell.sequential) rep.sequential += watts;
+      else rep.combinational += watts;
+    }
+  }
+
+  rep.energy_per_cycle = rep.total() / f;
+  return rep;
+}
+
+}  // namespace limsynth::power

@@ -1,0 +1,45 @@
+// Activity-based power analysis.
+//
+// Mirrors the paper's flow: switching activity comes from gate-level
+// simulation (netlist::Simulator, the Modelsim/.saif substitute), wire
+// capacitance from placement (.spef substitute), and per-transition
+// energies from the NLDM energy tables — then PrimeTime-style summation
+// gives dynamic + leakage power at a target frequency.
+#pragma once
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
+#include "place/place.hpp"
+
+namespace limsynth::power {
+
+struct PowerOptions {
+  double frequency = 500e6;  // Hz
+  double vdd = 1.2;          // V, for clock-pin CV^2f
+  const place::Floorplan* floorplan = nullptr;
+  double prelayout_cap_per_sink = 1.0e-15;  // F when no floorplan
+  double default_slew = 30e-12;             // s for LUT lookups
+};
+
+struct PowerReport {
+  double combinational = 0.0;  // W, gate internal + net switching
+  double sequential = 0.0;     // W, flop internal + Q nets
+  double clock_tree = 0.0;     // W, clock pin loads
+  double macro = 0.0;          // W, brick access + clock energy
+  double leakage = 0.0;        // W
+  double total() const {
+    return combinational + sequential + clock_tree + macro + leakage;
+  }
+  /// Energy per clock cycle (J) at the analysis frequency.
+  double energy_per_cycle = 0.0;
+};
+
+/// Computes power from recorded activity. `sim` must have been run for at
+/// least one cycle over the same netlist.
+PowerReport analyze_power(const netlist::Netlist& nl,
+                          const liberty::Library& lib,
+                          const netlist::Simulator& sim,
+                          const PowerOptions& options = {});
+
+}  // namespace limsynth::power

@@ -1,0 +1,42 @@
+// Sub-block decomposition (Zhu et al. [12], used by the paper's chips):
+// row indices are 10 bits, so A is split into 1024-row blocks, and B is
+// processed in stripes of N=32 columns; each (row block, column stripe)
+// task produces a 1024 x 32 tile of C. Access patterns become predictable,
+// which is what lets the 3D-stacked DRAM stream blocks at full row-buffer
+// bandwidth.
+#pragma once
+
+#include <vector>
+
+#include "spgemm/sparse.hpp"
+
+namespace limsynth::spgemm {
+
+struct BlockingConfig {
+  int row_block = 1024;  // rows of A per block (10-bit CAM index)
+  int col_stripe = 32;   // columns of B per stripe (horizontal CAM count)
+};
+
+struct BlockTask {
+  int row_block_index = 0;  // which 1024-row slice of A / C
+  int col_stripe_index = 0; // which 32-column slice of B / C
+  int row_begin = 0, row_end = 0;
+  int col_begin = 0, col_end = 0;
+};
+
+/// Enumerates all (row block x column stripe) tasks for C = A * B.
+std::vector<BlockTask> make_block_tasks(const SparseMatrix& a,
+                                        const SparseMatrix& b,
+                                        const BlockingConfig& config);
+
+/// Nonzeros of A restricted to a row block, as per-column slices
+/// (row indices rebased to the block: 0..row_block).
+struct BlockedColumns {
+  int row_begin = 0;
+  /// entries[k] = entries of A(:, k) with row in [row_begin, row_end),
+  /// rebased; only columns listed in `nonempty` have entries.
+  std::vector<std::vector<Entry>> entries;
+};
+BlockedColumns slice_rows(const SparseMatrix& a, int row_begin, int row_end);
+
+}  // namespace limsynth::spgemm

@@ -1,0 +1,123 @@
+#include "spgemm/generate.hpp"
+
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace limsynth::spgemm {
+
+SparseMatrix gen_erdos_renyi(int n, std::int64_t edges, Rng& rng) {
+  LIMS_CHECK(n > 0 && edges >= 0);
+  std::vector<std::tuple<int, int, double>> trips;
+  trips.reserve(static_cast<std::size_t>(edges));
+  for (std::int64_t e = 0; e < edges; ++e) {
+    const int r = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    const int c = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+    trips.emplace_back(r, c, rng.uniform(0.5, 1.5));
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+SparseMatrix gen_rmat(int scale, std::int64_t edges, double a, double b,
+                      double c, Rng& rng) {
+  LIMS_CHECK(scale >= 1 && scale <= 24);
+  LIMS_CHECK(a + b + c < 1.0);
+  const int n = 1 << scale;
+  std::vector<std::tuple<int, int, double>> trips;
+  trips.reserve(static_cast<std::size_t>(edges));
+  for (std::int64_t e = 0; e < edges; ++e) {
+    int r = 0, col = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double u = rng.uniform();
+      int quad;
+      if (u < a) quad = 0;
+      else if (u < a + b) quad = 1;
+      else if (u < a + b + c) quad = 2;
+      else quad = 3;
+      r = (r << 1) | (quad >> 1);
+      col = (col << 1) | (quad & 1);
+    }
+    trips.emplace_back(r, col, rng.uniform(0.5, 1.5));
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+SparseMatrix gen_banded(int n, int band, int nnz_per_col, Rng& rng) {
+  LIMS_CHECK(n > 0 && band >= 0 && nnz_per_col >= 1);
+  std::vector<std::tuple<int, int, double>> trips;
+  for (int c = 0; c < n; ++c) {
+    trips.emplace_back(c, c, rng.uniform(0.5, 1.5));  // diagonal
+    for (int k = 1; k < nnz_per_col; ++k) {
+      const int offset = static_cast<int>(rng.range(-band, band));
+      const int r = std::min(n - 1, std::max(0, c + offset));
+      trips.emplace_back(r, c, rng.uniform(0.5, 1.5));
+    }
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+SparseMatrix gen_block_diagonal(int n, int block, Rng& rng) {
+  LIMS_CHECK(n > 0 && block > 0 && n % block == 0);
+  std::vector<std::tuple<int, int, double>> trips;
+  for (int base = 0; base < n; base += block) {
+    for (int r = 0; r < block; ++r)
+      for (int c = 0; c < block; ++c)
+        if (rng.chance(0.7))
+          trips.emplace_back(base + r, base + c, rng.uniform(0.5, 1.5));
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+SparseMatrix gen_contraction(int n, int group, int supernodes,
+                             int nnz_per_col, Rng& rng) {
+  LIMS_CHECK(n > 0 && group > 0 && n % group == 0);
+  LIMS_CHECK(supernodes >= 1 && supernodes <= group);
+  std::vector<std::tuple<int, int, double>> trips;
+  for (int base = 0; base < n; base += group) {
+    // Pick this group's supernode rows within its own range so products
+    // stay confined to the group.
+    std::vector<int> supers;
+    supers.reserve(static_cast<std::size_t>(supernodes));
+    for (int s = 0; s < supernodes; ++s)
+      supers.push_back(base + static_cast<int>(rng.below(
+                                  static_cast<std::uint64_t>(group))));
+    for (int c = base; c < base + group; ++c) {
+      for (int k = 0; k < nnz_per_col; ++k) {
+        const int r = supers[rng.below(supers.size())];
+        trips.emplace_back(r, c, rng.uniform(0.5, 1.5));
+      }
+    }
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+std::vector<Benchmark> uf_analog_suite(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Benchmark> suite;
+
+  // Merge-light: near-diagonal, tiny columns. The LiM chip's 32-way column
+  // parallelism is mostly idle and both chips are traffic-bound.
+  suite.push_back({"tridiag_syn", "structural meshes (e.g. 1D FEM chains)",
+                   gen_banded(8192, 1, 3, rng)});
+  suite.push_back({"road_syn", "road networks (e.g. roadNet-*)",
+                   gen_banded(8192, 12, 4, rng)});
+  suite.push_back({"p2p_syn", "sparse P2P graphs (e.g. p2p-Gnutella)",
+                   gen_erdos_renyi(8192, 3 * 8192, rng)});
+  suite.push_back({"er_mid_syn", "uniform random graphs",
+                   gen_erdos_renyi(4096, 10 * 4096, rng)});
+  suite.push_back({"citation_syn", "citation graphs (e.g. ca-HepTh)",
+                   gen_rmat(13, 6 * 8192, 0.45, 0.22, 0.22, rng)});
+  suite.push_back({"social_syn", "social/voting graphs (e.g. wiki-Vote)",
+                   gen_rmat(12, 26 * 4096, 0.55, 0.18, 0.18, rng)});
+  suite.push_back({"web_syn", "web/host graphs (heavy-tailed columns)",
+                   gen_rmat(12, 40 * 4096, 0.60, 0.17, 0.12, rng)});
+  // Merge-heavy: wide columns dominate; the FIFO re-sorting of the
+  // baseline explodes while CAM matching stays one op per element.
+  suite.push_back({"dense_blk_syn", "near-dense kernels (spectral blocks)",
+                   gen_block_diagonal(2048, 64, rng)});
+  suite.push_back({"contract_syn", "graph contraction / aggregation [4]",
+                   gen_contraction(4096, 256, 16, 48, rng)});
+  return suite;
+}
+
+}  // namespace limsynth::spgemm

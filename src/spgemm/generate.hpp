@@ -1,0 +1,51 @@
+// Sparse-matrix generators and the UF-analog benchmark suite.
+//
+// The paper back-annotates its silicon measurements onto University of
+// Florida sparse-matrix-collection benchmarks, which we cannot ship.
+// The suite below generates synthetic analogs with matched size, nonzero
+// count, and degree structure (Erdős–Rényi for uniform graphs, R-MAT for
+// power-law graphs, banded for meshes/roads) — the properties that drive
+// SpGEMM behaviour. See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spgemm/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace limsynth::spgemm {
+
+/// Erdős–Rényi: n x n with ~edges nonzeros uniformly placed.
+SparseMatrix gen_erdos_renyi(int n, std::int64_t edges, Rng& rng);
+
+/// R-MAT (recursive matrix) power-law generator.
+SparseMatrix gen_rmat(int scale, std::int64_t edges, double a, double b,
+                      double c, Rng& rng);
+
+/// Banded matrix: each column has nonzeros within +-bandwidth of the
+/// diagonal (mesh / road-network analog).
+SparseMatrix gen_banded(int n, int band, int nnz_per_col, Rng& rng);
+
+/// Block-dense: n x n with dense blocks of size `block` on the diagonal.
+SparseMatrix gen_block_diagonal(int n, int block, Rng& rng);
+
+/// Contraction-structured matrix: columns are grouped; every column in a
+/// group draws its `nnz_per_col` rows from that group's small set of
+/// `supernodes` rows (graph-contraction / aggregation pattern [4]). Column
+/// results of A*A then stay within the supernode set — wide merges with
+/// few distinct output rows, the CAM architecture's best case.
+SparseMatrix gen_contraction(int n, int group, int supernodes,
+                             int nnz_per_col, Rng& rng);
+
+struct Benchmark {
+  std::string name;      // synthetic analog tag
+  std::string models;    // which UF matrix family it stands in for
+  SparseMatrix matrix;   // C = A * A is computed on it
+};
+
+/// The Fig. 6 benchmark suite, ordered roughly from merge-light (small
+/// LiM advantage) to merge-heavy (large LiM advantage).
+std::vector<Benchmark> uf_analog_suite(std::uint64_t seed = 7);
+
+}  // namespace limsynth::spgemm

@@ -1,0 +1,36 @@
+#include "spgemm/reference.hpp"
+
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace limsynth::spgemm {
+
+SparseMatrix multiply_reference(const SparseMatrix& a, const SparseMatrix& b) {
+  LIMS_CHECK(a.cols() == b.rows());
+  std::vector<double> acc(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<int> marker(static_cast<std::size_t>(a.rows()), -1);
+  std::vector<std::tuple<int, int, double>> trips;
+
+  for (int j = 0; j < b.cols(); ++j) {
+    std::vector<int> touched;
+    for (int kb = b.col_begin(j); kb < b.col_end(j); ++kb) {
+      const int k = b.row_index(kb);
+      const double bv = b.value(kb);
+      for (int ka = a.col_begin(k); ka < a.col_end(k); ++ka) {
+        const int i = a.row_index(ka);
+        if (marker[static_cast<std::size_t>(i)] != j) {
+          marker[static_cast<std::size_t>(i)] = j;
+          acc[static_cast<std::size_t>(i)] = 0.0;
+          touched.push_back(i);
+        }
+        acc[static_cast<std::size_t>(i)] += a.value(ka) * bv;
+      }
+    }
+    for (int i : touched)
+      trips.emplace_back(i, j, acc[static_cast<std::size_t>(i)]);
+  }
+  return SparseMatrix::from_triplets(a.rows(), b.cols(), std::move(trips));
+}
+
+}  // namespace limsynth::spgemm

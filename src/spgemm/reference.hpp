@@ -1,0 +1,13 @@
+// Reference SpGEMM (Gustavson's column-wise algorithm with a dense
+// sparse-accumulator), used as the functional golden model both
+// accelerator simulators must match.
+#pragma once
+
+#include "spgemm/sparse.hpp"
+
+namespace limsynth::spgemm {
+
+/// C = A * B.
+SparseMatrix multiply_reference(const SparseMatrix& a, const SparseMatrix& b);
+
+}  // namespace limsynth::spgemm

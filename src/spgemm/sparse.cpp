@@ -1,0 +1,105 @@
+#include "spgemm/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace limsynth::spgemm {
+
+SparseMatrix::SparseMatrix(int rows, int cols) : rows_(rows), cols_(cols) {
+  LIMS_CHECK(rows >= 0 && cols >= 0);
+  col_ptr_.assign(static_cast<std::size_t>(cols) + 1, 0);
+}
+
+SparseMatrix SparseMatrix::from_triplets(
+    int rows, int cols, std::vector<std::tuple<int, int, double>> triplets) {
+  for (const auto& [r, c, v] : triplets) {
+    LIMS_CHECK_MSG(r >= 0 && r < rows && c >= 0 && c < cols,
+                   "triplet (" << r << "," << c << ") out of bounds");
+    (void)v;
+  }
+  // Sort by (col, row) and sum duplicates.
+  std::sort(triplets.begin(), triplets.end(), [](const auto& a, const auto& b) {
+    return std::tie(std::get<1>(a), std::get<0>(a)) <
+           std::tie(std::get<1>(b), std::get<0>(b));
+  });
+  SparseMatrix m(rows, cols);
+  m.row_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::size_t i = 0;
+  for (int col = 0; col < cols; ++col) {
+    m.col_ptr_[static_cast<std::size_t>(col)] =
+        static_cast<int>(m.row_idx_.size());
+    while (i < triplets.size() && std::get<1>(triplets[i]) == col) {
+      const int row = std::get<0>(triplets[i]);
+      double v = 0.0;
+      while (i < triplets.size() && std::get<1>(triplets[i]) == col &&
+             std::get<0>(triplets[i]) == row) {
+        v += std::get<2>(triplets[i]);
+        ++i;
+      }
+      m.row_idx_.push_back(row);
+      m.values_.push_back(v);
+    }
+  }
+  m.col_ptr_[static_cast<std::size_t>(cols)] =
+      static_cast<int>(m.row_idx_.size());
+  return m;
+}
+
+std::vector<Entry> SparseMatrix::column(int col) const {
+  LIMS_CHECK(col >= 0 && col < cols_);
+  std::vector<Entry> out;
+  out.reserve(static_cast<std::size_t>(col_nnz(col)));
+  for (int k = col_begin(col); k < col_end(col); ++k)
+    out.push_back({row_index(k), value(k)});
+  return out;
+}
+
+double SparseMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+double SparseMatrix::avg_col_nnz() const {
+  if (cols_ == 0) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(cols_);
+}
+
+int SparseMatrix::max_col_nnz() const {
+  int best = 0;
+  for (int c = 0; c < cols_; ++c) best = std::max(best, col_nnz(c));
+  return best;
+}
+
+bool SparseMatrix::approx_equal(const SparseMatrix& other,
+                                double rel_tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_ || nnz() != other.nnz())
+    return false;
+  if (col_ptr_ != other.col_ptr_ || row_idx_ != other.row_idx_) return false;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double a = values_[i], b = other.values_[i];
+    const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+    if (std::fabs(a - b) > rel_tol * scale) return false;
+  }
+  return true;
+}
+
+std::int64_t SparseMatrix::flops_with(const SparseMatrix& other) const {
+  LIMS_CHECK(cols_ == other.rows_);
+  // For C = this * other: each nonzero other(k, j) multiplies column k of
+  // this, so flops = sum over nonzeros of |this(:, k)|.
+  std::vector<std::int64_t> col_sizes(static_cast<std::size_t>(cols_));
+  for (int c = 0; c < cols_; ++c)
+    col_sizes[static_cast<std::size_t>(c)] = col_nnz(c);
+  std::int64_t total = 0;
+  for (int j = 0; j < other.cols_; ++j)
+    for (int k = other.col_begin(j); k < other.col_end(j); ++k)
+      total += col_sizes[static_cast<std::size_t>(other.row_index(k))];
+  return total;
+}
+
+}  // namespace limsynth::spgemm

@@ -1,0 +1,64 @@
+// Graph-based static timing analysis — the PrimeTime substitute.
+//
+// Single rising-edge clock domain, NLDM LUT lookups for every arc,
+// slew propagation, lumped-RC wire delay from placement parasitics.
+// Sequential cells and brick macros launch paths through their CK->Q /
+// CK->DO arcs and capture at their D-pin setup constraints, so the
+// minimum cycle (and hence f_max, the quantity Fig. 4b and Section 5
+// report) falls out of one arrival propagation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liberty/library.hpp"
+#include "netlist/netlist.hpp"
+#include "place/place.hpp"
+
+namespace limsynth::sta {
+
+struct StaOptions {
+  double input_slew = 20e-12;       // s, slew at primary inputs
+  double input_arrival = 0.0;       // s, latest arrival at primary inputs
+  /// Earliest arrival at primary inputs (min input delay, for hold).
+  double input_min_arrival = 30e-12;
+  double output_load = 5e-15;       // F on primary outputs
+  double clock_uncertainty = 15e-12;  // s, skew + jitter margin
+  /// Optional placement parasitics; nullptr = pre-placement wire model
+  /// (fanout-proportional).
+  const place::Floorplan* floorplan = nullptr;
+  double prelayout_cap_per_sink = 1.0e-15;  // F, used when no floorplan
+};
+
+struct PathPoint {
+  std::string where;   // "inst/pin" or "PI net" description
+  double arrival = 0.0;
+  double slew = 0.0;
+};
+
+struct StaResult {
+  /// Minimum feasible clock period (worst endpoint arrival + setup +
+  /// uncertainty); f_max = 1 / min_period.
+  double min_period = 0.0;
+  double fmax() const { return min_period > 0 ? 1.0 / min_period : 0.0; }
+
+  /// Worst endpoint description and its path back to the launch point.
+  std::string critical_endpoint;
+  std::vector<PathPoint> critical_path;
+
+  /// Hold (min-delay) analysis: worst slack of earliest data arrival vs
+  /// the endpoint's hold requirement. Positive = no race.
+  double worst_hold_slack = 0.0;
+  std::string hold_endpoint;
+
+  /// Per-net worst arrival (diagnostic).
+  std::vector<double> net_arrival;
+  std::vector<double> net_slew;
+};
+
+/// Runs STA. Throws when the netlist references cells missing from `lib`
+/// or contains a combinational cycle.
+StaResult run_sta(const netlist::Netlist& nl, const liberty::Library& lib,
+                  const StaOptions& options = {});
+
+}  // namespace limsynth::sta

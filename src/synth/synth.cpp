@@ -1,0 +1,194 @@
+#include "synth/synth.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/log.hpp"
+
+namespace limsynth::synth {
+
+std::string cell_stem(const std::string& cell) {
+  const auto pos = cell.rfind("_X");
+  return pos == std::string::npos ? cell : cell.substr(0, pos);
+}
+
+std::string pin_base(const std::string& pin) {
+  const auto pos = pin.find('[');
+  return pos == std::string::npos ? pin : pin.substr(0, pos);
+}
+
+namespace {
+
+using netlist::InstId;
+using netlist::Netlist;
+using netlist::NetId;
+
+/// Input pin capacitance of a sink pin, resolved through the library.
+double pin_cap(const liberty::Library& lib, const Netlist& nl,
+               const Netlist::PinRef& sink) {
+  const auto& inst = nl.instance(sink.inst);
+  const liberty::LibCell& cell = lib.cell(inst.cell);
+  const liberty::PinModel* pin = cell.find_input(pin_base(sink.pin));
+  LIMS_CHECK_MSG(pin != nullptr, "cell " << inst.cell << " has no input pin "
+                                         << sink.pin);
+  return pin->cap;
+}
+
+int sweep_dead(Netlist& nl, const liberty::Library& lib) {
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
+      const auto id = static_cast<InstId>(i);
+      if (!nl.is_live(id)) continue;
+      const auto& inst = nl.instance(id);
+      if (lib.cell(inst.cell).is_macro) continue;
+      bool all_outputs_dead = true;
+      bool has_output = false;
+      for (const auto& c : inst.conns) {
+        if (!Netlist::is_output_pin(c.pin)) continue;
+        has_output = true;
+        if (!nl.sinks_of(c.net).empty() || nl.is_primary_output(c.net))
+          all_outputs_dead = false;
+      }
+      if (has_output && all_outputs_dead) {
+        nl.remove_instance(id);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+int buffer_fanout(Netlist& nl, const liberty::Library& lib, int max_fanout) {
+  int added = 0;
+  // Collect the work first: editing invalidates the connectivity index.
+  struct Job {
+    NetId net;
+    std::vector<Netlist::PinRef> sinks;
+  };
+  std::vector<Job> jobs;
+  for (NetId net = 0; net < static_cast<NetId>(nl.nets().size()); ++net) {
+    if (net == nl.clock()) continue;  // ideal clock tree
+    const auto& sinks = nl.sinks_of(net);
+    if (static_cast<int>(sinks.size()) <= max_fanout) continue;
+    // Macro control pins (DWL etc.) are driven by dedicated structures the
+    // generators already build; buffer them like any other net.
+    jobs.push_back({net, sinks});
+  }
+  int uid = 0;
+  for (const auto& job : jobs) {
+    // Split sinks into groups; insert one buffer per group.
+    const auto groups =
+        (job.sinks.size() + static_cast<std::size_t>(max_fanout) - 1) /
+        static_cast<std::size_t>(max_fanout);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const NetId buf_out = nl.make_net();
+      nl.add_instance(
+          "fobuf_" + std::to_string(uid++),
+          "BUF_X4", {{"A", job.net}, {"Y", buf_out}});
+      ++added;
+      const std::size_t lo = g * static_cast<std::size_t>(max_fanout);
+      const std::size_t hi =
+          std::min(job.sinks.size(), lo + static_cast<std::size_t>(max_fanout));
+      for (std::size_t s = lo; s < hi; ++s) {
+        auto& inst = nl.instance(job.sinks[s].inst);
+        for (auto& c : inst.conns) {
+          if (c.pin == job.sinks[s].pin && c.net == job.net) c.net = buf_out;
+        }
+      }
+    }
+    nl.touch();
+  }
+  (void)lib;
+  return added;
+}
+
+int size_gates(Netlist& nl, const liberty::Library& lib,
+               const tech::StdCellLib& cells, const SynthOptions& opt) {
+  int resized = 0;
+  std::map<std::string, tech::CellFunc> func_by_stem;
+  for (const auto& c : cells.cells()) func_by_stem[cell_stem(c.name)] = c.func;
+
+  for (int pass = 0; pass < opt.sizing_passes; ++pass) {
+    int pass_resized = 0;
+    for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
+      const auto id = static_cast<InstId>(i);
+      if (!nl.is_live(id)) continue;
+      auto& inst = nl.instance(id);
+      const auto fit = func_by_stem.find(cell_stem(inst.cell));
+      if (fit == func_by_stem.end()) continue;  // macro: leave alone
+      const tech::StdCell& current = cells.by_name(inst.cell);
+
+      // Output load: sink pin caps + wire (extracted post-placement, or a
+      // per-sink estimate before).
+      double load = 0.0;
+      int fanout = 0;
+      for (const auto& c : inst.conns) {
+        if (!Netlist::is_output_pin(c.pin)) continue;
+        for (const auto& sink : nl.sinks_of(c.net)) {
+          load += pin_cap(lib, nl, sink);
+          ++fanout;
+        }
+        if (nl.is_primary_output(c.net)) load += 10e-15;  // pad driver
+        if (opt.net_wire_caps != nullptr)
+          load += opt.net_wire_caps->at(static_cast<std::size_t>(c.net));
+      }
+      if (opt.net_wire_caps == nullptr)
+        load += fanout * opt.wire_cap_per_sink;
+      if (load <= 0.0) continue;
+
+      // Pick the drive so the stage electrical effort is ~effort_per_stage.
+      const double cin_needed =
+          load / opt.effort_per_stage;  // want cin >= load / f
+      const double drive_needed =
+          cin_needed / (std::max(current.logical_effort, 0.5) *
+                        cells.process().c_unit());
+      const tech::StdCell& chosen = cells.pick(fit->second, drive_needed);
+      if (chosen.name != inst.cell) {
+        inst.cell = chosen.name;
+        ++pass_resized;
+      }
+    }
+    nl.touch();
+    resized += pass_resized;
+    if (pass_resized == 0) break;
+  }
+  return resized;
+}
+
+}  // namespace
+
+int resize_gates(netlist::Netlist& nl, const liberty::Library& lib,
+                 const tech::StdCellLib& cells, const SynthOptions& options) {
+  return size_gates(nl, lib, cells, options);
+}
+
+SynthStats synthesize(netlist::Netlist& nl, const liberty::Library& lib,
+                      const tech::StdCellLib& cells,
+                      const SynthOptions& options) {
+  SynthStats stats;
+  stats.dead_removed = sweep_dead(nl, lib);
+  stats.buffers_added = buffer_fanout(nl, lib, options.max_fanout);
+  stats.resized = size_gates(nl, lib, cells, options);
+
+  for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (!nl.is_live(id)) continue;
+    const liberty::LibCell& cell = lib.cell(nl.instance(id).cell);
+    if (cell.is_macro) {
+      stats.macro_area += cell.area;
+    } else {
+      stats.cell_area += cell.area;
+    }
+  }
+  LIMS_INFO << "synth " << nl.name() << ": " << nl.live_instance_count()
+            << " instances, dead=" << stats.dead_removed
+            << " buffers=" << stats.buffers_added
+            << " resized=" << stats.resized;
+  return stats;
+}
+
+}  // namespace limsynth::synth

@@ -1,0 +1,86 @@
+#include "tech/bitcell.hpp"
+
+#include "util/error.hpp"
+
+namespace limsynth::tech {
+
+const char* bitcell_kind_name(BitcellKind kind) {
+  switch (kind) {
+    case BitcellKind::kSram6T: return "sram6t";
+    case BitcellKind::kSram8T: return "sram8t";
+    case BitcellKind::kCamNor10T: return "cam10t";
+    case BitcellKind::kEdram1T1C: return "edram";
+  }
+  return "?";
+}
+
+Bitcell make_bitcell(BitcellKind kind, const Process& process) {
+  // Common 65nm-class row pitch for all bitcells (pitch-match requirement).
+  constexpr double kCellHeight = 0.52e-6;
+
+  Bitcell b;
+  b.kind = kind;
+  b.name = bitcell_kind_name(kind);
+  b.height = kCellHeight;
+
+  // Device-width-derived loads. The read stack of the 8T cell is two series
+  // NMOS of ~0.3um; CAM match stack is wider for matchline speed.
+  const double c_g = process.c_gate;
+  const double c_d = process.c_diff;
+  const double leak_unit = process.i_leak * process.vdd;
+
+  switch (kind) {
+    case BitcellKind::kSram6T:
+      b.width = 1.10e-6;  // ~0.57 um^2, typical published 65nm 6T
+      b.c_bitline = c_d * 0.30e-6 + process.c_wire * kCellHeight;
+      b.c_wordline = 2.0 * c_g * 0.22e-6 + process.c_wire * b.width;
+      b.r_read = 2.0 * process.r_nmos / 0.30e-6;  // access + driver in series
+      b.r_write = process.r_nmos / 0.22e-6;
+      b.leakage = leak_unit * 1.4e-6;
+      b.transistors = 6;
+      b.has_read_port = false;
+      break;
+    case BitcellKind::kSram8T:
+      b.width = 1.54e-6;  // ~0.80 um^2, 1R1W 8T
+      b.c_bitline = c_d * 0.34e-6 + process.c_wire * kCellHeight;
+      b.c_wordline = 2.0 * c_g * 0.24e-6 + process.c_wire * b.width;
+      b.r_read = 2.0 * process.r_nmos / 0.34e-6;  // 2-stack read port
+      b.r_write = process.r_nmos / 0.22e-6;
+      b.leakage = leak_unit * 1.8e-6;
+      b.transistors = 8;
+      b.has_read_port = true;
+      break;
+    case BitcellKind::kCamNor10T:
+      // Paper §5: CAM brick area is 83% bigger than the SRAM brick for the
+      // same 16x10 array; the cell drives most of that ratio.
+      b.width = 2.88e-6;  // ~1.50 um^2 NOR-style CAM cell
+      // The read port shares diffusion with the match stack: heavier RBL
+      // and a weaker stack than the plain 8T (paper: CAM brick ~26% slower
+      // for the same array size).
+      b.c_bitline = c_d * 0.62e-6 + process.c_wire * kCellHeight;
+      b.c_wordline = 2.0 * c_g * 0.24e-6 + process.c_wire * b.width;
+      b.c_matchline = c_d * 0.5e-6 + process.c_wire * b.width;
+      b.c_searchline = c_g * 1.0e-6 + process.c_wire * kCellHeight;
+      b.r_read = 2.0 * process.r_nmos / 0.30e-6;
+      b.r_write = process.r_nmos / 0.22e-6;
+      b.r_match = 2.0 * process.r_nmos / 0.50e-6;
+      b.leakage = leak_unit * 2.6e-6;
+      b.transistors = 10;
+      b.has_read_port = true;
+      break;
+    case BitcellKind::kEdram1T1C:
+      b.width = 0.62e-6;  // dense gain cell
+      b.c_bitline = c_d * 0.20e-6 + process.c_wire * kCellHeight;
+      b.c_wordline = c_g * 0.20e-6 + process.c_wire * b.width;
+      b.r_read = 3.0 * process.r_nmos / 0.20e-6;
+      b.r_write = process.r_nmos / 0.20e-6;
+      b.leakage = leak_unit * 0.3e-6;
+      b.transistors = 2;
+      b.has_read_port = true;
+      break;
+  }
+  LIMS_CHECK(b.width > 0 && b.c_bitline > 0);
+  return b;
+}
+
+}  // namespace limsynth::tech

@@ -1,0 +1,58 @@
+// Bitcell descriptors.
+//
+// A memory brick is tiled from one bitcell type. The brick compiler only
+// needs a bitcell's electrical footprint (bitline/wordline/matchline load,
+// read-stack strength) and geometry (pitch); any cell with these properties
+// can form a brick — the paper lists 6T, 8T, CAM, eDRAM and multi-ported
+// cells. Values are 65nm-class, calibrated per DESIGN.md §6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tech/process.hpp"
+
+namespace limsynth::tech {
+
+enum class BitcellKind : std::uint8_t {
+  kSram6T,    // single-port, differential read
+  kSram8T,    // 1R1W: decoupled single-ended read port
+  kCamNor10T, // 8T storage + NOR match stack on a matchline
+  kEdram1T1C, // gain-cell style embedded DRAM (refresh required)
+};
+
+const char* bitcell_kind_name(BitcellKind kind);
+
+struct Bitcell {
+  BitcellKind kind = BitcellKind::kSram8T;
+  std::string name;
+
+  // Geometry. Wordlines run along `width` (one column per bit), bitlines
+  // along `height` (one row per word). All bricks of a design must share
+  // `height` so leaf cells pitch-match (checked by the layout module).
+  double width = 0.0;   // m
+  double height = 0.0;  // m
+
+  // Per-cell loads contributed to the shared wires.
+  double c_bitline = 0.0;   // F on (read) bitline per cell
+  double c_wordline = 0.0;  // F on wordline per cell
+  double c_matchline = 0.0; // F on matchline per cell (CAM only)
+  double c_searchline = 0.0;// F on search line per cell (CAM only)
+
+  // Drive strengths.
+  double r_read = 0.0;   // Ohm, read pull-down stack
+  double r_write = 0.0;  // Ohm, required write-driver strength reference
+  double r_match = 0.0;  // Ohm, matchline pull-down per mismatching cell
+
+  double leakage = 0.0;  // W per cell
+  int transistors = 0;
+  bool has_read_port = false;  // decoupled read (8T/CAM): non-destructive
+
+  double area() const { return width * height; }
+};
+
+/// Calibrated 65nm bitcells. All share the same cell height (row pitch)
+/// so SRAM and CAM bricks can abut in one LiM block.
+Bitcell make_bitcell(BitcellKind kind, const Process& process);
+
+}  // namespace limsynth::tech

@@ -1,0 +1,31 @@
+#include "tech/pattern.hpp"
+
+namespace limsynth::tech {
+
+const char* pattern_class_name(PatternClass pc) {
+  switch (pc) {
+    case PatternClass::kBitcell: return "bitcell";
+    case PatternClass::kLogicRegular: return "logic-regular";
+    case PatternClass::kLogicLegacy: return "logic-legacy";
+    case PatternClass::kPeriphery: return "periphery";
+    case PatternClass::kFill: return "fill";
+  }
+  return "?";
+}
+
+bool patterns_compatible(PatternClass a, PatternClass b) {
+  // Fill abuts anything; regular logic / periphery / bitcells are mutually
+  // compatible by construction (common pattern set). Legacy 2D logic next
+  // to a bitcell array creates hotspots (paper Fig. 1b); legacy logic next
+  // to pitch-matched periphery is equally illegal because the periphery
+  // shares the bitcell pattern set.
+  auto legacy = [](PatternClass p) { return p == PatternClass::kLogicLegacy; };
+  auto memory_like = [](PatternClass p) {
+    return p == PatternClass::kBitcell || p == PatternClass::kPeriphery;
+  };
+  if ((legacy(a) && memory_like(b)) || (legacy(b) && memory_like(a)))
+    return false;
+  return true;
+}
+
+}  // namespace limsynth::tech

@@ -1,0 +1,42 @@
+// Restrictive-patterning model (paper §2.1).
+//
+// In sub-20nm nodes, layouts must be assembled from a small set of
+// pre-characterized lithography patterns; the paper's key enabler is that
+// logic built from the same pattern constructs as bitcells can abut memory
+// without lithographic hotspots. We model this as pattern classes with an
+// explicit pairwise abutment-compatibility relation, and the layout module
+// checks every generated brick/block against it. A "conventional" logic
+// class is included to reproduce the Fig. 1 observation that unrestricted
+// standard cells are NOT printable next to bitcells.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace limsynth::tech {
+
+enum class PatternClass : std::uint8_t {
+  kBitcell,        // SRAM/CAM bitcell array patterns
+  kLogicRegular,   // pattern-construct-compliant logic (this methodology)
+  kLogicLegacy,    // conventional 2D layout logic (pre-restrictive style)
+  kPeriphery,      // pitch-matched brick leaf cells (WL driver, sense, ctrl)
+  kFill,           // dummy fill / decap
+};
+
+const char* pattern_class_name(PatternClass pc);
+
+/// True when two pattern classes may abut without creating a lithographic
+/// hotspot. Symmetric. kLogicLegacy next to kBitcell is the one forbidden
+/// combination (Fig. 1b of the paper).
+bool patterns_compatible(PatternClass a, PatternClass b);
+
+/// Result of a pattern legality scan.
+struct PatternViolation {
+  PatternClass a = PatternClass::kFill;
+  PatternClass b = PatternClass::kFill;
+  // Index of the offending abutment in the order the checker visited it;
+  // the layout checker fills in cell names.
+  std::string where;
+};
+
+}  // namespace limsynth::tech

@@ -1,0 +1,65 @@
+#include "tech/process.hpp"
+
+#include "util/error.hpp"
+
+namespace limsynth::tech {
+
+const char* corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::kTypical: return "TT";
+    case Corner::kFast: return "FF";
+    case Corner::kSlow: return "SS";
+  }
+  return "??";
+}
+
+Process Process::at_corner(Corner target) const {
+  Process p = *this;
+  p.corner = target;
+  switch (target) {
+    case Corner::kTypical:
+      break;
+    case Corner::kFast:
+      p.r_nmos *= 0.88;
+      p.r_pmos *= 0.88;
+      p.c_gate *= 0.96;
+      p.c_diff *= 0.96;
+      p.vdd *= 1.08;
+      p.i_leak *= 3.0;
+      break;
+    case Corner::kSlow:
+      p.r_nmos *= 1.14;
+      p.r_pmos *= 1.14;
+      p.c_gate *= 1.04;
+      p.c_diff *= 1.04;
+      p.vdd *= 0.92;
+      p.i_leak *= 0.4;
+      break;
+  }
+  return p;
+}
+
+Process Process::monte_carlo_chip(Rng& rng) const {
+  Process p = *this;
+  // Lot-level shift (shared by both device types) plus chip-level spread.
+  const double lot_r = rng.gaussian(1.0, 0.03);
+  p.r_nmos *= lot_r * rng.gaussian(1.0, 0.04);
+  p.r_pmos *= lot_r * rng.gaussian(1.0, 0.04);
+  const double lot_c = rng.gaussian(1.0, 0.01);
+  p.c_gate *= lot_c * rng.gaussian(1.0, 0.015);
+  p.c_diff *= lot_c * rng.gaussian(1.0, 0.015);
+  p.c_wire *= rng.gaussian(1.0, 0.02);
+  p.i_leak *= std::exp(rng.gaussian(0.0, 0.20));
+  // Keep the sample physical.
+  LIMS_CHECK(p.r_nmos > 0 && p.c_gate > 0);
+  return p;
+}
+
+Process default_process() {
+  Process p;
+  // Wire resistance: intermediate metal at 65nm, ~1.6 Ohm/um.
+  p.r_wire = 1.6 / 1e-6;  // Ohm / m
+  return p;
+}
+
+}  // namespace limsynth::tech

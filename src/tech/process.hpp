@@ -1,0 +1,100 @@
+// Technology (process) description.
+//
+// The paper's flow is built on a commercial GlobalFoundries 65nm PDK that we
+// cannot redistribute. This module provides a parametric 65nm-class process
+// model: every constant a brick compiler, logical-effort sizer, RC extractor,
+// or power model needs, in one struct. The nominal values are calibrated so
+// that the brick estimator reproduces the paper's published tool numbers
+// (Table 1) — see DESIGN.md §6. Corners and Monte-Carlo sampling substitute
+// for fabricated-chip spread in Fig. 4b.
+#pragma once
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace limsynth::tech {
+
+enum class Corner {
+  kTypical,  // TT, nominal Vdd, 25C
+  kFast,     // FF, +Vdd
+  kSlow,     // SS, -Vdd
+};
+
+const char* corner_name(Corner corner);
+
+/// All electrical/geometry constants of the target technology, in SI units
+/// (Ohm, Farad, Volt, meter, Watt). Device R/C constants are normalized per
+/// meter of transistor width, so r_nmos / width(m) gives the effective
+/// switching resistance of a device.
+struct Process {
+  std::string name = "g65lp";
+  Corner corner = Corner::kTypical;
+
+  // Supply / environment.
+  double vdd = 1.2;      // V
+  double temperature = 25.0;  // Celsius
+
+  // Device constants (per meter of gate width).
+  double r_nmos = 1.7e3 * 1e-6;    // Ohm * m : eff. switching resistance * W
+  double r_pmos = 3.4e3 * 1e-6;    // Ohm * m
+  double c_gate = 1.25e-15 / 1e-6; // F / m of gate width
+  double c_diff = 0.80e-15 / 1e-6; // F / m : drain junction + overlap
+  double i_leak = 8e-9 / 1e-6;     // A / m of device width (subthreshold, TT)
+
+  // Minimum-size unit inverter geometry (defines the logical-effort unit).
+  double wn_unit = 0.4e-6;  // m, NMOS width of the unit inverter
+  double beta = 2.0;        // PMOS/NMOS width ratio
+
+  // Interconnect (intermediate metal, typical 65nm).
+  double r_wire = 1.6 / 1e-6;       // Ohm / m (1.6 Ohm per um)
+  double c_wire = 0.20e-15 / 1e-6;  // F / m (0.20 fF per um)
+
+  // Sensing: fraction of bitline swing required before the (skewed) local
+  // sense inverter fires.
+  double sense_swing = 0.55;
+
+  // Clocking overhead inside a brick control block (pulse generation and
+  // local clock buffering), expressed as a delay adder and an energy adder.
+  // Calibrated against the paper's 65nm brick data (Table 1).
+  double t_control = 70e-12;    // s, clock -> wordline-enable (pulse gen)
+  double e_control = 0.118e-12; // J per accessed brick per cycle (pulse gen)
+
+  // Clock-network capacitance inside a brick control block (precharge
+  // clocking, output latch clocks, pulse-generator internals): fixed part
+  // plus per-column and per-row wire/gate load. This fixed per-brick cost
+  // is what makes small bricks energy-expensive per access — the trend the
+  // paper's Fig. 4c design-space exploration exposes.
+  double c_clknet_base = 28e-15;      // F
+  double c_clknet_per_bit = 1.2e-15;  // F
+  double c_clknet_per_word = 0.5e-15; // F
+
+  // Derived helpers -------------------------------------------------------
+
+  /// Input capacitance of the unit inverter (the logical-effort C-unit).
+  double c_unit() const { return (1.0 + beta) * wn_unit * c_gate; }
+
+  /// Output (drive) resistance of the unit inverter pulling down.
+  double r_unit() const { return r_nmos / wn_unit; }
+
+  /// The logical-effort time unit tau = R_unit * C_unit.
+  double tau() const { return r_unit() * c_unit(); }
+
+  /// FO4 inverter delay (~5 tau), a common sanity metric (~25 ps at 65nm).
+  double fo4() const { return 5.0 * tau(); }
+
+  /// Returns a copy of this process shifted to the given corner.
+  /// Fast: -12% R, -4% C, +8% Vdd. Slow: +14% R, +4% C, -8% Vdd.
+  Process at_corner(Corner corner) const;
+
+  /// Returns a Monte-Carlo "fabricated chip" sample of this process:
+  /// a global lot shift plus per-chip gaussian variation on R (sigma 4%),
+  /// C (sigma 1.5%), and leakage (lognormal-ish, sigma 20%).
+  Process monte_carlo_chip(Rng& rng) const;
+};
+
+/// The calibrated nominal 65nm-class process used throughout the
+/// reproduction ("GF 65nm LP" stand-in).
+Process default_process();
+
+}  // namespace limsynth::tech

@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace limsynth {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quote = false;
+  for (char ch : cell) {
+    if (ch == ',' || ch == '"' || ch == '\n' || ch == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_row(const std::string& label,
+                          const std::vector<double>& values) {
+  os_ << escape(label);
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << ',' << buf;
+  }
+  os_ << '\n';
+}
+
+}  // namespace limsynth

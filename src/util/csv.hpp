@@ -1,0 +1,28 @@
+// CSV writer for experiment output files (EXPERIMENTS.md references the
+// CSVs emitted by benches so results can be re-plotted).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace limsynth {
+
+/// Simple RFC-4180-ish CSV writer. Cells containing comma, quote, or
+/// newline are quoted; quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows: first cell is a label, the rest are
+  /// formatted with %.6g.
+  void write_row(const std::string& label, const std::vector<double>& values);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+}  // namespace limsynth

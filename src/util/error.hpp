@@ -1,0 +1,57 @@
+// Error handling primitives used across limsynth.
+//
+// LIMS_CHECK is an always-on precondition/invariant check that throws
+// limsynth::Error with location information. Library code throws; it never
+// calls abort(), so callers (tests, DSE sweeps) can recover from bad
+// configurations.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace limsynth {
+
+/// Exception type thrown by all limsynth libraries on contract violation
+/// or unrecoverable input errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace limsynth
+
+/// Always-on check; throws limsynth::Error when `expr` is false.
+#define LIMS_CHECK(expr)                                                     \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::limsynth::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Check with a streamed message: LIMS_CHECK_MSG(n > 0, "n was " << n).
+#define LIMS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream lims_check_os_;                                 \
+      lims_check_os_ << msg; /* NOLINT */                                \
+      ::limsynth::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
+                                              lims_check_os_.str());     \
+    }                                                                    \
+  } while (0)
+
+/// Unreachable-code marker.
+#define LIMS_UNREACHABLE(msg)                                              \
+  ::limsynth::detail::throw_check_failure("unreachable", __FILE__, __LINE__, \
+                                          msg)

@@ -1,0 +1,38 @@
+// Small statistics helpers used by Monte-Carlo corner analysis, the DSE
+// engine, and benchmark reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace limsynth {
+
+/// Streaming mean / variance / extrema accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation
+/// between order statistics. The input is copied and sorted.
+double quantile(std::vector<double> values, double q);
+
+/// Geometric mean; all values must be positive.
+double geomean(const std::vector<double>& values);
+
+}  // namespace limsynth

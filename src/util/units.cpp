@@ -1,0 +1,44 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace limsynth::units {
+
+std::string format_si(double value, const std::string& unit, int digits) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  if (value == 0.0) return "0 " + unit;
+  const double mag = std::fabs(value);
+  const Prefix* chosen = &kPrefixes[sizeof(kPrefixes) / sizeof(Prefix) - 1];
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale * 0.9995) {
+      chosen = &p;
+      break;
+    }
+  }
+  const double mantissa = value / chosen->scale;
+  // Pick decimals so that `digits` significant digits show.
+  int int_digits = (std::fabs(mantissa) >= 1.0)
+                       ? static_cast<int>(std::floor(std::log10(std::fabs(mantissa)))) + 1
+                       : 1;
+  int decimals = digits - int_digits;
+  if (decimals < 0) decimals = 0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f %s%s", decimals, mantissa, chosen->name,
+                unit.c_str());
+  return buf;
+}
+
+double percent_error(double a, double b) {
+  if (b == 0.0) return a == 0.0 ? 0.0 : HUGE_VAL;
+  return 100.0 * (a - b) / b;
+}
+
+}  // namespace limsynth::units

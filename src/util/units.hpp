@@ -1,0 +1,62 @@
+// Unit conventions and SI formatting.
+//
+// limsynth stores all physical quantities as `double` in base SI units:
+//   time      seconds      capacitance farads
+//   resistance ohms        energy      joules
+//   power     watts        length      meters (geometry helpers use µm)
+//   frequency hertz        voltage     volts
+//
+// The constants below make intent explicit at call sites:
+//   double delay = 247.0 * units::ps;
+#pragma once
+
+#include <string>
+
+namespace limsynth::units {
+
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+inline constexpr double F = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+inline constexpr double Ohm = 1.0;
+inline constexpr double kOhm = 1e3;
+
+inline constexpr double J = 1.0;
+inline constexpr double mJ = 1e-3;
+inline constexpr double uJ = 1e-6;
+inline constexpr double nJ = 1e-9;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+inline constexpr double m = 1.0;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+
+/// Formats `value` with an SI prefix and the given unit suffix, e.g.
+/// format_si(2.47e-10, "s") == "247 ps". `digits` controls significant
+/// digits of the mantissa.
+std::string format_si(double value, const std::string& unit, int digits = 3);
+
+/// Percent-difference helper: 100 * (a - b) / b.
+double percent_error(double a, double b);
+
+}  // namespace limsynth::units

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "circuit/elmore.hpp"
+#include "circuit/logical_effort.hpp"
+#include "circuit/transient.hpp"
+#include "tech/process.hpp"
+#include "util/units.hpp"
+
+namespace limsynth::circuit {
+namespace {
+
+using limsynth::units::fF;
+using limsynth::units::kOhm;
+using limsynth::units::ps;
+
+tech::Process proc() { return tech::default_process(); }
+
+// ---------------------------------------------------------------- RC tree
+
+TEST(RcTree, SingleLumpMatchesAnalytic) {
+  // Driver R charging a single cap C: elmore = R*C.
+  RcTree tree(10.0 * kOhm, 0.0);
+  const int n = tree.add_node(0, 0.0, 100 * fF);
+  EXPECT_NEAR(tree.elmore(n), 10.0 * kOhm * 100 * fF, 1e-18);
+  EXPECT_NEAR(tree.elmore(n), 1e-9, 1e-15);
+}
+
+TEST(RcTree, DistributedLineHalvesWireDelay) {
+  // Classic result: distributed RC line delay = R*C/2 (plus driver term).
+  const double R = 10 * kOhm, C = 100 * fF;
+  RcTree lumped(1.0);  // negligible driver
+  lumped.add_node(0, R, C);
+  RcTree distributed(1.0);
+  const int far = distributed.add_line(0, R, C, 64);
+  const double d_lumped = lumped.elmore(1);
+  const double d_dist = distributed.elmore(far);
+  EXPECT_NEAR(d_dist / d_lumped, 0.5, 0.02);
+}
+
+TEST(RcTree, ElmoreMonotonicAlongPath) {
+  RcTree tree(2.0 * kOhm);
+  int a = tree.add_node(0, 1 * kOhm, 10 * fF);
+  int b = tree.add_node(a, 1 * kOhm, 10 * fF);
+  int c = tree.add_node(b, 1 * kOhm, 10 * fF);
+  EXPECT_LT(tree.elmore(a), tree.elmore(b));
+  EXPECT_LT(tree.elmore(b), tree.elmore(c));
+}
+
+TEST(RcTree, SideBranchLoadsButDoesNotBlock) {
+  RcTree tree(1.0 * kOhm);
+  int trunk = tree.add_node(0, 1 * kOhm, 10 * fF);
+  int far = tree.add_node(trunk, 1 * kOhm, 10 * fF);
+  const double before = tree.elmore(far);
+  tree.add_node(trunk, 5 * kOhm, 50 * fF);  // side branch
+  const double after = tree.elmore(far);
+  EXPECT_GT(after, before);  // added cap upstream slows the far node
+}
+
+TEST(RcTree, SwingDelayUsesLogFactor) {
+  RcTree tree(10 * kOhm, 0.0);
+  int n = tree.add_node(0, 0.0, 10 * fF);
+  const double elmore = tree.elmore(n);
+  EXPECT_NEAR(tree.delay_to_swing(n, 0.5), std::log(2.0) * elmore, 1e-18);
+  EXPECT_GT(tree.delay_to_swing(n, 0.9), tree.delay_to_swing(n, 0.5));
+}
+
+// ---------------------------------------------------------- logical effort
+
+TEST(LogicalEffort, InverterChainFanout64) {
+  // 3 inverters, H=64 -> f=4 per stage, delay = 3*(4+1) = 15 tau.
+  std::vector<PathStage> path(3, PathStage{1.0, 1.0, 1.0});
+  const SizedPath sized = size_path(path, 1.0, 64.0);
+  EXPECT_NEAR(sized.stage_effort, 4.0, 1e-9);
+  EXPECT_NEAR(sized.delay_tau, 15.0, 1e-9);
+  // Sizes should be 1, 4, 16.
+  ASSERT_EQ(sized.stage_cin.size(), 3u);
+  EXPECT_NEAR(sized.stage_cin[0], 1.0, 1e-9);
+  EXPECT_NEAR(sized.stage_cin[1], 4.0, 1e-9);
+  EXPECT_NEAR(sized.stage_cin[2], 16.0, 1e-9);
+}
+
+TEST(LogicalEffort, BufferedBeatsUnbufferedForBigLoads) {
+  std::vector<PathStage> nand{{4.0 / 3.0, 1.0, 2.0}};
+  const SizedPath bare = size_path(nand, 1.0, 256.0);
+  const SizedPath buffered = size_path_with_buffers(nand, 1.0, 256.0, 6);
+  EXPECT_LT(buffered.delay_tau, bare.delay_tau);
+}
+
+TEST(LogicalEffort, BranchingIncreasesDelay) {
+  std::vector<PathStage> p1{{1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}};
+  std::vector<PathStage> p2{{1.0, 3.0, 1.0}, {1.0, 1.0, 1.0}};
+  EXPECT_LT(size_path(p1, 1.0, 16.0).delay_tau,
+            size_path(p2, 1.0, 16.0).delay_tau);
+}
+
+TEST(LogicalEffort, BufferChainDelayGrowsWithFanout) {
+  EXPECT_LT(buffer_chain_delay_tau(4.0), buffer_chain_delay_tau(64.0));
+  EXPECT_LT(buffer_chain_delay_tau(64.0), buffer_chain_delay_tau(1024.0));
+}
+
+// -------------------------------------------------------------- transient
+
+TEST(Transient, RcStepResponseMatchesAnalytic) {
+  // vdd -> R -> node with C: v(t) = vdd(1 - exp(-t/RC)); 50% at ln2*RC.
+  tech::Process p = proc();
+  Circuit ckt(p);
+  const NodeId out = ckt.add_node("out");
+  const double R = 10 * kOhm, C = 20 * fF;  // RC = 200 ps
+  ckt.add_resistor(ckt.vdd(), out, R);
+  ckt.add_cap(out, C);
+  TransientConfig cfg;
+  cfg.t_stop = 2e-9;
+  cfg.waveform_stride = 1;
+  cfg.dc_settle = 0.0;  // start from v(out)=0 so the analytic form applies
+  const TransientResult res = simulate(ckt, cfg);
+  const double t50 = res.cross_time(out, 0.5, true);
+  EXPECT_NEAR(t50, std::log(2.0) * R * C, 0.03 * std::log(2.0) * R * C);
+  // Energy drawn from vdd for charging C to vdd is C*vdd^2 (half stored,
+  // half dissipated).
+  EXPECT_NEAR(res.energy(), C * p.vdd * p.vdd, 0.05 * C * p.vdd * p.vdd);
+}
+
+TEST(Transient, InverterInvertsAndDelayScalesWithLoad) {
+  tech::Process p = proc();
+  Circuit ckt(p);
+  const NodeId in = ckt.add_node("in");
+  const NodeId out1 = ckt.add_node("out1");
+  ckt.add_inverter(in, out1, 1.0);
+  ckt.add_cap(out1, 5 * fF);
+  ckt.add_ramp_input(in, 50 * ps, 20 * ps, true);
+
+  Circuit ckt2(p);
+  const NodeId in2 = ckt2.add_node("in");
+  const NodeId out2 = ckt2.add_node("out");
+  ckt2.add_inverter(in2, out2, 1.0);
+  ckt2.add_cap(out2, 40 * fF);
+  ckt2.add_ramp_input(in2, 50 * ps, 20 * ps, true);
+
+  TransientConfig cfg;
+  cfg.t_stop = 1.5e-9;
+  cfg.waveform_stride = 1;
+  const auto r1 = simulate(ckt, cfg);
+  const auto r2 = simulate(ckt2, cfg);
+  const double d1 = measure_delay(r1, ckt, in, true, out1, false);
+  const double d2 = measure_delay(r2, ckt2, in2, true, out2, false);
+  ASSERT_GT(d1, 0.0);
+  ASSERT_GT(d2, 0.0);
+  EXPECT_GT(d2, 2.0 * d1);  // 8x the load, much slower
+  // Output settles low.
+  EXPECT_LT(r1.final_voltage(out1), 0.1 * p.vdd);
+}
+
+TEST(Transient, InverterChainPropagates) {
+  tech::Process p = proc();
+  Circuit ckt(p);
+  NodeId in = ckt.add_node("in");
+  NodeId a = ckt.add_node("a");
+  NodeId b = ckt.add_node("b");
+  NodeId c = ckt.add_node("c");
+  ckt.add_inverter(in, a, 1.0);
+  ckt.add_inverter(a, b, 2.0);
+  ckt.add_inverter(b, c, 4.0);
+  ckt.add_cap(c, 10 * fF);
+  ckt.add_ramp_input(in, 30 * ps, 15 * ps, true);
+  TransientConfig cfg;
+  cfg.t_stop = 1e-9;
+  cfg.waveform_stride = 1;
+  const auto res = simulate(ckt, cfg);
+  // in rises => a falls => b rises => c falls.
+  EXPECT_LT(res.final_voltage(a), 0.1 * p.vdd);
+  EXPECT_GT(res.final_voltage(b), 0.9 * p.vdd);
+  EXPECT_LT(res.final_voltage(c), 0.1 * p.vdd);
+  EXPECT_GT(measure_delay(res, ckt, in, true, c, false), 0.0);
+}
+
+TEST(Transient, WireSlowsFarEnd) {
+  tech::Process p = proc();
+  Circuit ckt(p);
+  NodeId in = ckt.add_node("in");
+  NodeId drv = ckt.add_node("drv");
+  ckt.add_inverter(in, drv, 4.0);
+  const NodeId far = ckt.add_wire(drv, 500e-6, 8, 0.0, "bus");
+  ckt.add_ramp_input(in, 30 * ps, 15 * ps, false);  // falling in => rising out
+  TransientConfig cfg;
+  cfg.t_stop = 2e-9;
+  cfg.waveform_stride = 1;
+  const auto res = simulate(ckt, cfg);
+  const double t_near = res.cross_time(drv, 0.5, true);
+  const double t_far = res.cross_time(far, 0.5, true);
+  ASSERT_GT(t_near, 0.0);
+  ASSERT_GT(t_far, 0.0);
+  EXPECT_GT(t_far, t_near + 10 * ps);
+}
+
+TEST(Transient, EnergyScalesWithSwitchedCap) {
+  tech::Process p = proc();
+  auto energy_for_load = [&](double load) {
+    Circuit ckt(p);
+    NodeId in = ckt.add_node("in");
+    NodeId out = ckt.add_node("out");
+    ckt.add_inverter(in, out, 4.0);
+    ckt.add_cap(out, load);
+    // Falling input -> output charges from 0 to vdd through PMOS.
+    ckt.add_ramp_input(in, 50 * ps, 20 * ps, false);
+    TransientConfig cfg;
+    cfg.t_stop = 2e-9;
+    cfg.record_waveforms = false;
+    return simulate(ckt, cfg).energy();
+  };
+  const double e10 = energy_for_load(10 * fF);
+  const double e50 = energy_for_load(50 * fF);
+  // dE = dC * vdd^2.
+  EXPECT_NEAR(e50 - e10, 40 * fF * p.vdd * p.vdd,
+              0.1 * (40 * fF * p.vdd * p.vdd));
+}
+
+TEST(Transient, PwlSourceInterpolates) {
+  PwlSource src{2, {{0.0, 0.0}, {1e-9, 1.0}, {2e-9, 0.5}}};
+  EXPECT_DOUBLE_EQ(src.value_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(src.value_at(0.5e-9), 0.5);
+  EXPECT_DOUBLE_EQ(src.value_at(1.5e-9), 0.75);
+  EXPECT_DOUBLE_EQ(src.value_at(5e-9), 0.5);
+}
+
+TEST(Transient, SingularCircuitsAreHandledByLeak) {
+  // A node with only a device that never turns on: the stabilizing leak
+  // should keep the solve non-singular.
+  tech::Process p = proc();
+  Circuit ckt(p);
+  NodeId g = ckt.add_node("gate");
+  NodeId d = ckt.add_node("drain");
+  ckt.add_pwl(g, {{0.0, 0.0}});  // gate stays low: NMOS off
+  ckt.add_device(DeviceType::kNmos, g, d, ckt.gnd(), 1 * kOhm);
+  ckt.add_cap(d, 1 * fF);
+  TransientConfig cfg;
+  cfg.t_stop = 0.2e-9;
+  EXPECT_NO_THROW(simulate(ckt, cfg));
+}
+
+}  // namespace
+}  // namespace limsynth::circuit

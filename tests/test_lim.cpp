@@ -1,0 +1,441 @@
+// Tests for the core LiM module: white-box SRAM construction, the full
+// flow, design-space exploration, and the smart memories from §2.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <sstream>
+
+#include <map>
+
+#include "lim/brick_opt.hpp"
+#include "lim/cam_block.hpp"
+#include "lim/dse.hpp"
+#include "lim/flow.hpp"
+#include "lim/report.hpp"
+#include "lim/yield.hpp"
+#include "lim/macro_models.hpp"
+#include "lim/smart_memory.hpp"
+#include "lim/sram_builder.hpp"
+#include "tech/process.hpp"
+#include "util/rng.hpp"
+
+namespace limsynth::lim {
+namespace {
+
+struct Ctx {
+  tech::Process process = tech::default_process();
+  tech::StdCellLib cells{process};
+};
+
+TEST(SramConfig, Derived) {
+  SramConfig cfg{128, 10, 4, 16};
+  EXPECT_EQ(cfg.rows_per_bank(), 32);
+  EXPECT_EQ(cfg.bricks_per_bank(), 2);
+  EXPECT_EQ(cfg.name(), "sram128x10_b4_bw16");
+}
+
+TEST(SramBuilder, RejectsBadShapes) {
+  Ctx ctx;
+  EXPECT_THROW(build_sram({100, 10, 3, 16}, ctx.process, ctx.cells), Error);
+  EXPECT_THROW(build_sram({128, 10, 1, 24}, ctx.process, ctx.cells), Error);
+  EXPECT_THROW(exact_log2(12), Error);
+  EXPECT_EQ(exact_log2(64), 6);
+}
+
+/// Functional check: write/read random patterns through the gate-level
+/// simulation with attached brick models — the Modelsim step of the flow.
+void exercise_sram(const SramConfig& cfg) {
+  Ctx ctx;
+  SramDesign d = build_sram(cfg, ctx.process, ctx.cells);
+  netlist::Simulator sim(d.nl, ctx.cells);
+  for (netlist::InstId bank : d.banks)
+    sim.attach(bank, std::make_shared<SramBankModel>(cfg.rows_per_bank(),
+                                                     cfg.bits));
+  sim.settle();
+
+  Rng rng(cfg.words);
+  std::vector<std::uint64_t> shadow(static_cast<std::size_t>(cfg.words), 0);
+  const std::uint64_t addr_mask = static_cast<std::uint64_t>(cfg.words) - 1;
+  const std::uint64_t data_mask = (1ull << cfg.bits) - 1;
+
+  // Write every word.
+  for (int w = 0; w < cfg.words; ++w) {
+    const std::uint64_t data = rng.next_u64() & data_mask;
+    shadow[static_cast<std::size_t>(w)] = data;
+    sim.set_bus(d.waddr, static_cast<std::uint64_t>(w));
+    sim.set_bus(d.wdata, data);
+    sim.set_input(d.wen, true);
+    sim.set_bus(d.raddr, 0);
+    sim.settle();
+    sim.clock_edge();
+  }
+  sim.set_input(d.wen, false);
+
+  // Random reads, respecting the pipeline latency.
+  for (int t = 0; t < 40; ++t) {
+    const std::uint64_t addr = rng.next_u64() & addr_mask;
+    sim.set_bus(d.raddr, addr);
+    sim.settle();
+    for (int l = 0; l < d.read_latency(); ++l) sim.clock_edge();
+    EXPECT_EQ(sim.bus_value(d.rdata), shadow[static_cast<std::size_t>(addr)])
+        << "addr " << addr << " cfg " << cfg.name();
+  }
+}
+
+TEST(SramBuilder, FunctionalSingleBank) { exercise_sram({32, 10, 1, 16}); }
+TEST(SramBuilder, FunctionalStacked) { exercise_sram({128, 10, 1, 16}); }
+TEST(SramBuilder, FunctionalBanked) { exercise_sram({128, 10, 4, 16}); }
+TEST(SramBuilder, FunctionalWide) { exercise_sram({64, 16, 2, 16}); }
+
+TEST(Flow, ProducesConsistentReport) {
+  Ctx ctx;
+  SramDesign d = build_sram({32, 10, 1, 16}, ctx.process, ctx.cells);
+  FlowOptions opt;
+  opt.activity_cycles = 60;
+  const FlowReport rep = run_sram_flow(d, ctx.cells, ctx.process, opt);
+  EXPECT_GT(rep.fmax, 500e6);
+  EXPECT_LT(rep.fmax, 10e9);
+  EXPECT_GT(rep.area, 0.0);
+  EXPECT_GT(rep.power.total(), 0.0);
+  EXPECT_NEAR(rep.analysis_frequency, rep.fmax, 1e-6 * rep.fmax);
+  EXPECT_GT(rep.power.macro, 0.0);  // brick activity was captured
+  EXPECT_GT(rep.synthesis.macro_area, 0.0);
+}
+
+TEST(Flow, CornersOrderFmax) {
+  Ctx ctx;
+  FlowOptions opt;
+  opt.activity_cycles = 0;
+  auto fmax_at = [&](tech::Corner corner) {
+    const tech::Process p = ctx.process.at_corner(corner);
+    const tech::StdCellLib cells(p);
+    SramDesign d = build_sram({32, 10, 1, 16}, p, cells);
+    return run_flow(d.nl, d.lib, cells, p, {}, {}, opt).fmax;
+  };
+  const double tt = fmax_at(tech::Corner::kTypical);
+  EXPECT_GT(fmax_at(tech::Corner::kFast), tt);
+  EXPECT_LT(fmax_at(tech::Corner::kSlow), tt);
+}
+
+// ------------------------------------------------------------------- DSE
+
+TEST(Dse, EvaluatePartitionMatchesEstimator) {
+  Ctx ctx;
+  const DsePoint p = evaluate_partition({128, 8, 16}, ctx.process);
+  EXPECT_GT(p.read_delay, 0.0);
+  EXPECT_NEAR(p.read_delay, p.estimate.read_delay, 1e-18);
+  EXPECT_EQ(p.choice.stack(), 8);
+}
+
+TEST(Dse, RejectsIndivisible) {
+  Ctx ctx;
+  EXPECT_THROW(evaluate_partition({100, 8, 16}, ctx.process), Error);
+}
+
+TEST(Dse, ParetoFrontBasics) {
+  // Point B dominates A; C trades off; D is dominated by C.
+  std::vector<std::array<double, 3>> pts = {
+      {2, 2, 2}, {1, 1, 1}, {0.5, 3, 1}, {0.6, 3.5, 1.5}};
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Dse, SweepFrontNeverEmpty) {
+  Ctx ctx;
+  std::vector<PartitionChoice> choices;
+  for (int bits : {8, 16})
+    for (int bw : {16, 32, 64}) choices.push_back({128, bits, bw});
+  const auto pts = sweep_partitions(choices, ctx.process);
+  const auto front = pareto_front(pts);
+  EXPECT_FALSE(front.empty());
+  EXPECT_LE(front.size(), pts.size());
+}
+
+// ------------------------------------------------- Fig. 5 CAM block
+
+TEST(CamBlock, AccumulatesAndInsertsLikeAMap) {
+  Ctx ctx;
+  CamBlockConfig cfg;
+  cfg.entries = 8;
+  CamBlockDesign d = build_cam_block(cfg, ctx.process, ctx.cells);
+  netlist::Simulator sim(d.nl, ctx.cells);
+  CamBlockModels models = attach_cam_block_models(d, sim);
+  sim.settle();
+
+  std::map<int, std::uint64_t> reference;
+  const std::uint64_t mask = (1ull << cfg.value_bits) - 1;
+  Rng rng(41);
+  // 20 operations over 6 distinct rows: inserts + repeated accumulates.
+  for (int op = 0; op < 20; ++op) {
+    const int row = static_cast<int>(rng.below(6)) * 37 + 5;  // sparse ids
+    const std::uint64_t v = rng.below(200) + 1;
+    cam_block_apply(d, sim, row, v);
+    reference[row] = (reference[row] + v) & mask;
+  }
+  const auto contents = cam_block_contents(d, models);
+  EXPECT_EQ(contents.size(), reference.size());
+  for (const auto& [row, value] : contents) {
+    ASSERT_TRUE(reference.count(row)) << "unexpected row " << row;
+    EXPECT_EQ(value, reference[row]) << "row " << row;
+  }
+}
+
+TEST(CamBlock, MatchAndFullFlags) {
+  Ctx ctx;
+  CamBlockConfig cfg;
+  cfg.entries = 4;
+  CamBlockDesign d = build_cam_block(cfg, ctx.process, ctx.cells);
+  netlist::Simulator sim(d.nl, ctx.cells);
+  (void)attach_cam_block_models(d, sim);
+  sim.settle();
+  EXPECT_FALSE(sim.value(d.full_out));
+  for (int i = 0; i < 4; ++i) cam_block_apply(d, sim, 100 + i, 1);
+  EXPECT_TRUE(sim.value(d.full_out));
+  // A search for a stored row raises MATCH in stage 1.
+  sim.set_bus(d.row, 102);
+  sim.set_input(d.op_valid, true);
+  sim.settle();
+  sim.clock_edge();
+  EXPECT_TRUE(sim.value(d.match_out));
+  sim.set_input(d.op_valid, false);
+  sim.settle();
+  sim.clock_edge();
+  sim.clock_edge();
+}
+
+TEST(CamBlock, StaFindsTheMacWritebackPath) {
+  Ctx ctx;
+  CamBlockConfig cfg;
+  CamBlockDesign d = build_cam_block(cfg, ctx.process, ctx.cells);
+  FlowOptions opt;
+  opt.activity_cycles = 0;
+  const FlowReport rep =
+      run_flow(d.nl, d.lib, ctx.cells, ctx.process, {}, {}, opt);
+  EXPECT_GT(rep.fmax, 200e6);
+  EXPECT_LT(rep.fmax, 5e9);
+}
+
+TEST(Report, TimingPowerQorRender) {
+  Ctx ctx;
+  SramDesign d = build_sram({32, 10, 1, 16}, ctx.process, ctx.cells);
+  FlowOptions opt;
+  opt.activity_cycles = 40;
+  const FlowReport rep = run_sram_flow(d, ctx.cells, ctx.process, opt);
+
+  std::ostringstream timing, power, qor;
+  write_timing_report(rep, timing);
+  write_power_report(rep, power);
+  write_qor_report(d.nl, rep, qor);
+  EXPECT_NE(timing.str().find("f_max"), std::string::npos);
+  EXPECT_NE(timing.str().find(rep.timing.critical_endpoint),
+            std::string::npos);
+  EXPECT_NE(power.str().find("memory macros"), std::string::npos);
+  EXPECT_NE(qor.str().find("wirelength"), std::string::npos);
+
+  const std::string svg = floorplan_svg(d.nl, d.lib, rep.floorplan);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("bank0"), std::string::npos);
+}
+
+TEST(Yield, DistributionAndCurve) {
+  Ctx ctx;
+  // Cheap fmax proxy: estimator min_cycle of a brick under each sample —
+  // exercises the yield machinery without 40 flow runs.
+  auto measure = [&](const tech::Process& p) {
+    const brick::Brick b =
+        brick::compile_brick({tech::BitcellKind::kSram8T, 16, 10, 2}, p);
+    return 1.0 / brick::estimate_brick(b).min_cycle;
+  };
+  const YieldResult res = analyze_yield(ctx.process, 40, 77, measure);
+  EXPECT_EQ(res.fmax_samples.size(), 40u);
+  EXPECT_GT(res.stats.stddev(), 0.0);
+  // Yield is monotone non-increasing in frequency.
+  for (std::size_t i = 1; i < res.yield_curve.size(); ++i)
+    EXPECT_LE(res.yield_curve[i].second, res.yield_curve[i - 1].second);
+  // Everything passes far below the distribution; nothing far above.
+  EXPECT_DOUBLE_EQ(res.yield_at(0.5 * res.stats.mean()), 1.0);
+  EXPECT_DOUBLE_EQ(res.yield_at(2.0 * res.stats.mean()), 0.0);
+  // Determinism.
+  const YieldResult again = analyze_yield(ctx.process, 40, 77, measure);
+  EXPECT_EQ(again.fmax_samples, res.fmax_samples);
+}
+
+// ------------------------------------------------ brick-selection opt
+
+TEST(BrickOpt, PicksLowEnergyWhenUnconstrained) {
+  Ctx ctx;
+  BrickOptTarget target;
+  target.objective = OptObjective::kEnergy;
+  target.validate_top = 1;
+  const BrickOptResult res =
+      optimize_brick_selection(64, 8, target, ctx.process, ctx.cells);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_GT(res.report.fmax, 0.0);
+  EXPECT_GE(res.candidates.size(), 4u);
+  // The chosen candidate must be the best-scoring unpruned one.
+  EXPECT_EQ(res.best.name(), res.candidates.front().config.name());
+}
+
+TEST(BrickOpt, InfeasibleTargetReportsClosest) {
+  Ctx ctx;
+  BrickOptTarget target;
+  target.min_fmax = 50e9;  // absurd
+  target.validate_top = 1;
+  const BrickOptResult res =
+      optimize_brick_selection(64, 8, target, ctx.process, ctx.cells);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_GT(res.report.fmax, 0.0);  // still returns the closest design
+  for (const auto& c : res.candidates) EXPECT_TRUE(c.pruned);
+}
+
+TEST(BrickOpt, AreaObjectivePrefersFewerBanks) {
+  Ctx ctx;
+  BrickOptTarget by_area;
+  by_area.objective = OptObjective::kArea;
+  by_area.validate_top = 1;
+  const auto res =
+      optimize_brick_selection(128, 8, by_area, ctx.process, ctx.cells);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.best.banks, 1);  // banking always costs area in the model
+}
+
+// --------------------------------------------------- parallel-access mem
+
+TEST(Pam, LocateMapsPixelsUniquely) {
+  ParallelAccessConfig cfg;
+  std::vector<std::vector<bool>> seen(
+      4, std::vector<bool>(static_cast<std::size_t>(cfg.bank_rows()), false));
+  for (int r = 0; r < cfg.image_rows; ++r) {
+    for (int c = 0; c < cfg.image_cols; ++c) {
+      const PamLocation loc = pam_locate(cfg, r, c);
+      ASSERT_GE(loc.bank, 0);
+      ASSERT_LT(loc.bank, cfg.banks());
+      ASSERT_GE(loc.row, 0);
+      ASSERT_LT(loc.row, cfg.bank_rows());
+      EXPECT_FALSE(seen[static_cast<std::size_t>(loc.bank)][static_cast<std::size_t>(loc.row)]);
+      seen[static_cast<std::size_t>(loc.bank)][static_cast<std::size_t>(loc.row)] = true;
+    }
+  }
+}
+
+void exercise_pam(bool smart) {
+  Ctx ctx;
+  ParallelAccessConfig cfg;
+  cfg.image_rows = 16;
+  cfg.image_cols = 16;
+  cfg.win_m = 2;
+  cfg.win_n = 2;
+  cfg.brick_words = 16;
+  cfg.smart = smart;
+  ParallelAccessDesign d =
+      build_parallel_access_memory(cfg, ctx.process, ctx.cells);
+  netlist::Simulator sim(d.nl, ctx.cells);
+  auto models = attach_pam_models(d, sim);
+
+  Rng rng(17);
+  std::vector<std::vector<std::uint64_t>> image(
+      static_cast<std::size_t>(cfg.image_rows),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(cfg.image_cols)));
+  for (auto& row : image)
+    for (auto& px : row) px = rng.below(256);
+  pam_load_image(cfg, models, image);
+
+  sim.set_input(d.wen, false);
+  sim.settle();
+  for (int trial = 0; trial < 12; ++trial) {
+    const int x = static_cast<int>(rng.below(static_cast<std::uint64_t>(cfg.image_rows - cfg.win_m)));
+    const int y = static_cast<int>(rng.below(static_cast<std::uint64_t>(cfg.image_cols - cfg.win_n)));
+    sim.set_bus(d.x, static_cast<std::uint64_t>(x));
+    sim.set_bus(d.y, static_cast<std::uint64_t>(y));
+    sim.settle();
+    sim.clock_edge();
+    // The window holds the m x n pixels at (x..x+m, y..y+n), delivered by
+    // residue: window[a][b] = pixel with row%m==a, col%n==b.
+    for (int a = 0; a < cfg.win_m; ++a) {
+      for (int b = 0; b < cfg.win_n; ++b) {
+        const int r = x + ((a - x % cfg.win_m) + cfg.win_m) % cfg.win_m;
+        const int c = y + ((b - y % cfg.win_n) + cfg.win_n) % cfg.win_n;
+        EXPECT_EQ(sim.bus_value(d.window[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)]),
+                  image[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)])
+            << "win(" << x << "," << y << ") bank(" << a << "," << b << ")";
+      }
+    }
+  }
+}
+
+TEST(Pam, SmartVariantReadsWindows) { exercise_pam(true); }
+TEST(Pam, AsicVariantReadsWindows) { exercise_pam(false); }
+
+TEST(Pam, SmartUsesFewerGates) {
+  Ctx ctx;
+  ParallelAccessConfig cfg;
+  cfg.image_rows = cfg.image_cols = 32;
+  cfg.smart = true;
+  const auto smart = build_parallel_access_memory(cfg, ctx.process, ctx.cells);
+  cfg.smart = false;
+  const auto asic = build_parallel_access_memory(cfg, ctx.process, ctx.cells);
+  EXPECT_LT(smart.nl.live_instance_count(), asic.nl.live_instance_count());
+}
+
+// -------------------------------------------------- interpolation memory
+
+TEST(Interp, HardwareMatchesReference) {
+  Ctx ctx;
+  InterpConfig cfg;
+  cfg.dense_entries = 256;
+  cfg.seed_entries = 32;
+  cfg.value_bits = 10;
+  InterpDesign d = build_interpolation_memory(cfg, ctx.process, ctx.cells);
+  netlist::Simulator sim(d.nl, ctx.cells);
+  InterpModels models = attach_interp_models(d, sim);
+
+  // A smooth function sampled coarsely (quadratic ramp).
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < cfg.seed_entries; ++i)
+    samples.push_back(static_cast<std::uint64_t>(i * i / 2 + 3 * i));
+  interp_load_table(cfg, models, samples);
+
+  sim.settle();
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int idx = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(cfg.dense_entries)));
+    sim.set_bus(d.index, static_cast<std::uint64_t>(idx));
+    sim.settle();
+    sim.clock_edge();
+    sim.clock_edge();
+    EXPECT_EQ(sim.bus_value(d.out), interp_reference(cfg, samples, idx))
+        << "index " << idx;
+  }
+}
+
+TEST(Interp, ReferenceInterpolatesLinearly) {
+  InterpConfig cfg;
+  cfg.dense_entries = 64;
+  cfg.seed_entries = 8;
+  cfg.value_bits = 12;
+  std::vector<std::uint64_t> samples = {0, 80, 160, 240, 320, 400, 480, 560};
+  // Exactly linear table: interpolation reproduces the line.
+  for (int i = 0; i < 56; ++i) {  // stay off the wrap segment
+    EXPECT_EQ(interp_reference(cfg, samples, i),
+              static_cast<std::uint64_t>(10 * i));
+  }
+}
+
+TEST(Interp, SeedTableBeatsDenseTableOnArea) {
+  // The LiM argument from [13]: seed table + interpolation logic is far
+  // smaller than the dense table it emulates.
+  Ctx ctx;
+  const brick::BrickEstimate dense = brick::estimate_brick(
+      brick::compile_brick({tech::BitcellKind::kSram8T, 64, 12, 16},
+                           ctx.process));  // 1024-entry dense table
+  const brick::BrickEstimate seed = brick::estimate_brick(
+      brick::compile_brick({tech::BitcellKind::kSram8T, 32, 12, 1},
+                           ctx.process));  // 2x 32-entry seed banks
+  EXPECT_LT(2.0 * seed.bank_area + 3000e-12 /* interp logic */,
+            0.5 * dense.bank_area);
+}
+
+}  // namespace
+}  // namespace limsynth::lim

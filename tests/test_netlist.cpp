@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "netlist/generators.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
+#include "netlist/verilog.hpp"
+#include "tech/process.hpp"
+#include "util/rng.hpp"
+
+namespace limsynth::netlist {
+namespace {
+
+tech::StdCellLib cells() { return tech::StdCellLib(tech::default_process()); }
+
+TEST(Netlist, NetAndInstanceBookkeeping) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  EXPECT_THROW(nl.add_net("a"), Error);
+  const InstId g = nl.add_instance("g0", "INV_X1", {{"A", a}, {"Y", y}});
+  EXPECT_TRUE(nl.is_live(g));
+  EXPECT_EQ(nl.driver_of(y).inst, g);
+  ASSERT_EQ(nl.sinks_of(a).size(), 1u);
+  EXPECT_EQ(nl.sinks_of(a)[0].pin, "A");
+  nl.remove_instance(g);
+  EXPECT_FALSE(nl.is_live(g));
+  EXPECT_EQ(nl.driver_of(y).inst, -1);
+}
+
+TEST(Netlist, BusAndPorts) {
+  Netlist nl("t");
+  const auto bus = nl.make_bus("d", 4);
+  EXPECT_EQ(bus.size(), 4u);
+  EXPECT_EQ(nl.net_name(bus[2]), "d[2]");
+  EXPECT_EQ(nl.find_net("d[3]"), bus[3]);
+  EXPECT_EQ(nl.find_net("nope"), kNoNet);
+  nl.add_port("d2", PortDir::kInput, bus[2]);
+  EXPECT_TRUE(nl.is_primary_input(bus[2]));
+  EXPECT_FALSE(nl.is_primary_output(bus[2]));
+}
+
+TEST(Netlist, OutputPinConvention) {
+  EXPECT_TRUE(Netlist::is_output_pin("Y"));
+  EXPECT_TRUE(Netlist::is_output_pin("Q"));
+  EXPECT_TRUE(Netlist::is_output_pin("DO[7]"));
+  EXPECT_TRUE(Netlist::is_output_pin("MATCH"));
+  EXPECT_FALSE(Netlist::is_output_pin("A"));
+  EXPECT_FALSE(Netlist::is_output_pin("RWL[3]"));
+}
+
+// Exhaustive truth-table checks for the generators through the simulator.
+class GenSim : public ::testing::Test {
+ protected:
+  GenSim() : nl_("t"), b_(nl_, "g"), lib_(cells()) {}
+
+  void init_inputs(int n) {
+    for (int i = 0; i < n; ++i) inputs_.push_back(nl_.add_net("in" + std::to_string(i)));
+  }
+  Simulator make_sim() { return Simulator(nl_, lib_); }
+
+  Netlist nl_;
+  Builder b_;
+  tech::StdCellLib lib_;
+  std::vector<NetId> inputs_;
+};
+
+TEST_F(GenSim, BasicGatesTruthTables) {
+  init_inputs(2);
+  const NetId y_and = b_.and2(inputs_[0], inputs_[1]);
+  const NetId y_or = b_.or2(inputs_[0], inputs_[1]);
+  const NetId y_xor = b_.xor2(inputs_[0], inputs_[1]);
+  const NetId y_nand = b_.nand2(inputs_[0], inputs_[1]);
+  Simulator sim = make_sim();
+  for (int v = 0; v < 4; ++v) {
+    sim.set_input(inputs_[0], v & 1);
+    sim.set_input(inputs_[1], (v >> 1) & 1);
+    sim.settle();
+    const bool a = v & 1, b = (v >> 1) & 1;
+    EXPECT_EQ(sim.value(y_and), a && b);
+    EXPECT_EQ(sim.value(y_or), a || b);
+    EXPECT_EQ(sim.value(y_xor), a != b);
+    EXPECT_EQ(sim.value(y_nand), !(a && b));
+  }
+}
+
+TEST_F(GenSim, DecoderOneHot) {
+  init_inputs(4);
+  const auto onehot = b_.decoder(inputs_);
+  ASSERT_EQ(onehot.size(), 16u);
+  Simulator sim = make_sim();
+  for (int code = 0; code < 16; ++code) {
+    sim.set_bus(inputs_, static_cast<std::uint64_t>(code));
+    sim.settle();
+    for (int i = 0; i < 16; ++i)
+      EXPECT_EQ(sim.value(onehot[static_cast<std::size_t>(i)]), i == code)
+          << "code " << code << " line " << i;
+  }
+}
+
+TEST_F(GenSim, DecoderEnableGates) {
+  init_inputs(3);
+  const NetId en = nl_.add_net("en");
+  const auto onehot = b_.decoder(inputs_, en);
+  Simulator sim = make_sim();
+  sim.set_bus(inputs_, 5);
+  sim.set_input(en, false);
+  sim.settle();
+  for (const NetId line : onehot) EXPECT_FALSE(sim.value(line));
+  sim.set_input(en, true);
+  sim.settle();
+  EXPECT_TRUE(sim.value(onehot[5]));
+}
+
+TEST_F(GenSim, AdderExhaustive4Bit) {
+  init_inputs(8);
+  const std::vector<NetId> a(inputs_.begin(), inputs_.begin() + 4);
+  const std::vector<NetId> b(inputs_.begin() + 4, inputs_.end());
+  NetId cout = kNoNet;
+  const auto sum = b_.add(a, b, kNoNet, &cout);
+  Simulator sim = make_sim();
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      sim.set_bus(a, static_cast<std::uint64_t>(x));
+      sim.set_bus(b, static_cast<std::uint64_t>(y));
+      sim.settle();
+      const auto got = sim.bus_value(sum) | (sim.value(cout) ? 16u : 0u);
+      EXPECT_EQ(got, static_cast<std::uint64_t>(x + y));
+    }
+  }
+}
+
+TEST_F(GenSim, MultiplierRandom) {
+  init_inputs(12);
+  const std::vector<NetId> a(inputs_.begin(), inputs_.begin() + 6);
+  const std::vector<NetId> b(inputs_.begin() + 6, inputs_.end());
+  const auto prod = b_.multiply(a, b);
+  ASSERT_EQ(prod.size(), 12u);
+  Simulator sim = make_sim();
+  Rng rng(3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto x = rng.below(64), y = rng.below(64);
+    sim.set_bus(a, x);
+    sim.set_bus(b, y);
+    sim.settle();
+    EXPECT_EQ(sim.bus_value(prod), x * y) << x << "*" << y;
+  }
+}
+
+TEST_F(GenSim, ComparatorsExhaustive) {
+  init_inputs(8);
+  const std::vector<NetId> a(inputs_.begin(), inputs_.begin() + 4);
+  const std::vector<NetId> b(inputs_.begin() + 4, inputs_.end());
+  const NetId eq = b_.equal(a, b);
+  const NetId lt = b_.less_than(a, b);
+  Simulator sim = make_sim();
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      sim.set_bus(a, static_cast<std::uint64_t>(x));
+      sim.set_bus(b, static_cast<std::uint64_t>(y));
+      sim.settle();
+      EXPECT_EQ(sim.value(eq), x == y);
+      EXPECT_EQ(sim.value(lt), x < y);
+    }
+  }
+}
+
+TEST_F(GenSim, PriorityEncoder) {
+  init_inputs(4);
+  NetId any = kNoNet;
+  const auto grants = b_.priority(inputs_, &any);
+  Simulator sim = make_sim();
+  for (int v = 0; v < 16; ++v) {
+    sim.set_bus(inputs_, static_cast<std::uint64_t>(v));
+    sim.settle();
+    EXPECT_EQ(sim.value(any), v != 0);
+    int expected = -1;
+    for (int i = 0; i < 4; ++i)
+      if ((v >> i) & 1) {
+        expected = i;
+        break;
+      }
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(sim.value(grants[static_cast<std::size_t>(i)]), i == expected);
+  }
+}
+
+TEST_F(GenSim, OneHotMux) {
+  init_inputs(8);
+  const std::vector<NetId> sel(inputs_.begin(), inputs_.begin() + 4);
+  const std::vector<NetId> data(inputs_.begin() + 4, inputs_.end());
+  const NetId y = b_.onehot_mux(sel, data);
+  Simulator sim = make_sim();
+  Rng rng(5);
+  for (int trial = 0; trial < 32; ++trial) {
+    const int hot = static_cast<int>(rng.below(4));
+    const auto d = rng.below(16);
+    sim.set_bus(sel, std::uint64_t{1} << hot);
+    sim.set_bus(data, d);
+    sim.settle();
+    EXPECT_EQ(sim.value(y), (d >> hot) & 1);
+  }
+}
+
+TEST_F(GenSim, RegistersCaptureOnEdge) {
+  init_inputs(2);
+  const NetId clk = nl_.add_net("clk");
+  nl_.set_clock(clk);
+  const auto q = b_.registers(inputs_, clk);
+  Simulator sim = make_sim();
+  sim.set_bus(inputs_, 3);
+  sim.settle();
+  EXPECT_EQ(sim.bus_value(q), 0u);  // not yet clocked
+  sim.clock_edge();
+  EXPECT_EQ(sim.bus_value(q), 3u);
+  sim.set_bus(inputs_, 1);
+  sim.settle();
+  EXPECT_EQ(sim.bus_value(q), 3u);  // holds until next edge
+  sim.clock_edge();
+  EXPECT_EQ(sim.bus_value(q), 1u);
+}
+
+TEST_F(GenSim, ActivityCounting) {
+  init_inputs(1);
+  const NetId y = b_.inv(inputs_[0]);
+  Simulator sim = make_sim();
+  const NetId clk = nl_.add_net("clk");
+  (void)clk;
+  sim.settle();
+  const auto before = sim.toggles(y);
+  sim.set_input(inputs_[0], true);
+  sim.settle();
+  sim.set_input(inputs_[0], false);
+  sim.settle();
+  EXPECT_EQ(sim.toggles(y), before + 2);
+}
+
+TEST(Verilog, RoundTripPreservesFunction) {
+  // Build a small design, emit Verilog, re-parse, and verify the parsed
+  // copy computes the same function.
+  Netlist nl("rt");
+  Builder b(nl, "g");
+  const NetId a = nl.add_net("a");
+  const NetId bb = nl.add_net("b");
+  const NetId sel = nl.add_net("sel");
+  nl.add_port("a", PortDir::kInput, a);
+  nl.add_port("b", PortDir::kInput, bb);
+  nl.add_port("sel", PortDir::kInput, sel);
+  const NetId y = b.mux2(b.xor2(a, bb), b.nand2(a, bb), sel);
+  nl.add_port("y", PortDir::kOutput, y);
+
+  const std::string text = to_verilog_string(nl);
+  EXPECT_NE(text.find("module rt"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+
+  const Netlist back = parse_verilog(text);
+  EXPECT_EQ(back.live_instance_count(), nl.live_instance_count());
+
+  const tech::StdCellLib lib(tech::default_process());
+  Simulator s1(nl, lib), s2(back, lib);
+  // Resolve ports on the parsed copy.
+  auto in_net = [&](const Netlist& n, const char* port) {
+    for (const auto& p : n.ports())
+      if (p.name == port) return p.net;
+    throw Error("missing port");
+  };
+  for (int v = 0; v < 8; ++v) {
+    const bool va = v & 1, vb = (v >> 1) & 1, vs = (v >> 2) & 1;
+    s1.set_input(a, va);
+    s1.set_input(bb, vb);
+    s1.set_input(sel, vs);
+    s1.settle();
+    s2.set_input(in_net(back, "a"), va);
+    s2.set_input(in_net(back, "b"), vb);
+    s2.set_input(in_net(back, "sel"), vs);
+    s2.settle();
+    EXPECT_EQ(s1.value(y), s2.value(in_net(back, "y"))) << "input " << v;
+  }
+}
+
+TEST(Verilog, SanitizesBusNames) {
+  Netlist nl("buses");
+  const auto bus = nl.make_bus("d", 2);
+  nl.add_port("d0", PortDir::kInput, bus[0]);
+  nl.add_port("d1", PortDir::kInput, bus[1]);
+  Builder b(nl, "g");
+  nl.add_port("y", PortDir::kOutput, b.and2(bus[0], bus[1]));
+  const std::string text = to_verilog_string(nl);
+  EXPECT_EQ(text.find('['), std::string::npos);  // no raw brackets
+  EXPECT_NO_THROW(parse_verilog(text));
+}
+
+TEST(Verilog, ParserRejectsGarbage) {
+  EXPECT_THROW(parse_verilog("modul x (); endmodule"), Error);
+  EXPECT_THROW(parse_verilog("module x (a; endmodule"), Error);
+}
+
+TEST(SimErrors, UnknownCellThrows) {
+  Netlist nl("t");
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.add_instance("g", "FROB_X1", {{"A", a}, {"Y", y}});
+  Simulator sim(nl, cells());
+  EXPECT_THROW(sim.settle(), Error);
+}
+
+}  // namespace
+}  // namespace limsynth::netlist

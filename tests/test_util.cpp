@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace limsynth {
+namespace {
+
+TEST(Error, CheckThrowsWithLocation) {
+  try {
+    LIMS_CHECK_MSG(1 == 2, "math broke: " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("math broke: 42"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(LIMS_CHECK(2 + 2 == 4));
+}
+
+TEST(Units, FormatSiPicoseconds) {
+  EXPECT_EQ(units::format_si(247e-12, "s"), "247 ps");
+  EXPECT_EQ(units::format_si(0.54e-12, "J"), "540 fJ");
+  EXPECT_EQ(units::format_si(1.2, "V"), "1.20 V");
+  EXPECT_EQ(units::format_si(725e6, "Hz"), "725 MHz");
+  EXPECT_EQ(units::format_si(0.0, "W"), "0 W");
+}
+
+TEST(Units, FormatSiNegative) {
+  EXPECT_EQ(units::format_si(-3.3e-3, "W"), "-3.30 mW");
+}
+
+TEST(Units, PercentError) {
+  EXPECT_DOUBLE_EQ(units::percent_error(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(units::percent_error(95.0, 100.0), -5.0);
+  EXPECT_DOUBLE_EQ(units::percent_error(0.0, 0.0), 0.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Rng rng(99);
+  int counts[5] = {};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9400);
+    EXPECT_LT(c, 10600);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.gaussian(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.03);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Stats, OnlineBasics) {
+  OnlineStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+}
+
+TEST(Stats, GeomeanKnownValue) {
+  EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_THROW(geomean({1.0, -1.0}), Error);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"cfg", "delay"});
+  t.add_row({"A", "247 ps"});
+  t.add_separator();
+  t.add_row({"B", "1.2 ns"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| cfg"), std::string::npos);
+  EXPECT_NE(s.find("247 ps"), std::string::npos);
+  EXPECT_NE(s.find("+--"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(Table, RejectsBadArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, StrFormat) {
+  EXPECT_EQ(strformat("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(strformat("x%dy", 7), "x7y");
+}
+
+TEST(Csv, EscapesSpecials) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Csv, NumericRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row("lbl", {1.5, 2.0});
+  EXPECT_EQ(os.str(), "lbl,1.5,2\n");
+}
+
+}  // namespace
+}  // namespace limsynth

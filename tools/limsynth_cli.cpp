@@ -1,0 +1,239 @@
+// limsynth command-line front end.
+//
+//   limsynth brick <kind> <words> <bits> [stack]      compile + estimate
+//   limsynth brick ... --lib                          also dump the .lib
+//   limsynth sweep <words> <bits>                     DSE + Pareto front
+//   limsynth sram <words> <bits> <banks> <brick_words> [--verilog]
+//   limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]
+//   limsynth spgemm <rmat_scale> <avg_degree>         both chips, one run
+//
+// kinds: sram6t sram8t cam10t edram
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "arch/chip.hpp"
+#include "brick/golden.hpp"
+#include "brick/library_gen.hpp"
+#include "liberty/writer.hpp"
+#include "lim/brick_opt.hpp"
+#include "lim/dse.hpp"
+#include "lim/report.hpp"
+#include "netlist/verilog.hpp"
+#include "spgemm/generate.hpp"
+#include "spgemm/reference.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace limsynth;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  limsynth brick <kind> <words> <bits> [stack] [--lib] [--golden]\n"
+               "  limsynth sweep <words> <bits>\n"
+               "  limsynth sram <words> <bits> <banks> <brick_words>"
+               " [--verilog|--report|--svg]\n"
+               "  limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]\n"
+               "  limsynth spgemm <rmat_scale> <avg_degree>\n"
+               "kinds: sram6t sram8t cam10t edram\n");
+  return 2;
+}
+
+tech::BitcellKind parse_kind(const std::string& s) {
+  if (s == "sram6t") return tech::BitcellKind::kSram6T;
+  if (s == "sram8t") return tech::BitcellKind::kSram8T;
+  if (s == "cam10t") return tech::BitcellKind::kCamNor10T;
+  if (s == "edram") return tech::BitcellKind::kEdram1T1C;
+  throw Error("unknown bitcell kind: " + s);
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+int cmd_brick(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const tech::Process process = tech::default_process();
+  brick::BrickSpec spec;
+  spec.bitcell = parse_kind(argv[1]);
+  spec.words = std::atoi(argv[2]);
+  spec.bits = std::atoi(argv[3]);
+  spec.stack = (argc > 4 && argv[4][0] != '-') ? std::atoi(argv[4]) : 1;
+
+  const brick::Brick b = brick::compile_brick(spec, process);
+  const brick::BrickEstimate e = brick::estimate_brick(b);
+  std::printf("%s  (%.1f x %.1f um, %.0f um2, efficiency %.0f%%)\n",
+              spec.name().c_str(), b.layout.outline.width() * 1e6,
+              b.layout.outline.height() * 1e6, b.layout.area * 1e12,
+              100.0 * b.layout.efficiency());
+  Table t({"metric", "value"});
+  t.add_row({"read delay", units::format_si(e.read_delay, "s")});
+  t.add_row({"read energy", units::format_si(e.read_energy, "J")});
+  t.add_row({"write delay", units::format_si(e.write_delay, "s")});
+  t.add_row({"write energy", units::format_si(e.write_energy, "J")});
+  if (e.match_delay > 0) {
+    t.add_row({"match delay", units::format_si(e.match_delay, "s")});
+    t.add_row({"match energy", units::format_si(e.match_energy, "J")});
+  }
+  if (e.retention_time > 0) {
+    t.add_row({"retention", units::format_si(e.retention_time, "s")});
+    t.add_row({"refresh power", units::format_si(e.refresh_power, "W")});
+  }
+  t.add_row({"min cycle", units::format_si(e.min_cycle, "s")});
+  t.add_row({"leakage", units::format_si(e.leakage, "W")});
+  t.add_row({"bank area", strformat("%.0f um2", e.bank_area * 1e12)});
+  t.print(std::cout);
+
+  if (has_flag(argc, argv, "--golden")) {
+    const auto rd = brick::golden_read(b);
+    std::printf("golden read: %s, %s (tool error %+.1f%% / %+.1f%%)\n",
+                units::format_si(rd.delay, "s").c_str(),
+                units::format_si(rd.energy, "J").c_str(),
+                units::percent_error(e.read_delay, rd.delay),
+                units::percent_error(e.read_energy, rd.energy));
+  }
+  if (has_flag(argc, argv, "--lib")) {
+    liberty::Library lib("cli_bricks");
+    lib.add(brick::make_brick_libcell(b));
+    liberty::write_liberty(lib, std::cout);
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int words = std::atoi(argv[1]);
+  const int bits = std::atoi(argv[2]);
+  const tech::Process process = tech::default_process();
+  std::vector<lim::PartitionChoice> choices;
+  for (int bw : {8, 16, 32, 64, 128})
+    if (words % bw == 0 && words / bw <= 64)
+      choices.push_back({words, bits, bw});
+  const auto points = lim::sweep_partitions(choices, process);
+  const auto front = lim::pareto_front(points);
+  Table t({"brick", "stack", "delay", "energy", "area", "pareto"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const bool on =
+        std::find(front.begin(), front.end(), i) != front.end();
+    t.add_row({strformat("%dx%d", p.choice.brick_words, bits),
+               strformat("%dx", p.choice.stack()),
+               units::format_si(p.read_delay, "s"),
+               units::format_si(p.read_energy, "J"),
+               strformat("%.0f um2", p.area * 1e12), on ? "*" : ""});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sram(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  lim::SramConfig cfg{std::atoi(argv[1]), std::atoi(argv[2]),
+                      std::atoi(argv[3]), std::atoi(argv[4])};
+  lim::SramDesign d = lim::build_sram(cfg, process, cells);
+  if (has_flag(argc, argv, "--verilog")) {
+    netlist::write_verilog(d.nl, std::cout);
+    return 0;
+  }
+  lim::FlowOptions opt;
+  opt.activity_cycles = 150;
+  const lim::FlowReport rep = lim::run_sram_flow(d, cells, process, opt);
+  if (has_flag(argc, argv, "--report")) {
+    lim::write_qor_report(d.nl, rep, std::cout);
+    lim::write_timing_report(rep, std::cout);
+    lim::write_power_report(rep, std::cout);
+    return 0;
+  }
+  if (has_flag(argc, argv, "--svg")) {
+    std::cout << lim::floorplan_svg(d.nl, d.lib, rep.floorplan);
+    return 0;
+  }
+  std::printf("%s: fmax %s, area %.0f um2, %s @fmax (%.2f pJ/cycle)\n",
+              cfg.name().c_str(), units::format_si(rep.fmax, "Hz").c_str(),
+              rep.area * 1e12,
+              units::format_si(rep.power.total(), "W").c_str(),
+              rep.power.energy_per_cycle * 1e12);
+  std::printf("critical endpoint: %s\n", rep.timing.critical_endpoint.c_str());
+  return 0;
+}
+
+int cmd_optimize(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  lim::BrickOptTarget target;
+  target.min_fmax = std::atof(argv[3]) * 1e6;
+  if (argc > 4) {
+    const std::string obj = argv[4];
+    target.objective = obj == "area"
+                           ? lim::OptObjective::kArea
+                           : (obj == "delay" ? lim::OptObjective::kDelay
+                                             : lim::OptObjective::kEnergy);
+  }
+  const lim::BrickOptResult res = lim::optimize_brick_selection(
+      std::atoi(argv[1]), std::atoi(argv[2]), target, process, cells);
+  std::printf("objective %s, target fmax %s: %s\n",
+              lim::objective_name(target.objective),
+              units::format_si(target.min_fmax, "Hz").c_str(),
+              res.feasible ? "FEASIBLE" : "NOT MET (closest shown)");
+  std::printf("chosen: %s -> fmax %s, %.2f pJ/cycle, %.0f um2"
+              " (%zu candidates, %d flow-validated)\n",
+              res.best.name().c_str(),
+              units::format_si(res.report.fmax, "Hz").c_str(),
+              res.report.power.energy_per_cycle * 1e12,
+              res.report.area * 1e12, res.candidates.size(), res.validated);
+  return res.feasible ? 0 : 1;
+}
+
+int cmd_spgemm(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int scale = std::atoi(argv[1]);
+  const int degree = std::atoi(argv[2]);
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  const arch::ChipModel lim_chip = arch::build_lim_chip(process, cells);
+  const arch::ChipModel base_chip = arch::build_baseline_chip(process, cells);
+  Rng rng(1);
+  const auto a = spgemm::gen_rmat(
+      scale, static_cast<std::int64_t>(degree) << scale, 0.5, 0.2, 0.2, rng);
+  spgemm::SparseMatrix c_lim, c_heap;
+  const auto rl = arch::run_benchmark(lim_chip, true, a, {}, &c_lim);
+  const auto rh = arch::run_benchmark(base_chip, false, a, {}, &c_heap);
+  const bool ok = c_lim.approx_equal(c_heap, 1e-9);
+  std::printf("n=%d nnz=%lld: LiM %s / %s, heap %s / %s -> %.1fx faster,"
+              " %.1fx less energy [%s]\n",
+              a.rows(), static_cast<long long>(a.nnz()),
+              units::format_si(rl.seconds, "s").c_str(),
+              units::format_si(rl.joules, "J").c_str(),
+              units::format_si(rh.seconds, "s").c_str(),
+              units::format_si(rh.joules, "J").c_str(),
+              rh.seconds / rl.seconds, rh.joules / rl.joules,
+              ok ? "products match" : "MISMATCH");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "brick") return cmd_brick(argc - 1, argv + 1);
+    if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (cmd == "sram") return cmd_sram(argc - 1, argv + 1);
+    if (cmd == "optimize") return cmd_optimize(argc - 1, argv + 1);
+    if (cmd == "spgemm") return cmd_spgemm(argc - 1, argv + 1);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
