@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_banking"
+  "../bench/bench_ablation_banking.pdb"
+  "CMakeFiles/bench_ablation_banking.dir/bench_ablation_banking.cpp.o"
+  "CMakeFiles/bench_ablation_banking.dir/bench_ablation_banking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

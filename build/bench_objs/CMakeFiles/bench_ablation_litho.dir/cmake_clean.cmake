@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_litho"
+  "../bench/bench_ablation_litho.pdb"
+  "CMakeFiles/bench_ablation_litho.dir/bench_ablation_litho.cpp.o"
+  "CMakeFiles/bench_ablation_litho.dir/bench_ablation_litho.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

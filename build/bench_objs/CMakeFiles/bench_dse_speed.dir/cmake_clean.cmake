@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dse_speed"
+  "../bench/bench_dse_speed.pdb"
+  "CMakeFiles/bench_dse_speed.dir/bench_dse_speed.cpp.o"
+  "CMakeFiles/bench_dse_speed.dir/bench_dse_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dse_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpolation_memory.dir/interpolation_memory.cpp.o"
+  "CMakeFiles/interpolation_memory.dir/interpolation_memory.cpp.o.d"
+  "interpolation_memory"
+  "interpolation_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpolation_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

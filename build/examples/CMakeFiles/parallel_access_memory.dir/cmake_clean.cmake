@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_access_memory.dir/parallel_access_memory.cpp.o"
+  "CMakeFiles/parallel_access_memory.dir/parallel_access_memory.cpp.o.d"
+  "parallel_access_memory"
+  "parallel_access_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_access_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lim/CMakeFiles/limsynth_lim.dir/DependInfo.cmake"
+  "/root/repo/build/src/brick/CMakeFiles/limsynth_brick.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/limsynth_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/limsynth_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/limsynth_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/limsynth_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/limsynth_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/limsynth_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/limsynth_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/limsynth_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/limsynth_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/limsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

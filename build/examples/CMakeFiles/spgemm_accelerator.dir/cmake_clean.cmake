@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spgemm_accelerator.dir/spgemm_accelerator.cpp.o"
+  "CMakeFiles/spgemm_accelerator.dir/spgemm_accelerator.cpp.o.d"
+  "spgemm_accelerator"
+  "spgemm_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spgemm_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

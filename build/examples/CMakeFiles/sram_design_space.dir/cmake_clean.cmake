@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_design_space.dir/sram_design_space.cpp.o"
+  "CMakeFiles/sram_design_space.dir/sram_design_space.cpp.o.d"
+  "sram_design_space"
+  "sram_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

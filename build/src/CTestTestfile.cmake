@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tech")
+subdirs("circuit")
+subdirs("layout")
+subdirs("liberty")
+subdirs("brick")
+subdirs("netlist")
+subdirs("synth")
+subdirs("place")
+subdirs("sta")
+subdirs("power")
+subdirs("lim")
+subdirs("spgemm")
+subdirs("arch")

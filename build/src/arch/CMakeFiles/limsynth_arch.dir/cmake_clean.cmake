@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_arch.dir/chip.cpp.o"
+  "CMakeFiles/limsynth_arch.dir/chip.cpp.o.d"
+  "CMakeFiles/limsynth_arch.dir/cores.cpp.o"
+  "CMakeFiles/limsynth_arch.dir/cores.cpp.o.d"
+  "liblimsynth_arch.a"
+  "liblimsynth_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_brick.dir/brick.cpp.o"
+  "CMakeFiles/limsynth_brick.dir/brick.cpp.o.d"
+  "CMakeFiles/limsynth_brick.dir/estimator.cpp.o"
+  "CMakeFiles/limsynth_brick.dir/estimator.cpp.o.d"
+  "CMakeFiles/limsynth_brick.dir/golden.cpp.o"
+  "CMakeFiles/limsynth_brick.dir/golden.cpp.o.d"
+  "CMakeFiles/limsynth_brick.dir/library_gen.cpp.o"
+  "CMakeFiles/limsynth_brick.dir/library_gen.cpp.o.d"
+  "liblimsynth_brick.a"
+  "liblimsynth_brick.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_brick.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

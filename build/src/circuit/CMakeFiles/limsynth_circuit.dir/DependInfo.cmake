@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/limsynth_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/limsynth_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/elmore.cpp" "src/circuit/CMakeFiles/limsynth_circuit.dir/elmore.cpp.o" "gcc" "src/circuit/CMakeFiles/limsynth_circuit.dir/elmore.cpp.o.d"
+  "/root/repo/src/circuit/logical_effort.cpp" "src/circuit/CMakeFiles/limsynth_circuit.dir/logical_effort.cpp.o" "gcc" "src/circuit/CMakeFiles/limsynth_circuit.dir/logical_effort.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/limsynth_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/limsynth_circuit.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limsynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/limsynth_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

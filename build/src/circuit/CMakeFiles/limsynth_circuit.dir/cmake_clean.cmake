@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/limsynth_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/limsynth_circuit.dir/elmore.cpp.o"
+  "CMakeFiles/limsynth_circuit.dir/elmore.cpp.o.d"
+  "CMakeFiles/limsynth_circuit.dir/logical_effort.cpp.o"
+  "CMakeFiles/limsynth_circuit.dir/logical_effort.cpp.o.d"
+  "CMakeFiles/limsynth_circuit.dir/transient.cpp.o"
+  "CMakeFiles/limsynth_circuit.dir/transient.cpp.o.d"
+  "liblimsynth_circuit.a"
+  "liblimsynth_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

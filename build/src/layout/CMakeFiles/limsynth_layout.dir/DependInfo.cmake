@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/brick_layout.cpp" "src/layout/CMakeFiles/limsynth_layout.dir/brick_layout.cpp.o" "gcc" "src/layout/CMakeFiles/limsynth_layout.dir/brick_layout.cpp.o.d"
+  "/root/repo/src/layout/checker.cpp" "src/layout/CMakeFiles/limsynth_layout.dir/checker.cpp.o" "gcc" "src/layout/CMakeFiles/limsynth_layout.dir/checker.cpp.o.d"
+  "/root/repo/src/layout/geometry.cpp" "src/layout/CMakeFiles/limsynth_layout.dir/geometry.cpp.o" "gcc" "src/layout/CMakeFiles/limsynth_layout.dir/geometry.cpp.o.d"
+  "/root/repo/src/layout/leafcell.cpp" "src/layout/CMakeFiles/limsynth_layout.dir/leafcell.cpp.o" "gcc" "src/layout/CMakeFiles/limsynth_layout.dir/leafcell.cpp.o.d"
+  "/root/repo/src/layout/svg.cpp" "src/layout/CMakeFiles/limsynth_layout.dir/svg.cpp.o" "gcc" "src/layout/CMakeFiles/limsynth_layout.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limsynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/limsynth_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

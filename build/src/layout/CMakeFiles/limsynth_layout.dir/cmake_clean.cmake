@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_layout.dir/brick_layout.cpp.o"
+  "CMakeFiles/limsynth_layout.dir/brick_layout.cpp.o.d"
+  "CMakeFiles/limsynth_layout.dir/checker.cpp.o"
+  "CMakeFiles/limsynth_layout.dir/checker.cpp.o.d"
+  "CMakeFiles/limsynth_layout.dir/geometry.cpp.o"
+  "CMakeFiles/limsynth_layout.dir/geometry.cpp.o.d"
+  "CMakeFiles/limsynth_layout.dir/leafcell.cpp.o"
+  "CMakeFiles/limsynth_layout.dir/leafcell.cpp.o.d"
+  "CMakeFiles/limsynth_layout.dir/svg.cpp.o"
+  "CMakeFiles/limsynth_layout.dir/svg.cpp.o.d"
+  "liblimsynth_layout.a"
+  "liblimsynth_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

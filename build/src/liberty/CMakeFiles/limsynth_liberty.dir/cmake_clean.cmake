@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_liberty.dir/characterize.cpp.o"
+  "CMakeFiles/limsynth_liberty.dir/characterize.cpp.o.d"
+  "CMakeFiles/limsynth_liberty.dir/library.cpp.o"
+  "CMakeFiles/limsynth_liberty.dir/library.cpp.o.d"
+  "CMakeFiles/limsynth_liberty.dir/lut.cpp.o"
+  "CMakeFiles/limsynth_liberty.dir/lut.cpp.o.d"
+  "CMakeFiles/limsynth_liberty.dir/writer.cpp.o"
+  "CMakeFiles/limsynth_liberty.dir/writer.cpp.o.d"
+  "liblimsynth_liberty.a"
+  "liblimsynth_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

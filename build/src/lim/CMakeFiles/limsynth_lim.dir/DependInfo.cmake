@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lim/brick_opt.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/brick_opt.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/brick_opt.cpp.o.d"
+  "/root/repo/src/lim/cam_block.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/cam_block.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/cam_block.cpp.o.d"
+  "/root/repo/src/lim/dse.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/dse.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/dse.cpp.o.d"
+  "/root/repo/src/lim/flow.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/flow.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/flow.cpp.o.d"
+  "/root/repo/src/lim/macro_models.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/macro_models.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/macro_models.cpp.o.d"
+  "/root/repo/src/lim/report.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/report.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/report.cpp.o.d"
+  "/root/repo/src/lim/smart_memory.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/smart_memory.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/smart_memory.cpp.o.d"
+  "/root/repo/src/lim/sram_builder.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/sram_builder.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/sram_builder.cpp.o.d"
+  "/root/repo/src/lim/yield.cpp" "src/lim/CMakeFiles/limsynth_lim.dir/yield.cpp.o" "gcc" "src/lim/CMakeFiles/limsynth_lim.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limsynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/limsynth_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/limsynth_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/limsynth_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/limsynth_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/brick/CMakeFiles/limsynth_brick.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/limsynth_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/limsynth_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/limsynth_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/limsynth_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/limsynth_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_lim.dir/brick_opt.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/brick_opt.cpp.o.d"
+  "CMakeFiles/limsynth_lim.dir/cam_block.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/cam_block.cpp.o.d"
+  "CMakeFiles/limsynth_lim.dir/dse.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/dse.cpp.o.d"
+  "CMakeFiles/limsynth_lim.dir/flow.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/flow.cpp.o.d"
+  "CMakeFiles/limsynth_lim.dir/macro_models.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/macro_models.cpp.o.d"
+  "CMakeFiles/limsynth_lim.dir/report.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/report.cpp.o.d"
+  "CMakeFiles/limsynth_lim.dir/smart_memory.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/smart_memory.cpp.o.d"
+  "CMakeFiles/limsynth_lim.dir/sram_builder.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/sram_builder.cpp.o.d"
+  "CMakeFiles/limsynth_lim.dir/yield.cpp.o"
+  "CMakeFiles/limsynth_lim.dir/yield.cpp.o.d"
+  "liblimsynth_lim.a"
+  "liblimsynth_lim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_lim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

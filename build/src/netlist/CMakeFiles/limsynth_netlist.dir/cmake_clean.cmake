@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_netlist.dir/generators.cpp.o"
+  "CMakeFiles/limsynth_netlist.dir/generators.cpp.o.d"
+  "CMakeFiles/limsynth_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/limsynth_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/limsynth_netlist.dir/sim.cpp.o"
+  "CMakeFiles/limsynth_netlist.dir/sim.cpp.o.d"
+  "CMakeFiles/limsynth_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/limsynth_netlist.dir/verilog.cpp.o.d"
+  "liblimsynth_netlist.a"
+  "liblimsynth_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

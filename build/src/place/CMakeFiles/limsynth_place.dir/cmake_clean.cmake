@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_place.dir/place.cpp.o"
+  "CMakeFiles/limsynth_place.dir/place.cpp.o.d"
+  "CMakeFiles/limsynth_place.dir/spef.cpp.o"
+  "CMakeFiles/limsynth_place.dir/spef.cpp.o.d"
+  "liblimsynth_place.a"
+  "liblimsynth_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

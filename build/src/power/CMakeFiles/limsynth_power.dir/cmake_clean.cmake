@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_power.dir/power.cpp.o"
+  "CMakeFiles/limsynth_power.dir/power.cpp.o.d"
+  "liblimsynth_power.a"
+  "liblimsynth_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

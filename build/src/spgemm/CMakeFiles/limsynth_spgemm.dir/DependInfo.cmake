@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spgemm/blocking.cpp" "src/spgemm/CMakeFiles/limsynth_spgemm.dir/blocking.cpp.o" "gcc" "src/spgemm/CMakeFiles/limsynth_spgemm.dir/blocking.cpp.o.d"
+  "/root/repo/src/spgemm/generate.cpp" "src/spgemm/CMakeFiles/limsynth_spgemm.dir/generate.cpp.o" "gcc" "src/spgemm/CMakeFiles/limsynth_spgemm.dir/generate.cpp.o.d"
+  "/root/repo/src/spgemm/reference.cpp" "src/spgemm/CMakeFiles/limsynth_spgemm.dir/reference.cpp.o" "gcc" "src/spgemm/CMakeFiles/limsynth_spgemm.dir/reference.cpp.o.d"
+  "/root/repo/src/spgemm/sparse.cpp" "src/spgemm/CMakeFiles/limsynth_spgemm.dir/sparse.cpp.o" "gcc" "src/spgemm/CMakeFiles/limsynth_spgemm.dir/sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

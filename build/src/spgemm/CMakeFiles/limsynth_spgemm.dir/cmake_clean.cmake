@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_spgemm.dir/blocking.cpp.o"
+  "CMakeFiles/limsynth_spgemm.dir/blocking.cpp.o.d"
+  "CMakeFiles/limsynth_spgemm.dir/generate.cpp.o"
+  "CMakeFiles/limsynth_spgemm.dir/generate.cpp.o.d"
+  "CMakeFiles/limsynth_spgemm.dir/reference.cpp.o"
+  "CMakeFiles/limsynth_spgemm.dir/reference.cpp.o.d"
+  "CMakeFiles/limsynth_spgemm.dir/sparse.cpp.o"
+  "CMakeFiles/limsynth_spgemm.dir/sparse.cpp.o.d"
+  "liblimsynth_spgemm.a"
+  "liblimsynth_spgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_spgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

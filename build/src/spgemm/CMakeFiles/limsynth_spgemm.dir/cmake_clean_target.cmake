@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblimsynth_spgemm.a"
+)

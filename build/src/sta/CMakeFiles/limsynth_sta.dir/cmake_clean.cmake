@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_sta.dir/sta.cpp.o"
+  "CMakeFiles/limsynth_sta.dir/sta.cpp.o.d"
+  "liblimsynth_sta.a"
+  "liblimsynth_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_synth.dir/synth.cpp.o"
+  "CMakeFiles/limsynth_synth.dir/synth.cpp.o.d"
+  "liblimsynth_synth.a"
+  "liblimsynth_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/bitcell.cpp" "src/tech/CMakeFiles/limsynth_tech.dir/bitcell.cpp.o" "gcc" "src/tech/CMakeFiles/limsynth_tech.dir/bitcell.cpp.o.d"
+  "/root/repo/src/tech/pattern.cpp" "src/tech/CMakeFiles/limsynth_tech.dir/pattern.cpp.o" "gcc" "src/tech/CMakeFiles/limsynth_tech.dir/pattern.cpp.o.d"
+  "/root/repo/src/tech/process.cpp" "src/tech/CMakeFiles/limsynth_tech.dir/process.cpp.o" "gcc" "src/tech/CMakeFiles/limsynth_tech.dir/process.cpp.o.d"
+  "/root/repo/src/tech/stdcell.cpp" "src/tech/CMakeFiles/limsynth_tech.dir/stdcell.cpp.o" "gcc" "src/tech/CMakeFiles/limsynth_tech.dir/stdcell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/limsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_tech.dir/bitcell.cpp.o"
+  "CMakeFiles/limsynth_tech.dir/bitcell.cpp.o.d"
+  "CMakeFiles/limsynth_tech.dir/pattern.cpp.o"
+  "CMakeFiles/limsynth_tech.dir/pattern.cpp.o.d"
+  "CMakeFiles/limsynth_tech.dir/process.cpp.o"
+  "CMakeFiles/limsynth_tech.dir/process.cpp.o.d"
+  "CMakeFiles/limsynth_tech.dir/stdcell.cpp.o"
+  "CMakeFiles/limsynth_tech.dir/stdcell.cpp.o.d"
+  "liblimsynth_tech.a"
+  "liblimsynth_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

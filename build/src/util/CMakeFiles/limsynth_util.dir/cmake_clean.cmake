@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth_util.dir/csv.cpp.o"
+  "CMakeFiles/limsynth_util.dir/csv.cpp.o.d"
+  "CMakeFiles/limsynth_util.dir/log.cpp.o"
+  "CMakeFiles/limsynth_util.dir/log.cpp.o.d"
+  "CMakeFiles/limsynth_util.dir/stats.cpp.o"
+  "CMakeFiles/limsynth_util.dir/stats.cpp.o.d"
+  "CMakeFiles/limsynth_util.dir/table.cpp.o"
+  "CMakeFiles/limsynth_util.dir/table.cpp.o.d"
+  "CMakeFiles/limsynth_util.dir/units.cpp.o"
+  "CMakeFiles/limsynth_util.dir/units.cpp.o.d"
+  "liblimsynth_util.a"
+  "liblimsynth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lim.dir/test_lim.cpp.o"
+  "CMakeFiles/test_lim.dir/test_lim.cpp.o.d"
+  "test_lim"
+  "test_lim.pdb"
+  "test_lim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

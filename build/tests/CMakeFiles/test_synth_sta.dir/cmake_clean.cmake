@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_sta.dir/test_synth_sta.cpp.o"
+  "CMakeFiles/test_synth_sta.dir/test_synth_sta.cpp.o.d"
+  "test_synth_sta"
+  "test_synth_sta.pdb"
+  "test_synth_sta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_tech[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_liberty[1]_include.cmake")
+include("/root/repo/build/tests/test_brick[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_synth_sta[1]_include.cmake")
+include("/root/repo/build/tests/test_lim[1]_include.cmake")
+include("/root/repo/build/tests/test_spgemm[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")

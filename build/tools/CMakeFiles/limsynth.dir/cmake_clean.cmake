@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limsynth.dir/limsynth_cli.cpp.o"
+  "CMakeFiles/limsynth.dir/limsynth_cli.cpp.o.d"
+  "limsynth"
+  "limsynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limsynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
