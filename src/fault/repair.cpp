@@ -1,0 +1,133 @@
+#include "fault/repair.hpp"
+
+#include "fault/inject.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::fault {
+
+namespace {
+
+bool is_pow2(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+int secded_parity_bits(int data_bits) {
+  LIMS_CHECK_MSG(data_bits >= 1, "SECDED needs at least one data bit");
+  int r = 1;
+  while ((1 << r) < data_bits + r + 1) ++r;
+  return r;
+}
+
+int secded_total_bits(int data_bits) {
+  const int total = data_bits + secded_parity_bits(data_bits) + 1;
+  LIMS_CHECK_MSG(total <= 64,
+                 "SECDED word of " << data_bits << " data bits needs " << total
+                                   << " stored bits (max 64)");
+  return total;
+}
+
+std::vector<int> secded_data_positions(int data_bits) {
+  std::vector<int> pos;
+  pos.reserve(static_cast<std::size_t>(data_bits));
+  for (int p = 1; static_cast<int>(pos.size()) < data_bits; ++p)
+    if (!is_pow2(p)) pos.push_back(p);
+  return pos;
+}
+
+std::uint64_t secded_encode(std::uint64_t data, int data_bits) {
+  const int r = secded_parity_bits(data_bits);
+  const std::vector<int> pos = secded_data_positions(data_bits);
+  std::uint64_t code = data & ((data_bits >= 64)
+                                   ? ~std::uint64_t{0}
+                                   : ((std::uint64_t{1} << data_bits) - 1));
+  // Hamming check bits: check k covers the data bits whose 1-based
+  // position has bit k set.
+  for (int k = 0; k < r; ++k) {
+    int parity = 0;
+    for (int j = 0; j < data_bits; ++j)
+      if ((pos[static_cast<std::size_t>(j)] >> k) & 1)
+        parity ^= static_cast<int>((data >> j) & 1);
+    if (parity) code |= std::uint64_t{1} << (data_bits + k);
+  }
+  // Overall parity makes the whole codeword even.
+  int overall = 0;
+  for (int i = 0; i < data_bits + r; ++i)
+    overall ^= static_cast<int>((code >> i) & 1);
+  if (overall) code |= std::uint64_t{1} << (data_bits + r);
+  return code;
+}
+
+SecdedDecode secded_decode(std::uint64_t code, int data_bits) {
+  const int r = secded_parity_bits(data_bits);
+  const std::vector<int> pos = secded_data_positions(data_bits);
+  SecdedDecode out;
+
+  int syndrome = 0;
+  for (int k = 0; k < r; ++k) {
+    int parity = static_cast<int>((code >> (data_bits + k)) & 1);
+    for (int j = 0; j < data_bits; ++j)
+      if ((pos[static_cast<std::size_t>(j)] >> k) & 1)
+        parity ^= static_cast<int>((code >> j) & 1);
+    if (parity) syndrome |= 1 << k;
+  }
+  int overall = 0;
+  for (int i = 0; i < data_bits + r + 1; ++i)
+    overall ^= static_cast<int>((code >> i) & 1);
+
+  if (syndrome != 0 && overall == 0) {
+    // Even error count with a nonzero syndrome: double error, detected
+    // but not correctable.
+    out.uncorrectable = true;
+  } else if (syndrome != 0) {
+    // Single error at Hamming position `syndrome`; only data positions
+    // need the flip (an error in a check bit leaves the data intact).
+    for (int j = 0; j < data_bits; ++j) {
+      if (pos[static_cast<std::size_t>(j)] == syndrome) {
+        code ^= std::uint64_t{1} << j;
+        break;
+      }
+    }
+    out.corrected = true;
+  } else if (overall != 0) {
+    // Syndrome clean but overall parity off: the overall bit itself
+    // flipped. Data intact.
+    out.corrected = true;
+  }
+  out.data = code & ((std::uint64_t{1} << data_bits) - 1);
+  return out;
+}
+
+RepairResult allocate_repairs(const FaultMap& map, bool ecc) {
+  const ArrayGeometry& geom = map.geometry();
+  RepairResult result;
+  const int logical = geom.logical_rows();
+  const int tolerable = ecc ? 1 : 0;
+
+  for (int b = 0; b < geom.banks; ++b) {
+    // A spare is usable when, once a row is steered to it, the row meets
+    // the same acceptance rule as any other row.
+    std::vector<int> spares;
+    for (int s = logical; s < geom.rows; ++s) {
+      if (map.row_dead(b, s) || map.match_override(b, s) >= 0) continue;
+      if (map.faulty_bits_in_row(b, s) > tolerable) continue;
+      spares.push_back(s);
+    }
+    std::size_t next = 0;
+    for (int r = 0; r < logical; ++r) {
+      const bool needs_repair = map.row_dead(b, r) ||
+                                map.match_override(b, r) >= 0 ||
+                                map.faulty_bits_in_row(b, r) > tolerable;
+      if (!needs_repair) continue;
+      if (next < spares.size()) {
+        result.repairs.push_back({b, r, spares[next++]});
+        ++result.spares_used;
+      } else {
+        ++result.uncorrectable;
+      }
+    }
+  }
+  result.repairable = result.uncorrectable == 0;
+  return result;
+}
+
+}  // namespace limsynth::fault

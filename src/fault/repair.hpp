@@ -1,0 +1,79 @@
+// Redundancy and repair: SECDED ECC over the word plus spare-row
+// allocation.
+//
+// Two manufacturing-repair mechanisms, composable:
+//  * Hamming SECDED over each word — corrects any single stuck bitcell
+//    (or the one bad bit a dead bitline contributes per word) at the cost
+//    of widening the array by the check bits and the encoder/decoder
+//    logic in the periphery.
+//  * Spare rows per bank — a fuse-programmed remap steers a defective
+//    physical row (dead wordline, multi-bit row, dead brick row, stuck
+//    match line) to a clean spare at the top of the bank.
+// `allocate_repairs` decides which defects ECC absorbs, assigns spares to
+// the rest, and reports whether the chip is shippable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/defects.hpp"
+
+namespace limsynth::fault {
+
+class FaultMap;
+
+// ------------------------------------------------------------- SECDED
+// Codeword layout (physical column order): data bits [0, m), Hamming
+// check bits [m, m+r), overall parity at column m+r. The Hamming
+// positions interleave logically (checks at power-of-two positions) but
+// the storage stays systematic so the data columns of the ECC array line
+// up with the non-ECC array.
+
+/// Number of Hamming check bits r for m data bits: smallest r with
+/// 2^r >= m + r + 1.
+int secded_parity_bits(int data_bits);
+
+/// Total stored width: data + Hamming checks + overall parity.
+int secded_total_bits(int data_bits);
+
+/// 1-based Hamming position of each data bit (positions that are not
+/// powers of two, in order).
+std::vector<int> secded_data_positions(int data_bits);
+
+/// Encodes `data` (low `data_bits` bits) into the stored codeword.
+std::uint64_t secded_encode(std::uint64_t data, int data_bits);
+
+struct SecdedDecode {
+  std::uint64_t data = 0;     // corrected data bits
+  bool corrected = false;     // a single-bit error was fixed
+  bool uncorrectable = false; // double-bit error detected (data unreliable)
+};
+
+/// Decodes a stored codeword, correcting any single-bit error.
+SecdedDecode secded_decode(std::uint64_t code, int data_bits);
+
+// ------------------------------------------------------------- repair
+
+/// One fuse assignment: logical accesses to `row` of `bank` are steered
+/// to physical spare row `spare`.
+struct RowRepair {
+  int bank = 0;
+  int row = 0;    // defective physical row (in the logical region)
+  int spare = 0;  // clean spare row it maps to
+};
+
+struct RepairResult {
+  bool repairable = true;  // every defect is covered by ECC or a spare
+  int spares_used = 0;
+  int uncorrectable = 0;   // defective rows left unrepaired
+  std::vector<RowRepair> repairs;
+};
+
+/// Plans the repair for a sampled chip: rows whose defects ECC cannot
+/// absorb are matched to clean spare rows bank by bank. With `ecc`, a row
+/// with at most one faulty bit (stuck cell or dead-bitline column) needs
+/// no spare; dead rows, stuck match lines, dead bricks and multi-bit rows
+/// always need one.
+RepairResult allocate_repairs(const FaultMap& map, bool ecc);
+
+}  // namespace limsynth::fault

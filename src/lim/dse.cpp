@@ -1,5 +1,7 @@
 #include "lim/dse.hpp"
 
+#include "fault/inject.hpp"
+#include "fault/repair.hpp"
 #include "util/error.hpp"
 
 namespace limsynth::lim {
@@ -10,11 +12,62 @@ std::string PartitionChoice::label() const {
          " bricks (" + std::to_string(stack()) + "x stack)";
 }
 
+void PartitionChoice::validate() const {
+  LIMS_CHECK_MSG(words >= 1, "partition depth " << words << " is empty");
+  LIMS_CHECK_MSG(bits >= 1 && bits <= 64,
+                 "word width " << bits << " outside [1, 64]");
+  LIMS_CHECK_MSG(brick_words >= 1, "brick_words must be positive");
+  LIMS_CHECK_MSG(words % brick_words == 0,
+                 "partition words " << words << " not divisible by brick words "
+                                    << brick_words);
+}
+
+namespace {
+
+/// Post-repair functional yield of one partition (a single bank): sample
+/// `yield_chips` defect populations over its area and count the chips the
+/// repair allocator can fix.
+double partition_yield(const PartitionChoice& choice, int width,
+                       double bank_area, const tech::Process& process,
+                       const SweepOptions& opt) {
+  fault::ArrayGeometry geom;
+  geom.banks = 1;
+  geom.rows = choice.words + opt.spare_rows;
+  geom.spare_rows = opt.spare_rows;
+  geom.cols = width;
+  geom.brick_words = choice.brick_words;
+  geom.cam = choice.bitcell == tech::BitcellKind::kCamNor10T;
+  geom.bank_area = bank_area * (static_cast<double>(geom.rows) /
+                                static_cast<double>(choice.words));
+  const double d0 = opt.defect_density_per_m2 >= 0.0
+                        ? opt.defect_density_per_m2
+                        : process.defect_density_per_m2;
+  const double alpha =
+      opt.cluster_alpha > 0.0 ? opt.cluster_alpha : process.defect_cluster_alpha;
+  // Decorrelate the defect streams of different points while staying
+  // deterministic for a given (seed, choice).
+  const std::uint64_t seed =
+      opt.yield_seed ^ (static_cast<std::uint64_t>(choice.words) << 32) ^
+      (static_cast<std::uint64_t>(choice.bits) << 16) ^
+      static_cast<std::uint64_t>(choice.brick_words);
+  Rng rng(seed);
+  int good = 0;
+  for (int i = 0; i < opt.yield_chips; ++i) {
+    fault::FaultMap map(geom, fault::sample_defects(geom, d0, alpha, rng));
+    if (fault::allocate_repairs(map, opt.ecc).repairable) ++good;
+  }
+  return static_cast<double>(good) / opt.yield_chips;
+}
+
+}  // namespace
+
 DsePoint evaluate_partition(const PartitionChoice& choice,
-                            const tech::Process& process) {
-  LIMS_CHECK_MSG(choice.words % choice.brick_words == 0,
-                 "partition words not divisible by brick words");
-  const brick::BrickSpec spec{choice.bitcell, choice.brick_words, choice.bits,
+                            const tech::Process& process,
+                            const SweepOptions& options) {
+  choice.validate();
+  const int width =
+      options.ecc ? fault::secded_total_bits(choice.bits) : choice.bits;
+  const brick::BrickSpec spec{choice.bitcell, choice.brick_words, width,
                               choice.stack()};
   const brick::Brick b = brick::compile_brick(spec, process);
   DsePoint p;
@@ -23,14 +76,32 @@ DsePoint evaluate_partition(const PartitionChoice& choice,
   p.read_delay = p.estimate.read_delay;
   p.read_energy = p.estimate.read_energy;
   p.area = p.estimate.bank_area;
+  if (options.yield_chips > 0) {
+    p.post_repair_yield =
+        partition_yield(choice, width, p.area, process, options);
+  }
   return p;
 }
 
 std::vector<DsePoint> sweep_partitions(
-    const std::vector<PartitionChoice>& choices, const tech::Process& process) {
+    const std::vector<PartitionChoice>& choices, const tech::Process& process,
+    const SweepOptions& options) {
   std::vector<DsePoint> out;
   out.reserve(choices.size());
-  for (const auto& c : choices) out.push_back(evaluate_partition(c, process));
+  for (const auto& c : choices) {
+    try {
+      out.push_back(evaluate_partition(c, process, options));
+    } catch (const Error& e) {
+      // Graceful degradation: keep sweeping, carry the failure on the
+      // point so reports can show which shapes were rejected and why.
+      DsePoint p;
+      p.choice = c;
+      p.ok = false;
+      p.error = e.what();
+      p.post_repair_yield = 0.0;
+      out.push_back(std::move(p));
+    }
+  }
   return out;
 }
 
@@ -57,12 +128,19 @@ std::vector<std::size_t> pareto_front(
   return front;
 }
 
-std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points) {
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points,
+                                      double min_post_repair_yield) {
+  std::vector<std::size_t> eligible;
   std::vector<std::array<double, 3>> raw;
-  raw.reserve(points.size());
-  for (const auto& p : points)
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const DsePoint& p = points[i];
+    if (!p.ok || p.post_repair_yield < min_post_repair_yield) continue;
+    eligible.push_back(i);
     raw.push_back({p.read_delay, p.read_energy, p.area});
-  return pareto_front(raw);
+  }
+  std::vector<std::size_t> front;
+  for (std::size_t k : pareto_front(raw)) front.push_back(eligible[k]);
+  return front;
 }
 
 }  // namespace limsynth::lim

@@ -6,9 +6,16 @@
 // instantly ("compiling the netlists and generating the library
 // estimations were finalized within 2 seconds of wall clock time") and
 // Pareto fronts over {delay, energy, area} drop out.
+//
+// Sweeps degrade gracefully: an invalid partition doesn't abort the run —
+// its point is marked failed and carries the error message, and the
+// Pareto front considers the valid points only. With yield options set,
+// every point also gets a defect-aware post-repair yield (fault/ +
+// lim/yield), making manufacturability a fourth DSE axis.
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,30 +35,65 @@ struct PartitionChoice {
 
   int stack() const { return words / brick_words; }
   std::string label() const;
+
+  /// Throws limsynth::Error with a clear message on inconsistent shapes
+  /// (evaluate_partition calls this before touching the brick compiler).
+  void validate() const;
+};
+
+struct SweepOptions {
+  /// Fault-tolerance features applied to every evaluated partition. With
+  /// `ecc` the brick widens to the SECDED codeword (the estimate reflects
+  /// the extra columns); `spare_rows` adds redundancy for repair.
+  bool ecc = false;
+  int spare_rows = 0;
+
+  /// Defect-aware yield axis: when `yield_chips` > 0, each valid point
+  /// samples that many chips' defect populations and records the
+  /// post-repair yield. Deterministic given `yield_seed`.
+  int yield_chips = 0;
+  std::uint64_t yield_seed = 1;
+  /// Negative = use the tech::Process defectivity values.
+  double defect_density_per_m2 = -1.0;
+  double cluster_alpha = -1.0;
 };
 
 struct DsePoint {
   PartitionChoice choice;
+  /// Evaluation status: failed points (bad shapes, compiler errors) stay
+  /// in the sweep with `ok` false and the error message captured.
+  bool ok = true;
+  std::string error;
   double read_delay = 0.0;  // s
   double read_energy = 0.0; // J
   double area = 0.0;        // m^2
+  /// Fraction of sampled chips repairable to full function (1.0 when the
+  /// sweep ran without a yield axis).
+  double post_repair_yield = 1.0;
   brick::BrickEstimate estimate;  // full detail
 };
 
 /// Evaluates one partition through the brick compiler + estimator.
+/// Throws on invalid shapes; sweep_partitions catches per point.
 DsePoint evaluate_partition(const PartitionChoice& choice,
-                            const tech::Process& process);
+                            const tech::Process& process,
+                            const SweepOptions& options = {});
 
-/// Sweeps a list of partitions.
+/// Sweeps a list of partitions. Never throws for individual bad points:
+/// each failure is recorded on its DsePoint and the sweep keeps going.
 std::vector<DsePoint> sweep_partitions(const std::vector<PartitionChoice>& choices,
-                                       const tech::Process& process);
+                                       const tech::Process& process,
+                                       const SweepOptions& options = {});
 
 /// Indices of the Pareto-minimal points over (delay, energy, area):
 /// a point survives unless another point is <= on all axes and < on one.
 std::vector<std::size_t> pareto_front(
     const std::vector<std::array<double, 3>>& points);
 
-/// Convenience: Pareto front of a DSE sweep.
-std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points);
+/// Convenience: Pareto front of a DSE sweep over the valid points only.
+/// `min_post_repair_yield` additionally drops points below the yield
+/// floor — yield as a fourth, constraint-style axis.
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points,
+                                      double min_post_repair_yield = 0.0);
 
 }  // namespace limsynth::lim

@@ -60,9 +60,10 @@ FlowReport run_sram_flow(SramDesign& d, const tech::StdCellLib& cells,
                          const FlowOptions& options) {
   const int rows = d.config.rows_per_bank();
   const int bits = d.config.bits;
+  const int code_bits = d.config.code_bits();  // stored width (ECC-aware)
   auto attach = [&](netlist::Simulator& sim) {
     for (netlist::InstId bank : d.banks)
-      sim.attach(bank, std::make_shared<SramBankModel>(rows, bits));
+      sim.attach(bank, std::make_shared<SramBankModel>(rows, code_bits));
   };
   auto stim = [&, rows, bits](netlist::Simulator& sim, Rng& rng) {
     const int addr_bits = exact_log2(d.config.words);

@@ -37,7 +37,8 @@ void SramBankModel::on_clock(netlist::Simulator& sim, netlist::InstId inst) {
     }
   }
   if (rrow >= 0) {
-    const std::uint64_t v = mem_[static_cast<std::size_t>(rrow)];
+    std::uint64_t v = mem_[static_cast<std::size_t>(rrow)];
+    if (faults_) v = faults_->corrupt_read(bank_index_, rrow, v);
     for (int j = 0; j < bits_; ++j)
       sim.drive_pin(inst, idx("DO", j), (v >> j) & 1);
     sim.note_macro_access(inst);
@@ -67,6 +68,14 @@ void CamBankModel::on_clock(netlist::Simulator& sim, netlist::InstId inst) {
     if (sim.pin_value(inst, idx("SDATA", j))) key |= (std::uint64_t{1} << j);
   int hit = -1;
   for (int r = 0; r < rows_; ++r) {
+    if (faults_) {
+      const int forced = faults_->match_override_logical(bank_index_, r);
+      if (forced == 0) continue;  // match line stuck low: can never hit
+      if (forced == 1) {          // stuck high: hits regardless of contents
+        hit = r;
+        break;
+      }
+    }
     if (valid_[static_cast<std::size_t>(r)] &&
         mem_[static_cast<std::size_t>(r)] == key) {
       hit = r;

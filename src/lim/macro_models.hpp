@@ -3,8 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "fault/inject.hpp"
 #include "netlist/sim.hpp"
 
 namespace limsynth::lim {
@@ -12,6 +14,11 @@ namespace limsynth::lim {
 /// 1R1W SRAM bank: RWL/WWL decoded wordline buses, WDATA in, DO out.
 /// Contents persist across cycles; reads are synchronous (DO updates at
 /// the clock edge, like the clocked brick).
+///
+/// An optional fault overlay (set_faults) corrupts every read exactly
+/// where the chip's sampled defect map says — stuck bitcells, dead
+/// wordlines/bitlines, dead bricks — including any repair remap the map
+/// carries.
 class SramBankModel : public netlist::MacroModel {
  public:
   SramBankModel(int rows, int bits)
@@ -19,6 +26,13 @@ class SramBankModel : public netlist::MacroModel {
         mem_(static_cast<std::size_t>(rows), 0) {}
 
   void on_clock(netlist::Simulator& sim, netlist::InstId inst) override;
+
+  /// Installs the defect overlay; `bank` selects this instance's bank in
+  /// the chip-wide map.
+  void set_faults(std::shared_ptr<const fault::FaultMap> map, int bank) {
+    faults_ = std::move(map);
+    bank_index_ = bank;
+  }
 
   /// Backdoor access for tests.
   std::uint64_t word(int row) const { return mem_.at(static_cast<std::size_t>(row)); }
@@ -28,11 +42,17 @@ class SramBankModel : public netlist::MacroModel {
   int rows_;
   int bits_;
   std::vector<std::uint64_t> mem_;
+  std::shared_ptr<const fault::FaultMap> faults_;
+  int bank_index_ = 0;
 };
 
 /// CAM bank: stores index words; on search (SDATA), MATCH goes high when
 /// any row equals the search word; DO returns the matching row's index
 /// (priority: lowest row). Writes via WWL/WDATA as in the SRAM.
+///
+/// The fault overlay injects match-line stuck faults: a stuck-0 row can
+/// never match, a stuck-1 row always raises MATCH regardless of its
+/// contents or validity.
 class CamBankModel : public netlist::MacroModel {
  public:
   CamBankModel(int rows, int bits)
@@ -41,6 +61,11 @@ class CamBankModel : public netlist::MacroModel {
         valid_(static_cast<std::size_t>(rows), false) {}
 
   void on_clock(netlist::Simulator& sim, netlist::InstId inst) override;
+
+  void set_faults(std::shared_ptr<const fault::FaultMap> map, int bank) {
+    faults_ = std::move(map);
+    bank_index_ = bank;
+  }
 
   void set_word(int row, std::uint64_t v, bool valid = true) {
     mem_.at(static_cast<std::size_t>(row)) = v;
@@ -54,6 +79,8 @@ class CamBankModel : public netlist::MacroModel {
   int bits_;
   std::vector<std::uint64_t> mem_;
   std::vector<bool> valid_;
+  std::shared_ptr<const fault::FaultMap> faults_;
+  int bank_index_ = 0;
 };
 
 }  // namespace limsynth::lim

@@ -19,15 +19,106 @@ std::string SramConfig::name() const {
   std::string s = "sram" + std::to_string(words) + "x" + std::to_string(bits);
   if (banks > 1) s += "_b" + std::to_string(banks);
   s += "_bw" + std::to_string(brick_words);
+  if (ecc) s += "_ecc";
+  if (spare_rows > 0) s += "_sp" + std::to_string(spare_rows);
   return s;
 }
 
+void SramConfig::validate() const {
+  LIMS_CHECK_MSG(bits >= 1 && bits <= 64,
+                 "word width " << bits << " outside [1, 64]");
+  LIMS_CHECK_MSG(words >= 2 && (words & (words - 1)) == 0,
+                 "words " << words << " is not a power of two");
+  LIMS_CHECK_MSG(banks >= 1 && (banks & (banks - 1)) == 0,
+                 "banks " << banks << " is not a power of two");
+  LIMS_CHECK_MSG(banks <= words && words % banks == 0,
+                 "banks " << banks << " does not divide words " << words);
+  LIMS_CHECK_MSG(brick_words >= 1, "brick_words must be positive");
+  LIMS_CHECK_MSG(
+      rows_per_bank() % brick_words == 0,
+      "brick of " << brick_words << " words does not divide the "
+                  << rows_per_bank() << " rows of each bank");
+  LIMS_CHECK_MSG(spare_rows >= 0, "negative spare_rows");
+  if (ecc) (void)fault::secded_total_bits(bits);  // throws when too wide
+}
+
+namespace {
+
+/// Balanced XOR reduction (parity) of a set of nets.
+netlist::NetId xor_fold(netlist::Builder& b,
+                        std::vector<netlist::NetId> xs) {
+  LIMS_CHECK(!xs.empty());
+  while (xs.size() > 1) {
+    std::vector<netlist::NetId> next;
+    next.reserve(xs.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2)
+      next.push_back(b.xor2(xs[i], xs[i + 1]));
+    if (xs.size() % 2) next.push_back(xs.back());
+    xs = std::move(next);
+  }
+  return xs[0];
+}
+
+/// SECDED encoder: m data nets -> m + r + 1 codeword nets in the storage
+/// layout of fault/repair.hpp (data, Hamming checks, overall parity).
+std::vector<netlist::NetId> secded_encoder(
+    netlist::Builder& b, const std::vector<netlist::NetId>& data) {
+  const int m = static_cast<int>(data.size());
+  const int r = fault::secded_parity_bits(m);
+  const std::vector<int> pos = fault::secded_data_positions(m);
+  std::vector<netlist::NetId> code = data;
+  for (int k = 0; k < r; ++k) {
+    std::vector<netlist::NetId> covered;
+    for (int j = 0; j < m; ++j)
+      if ((pos[static_cast<std::size_t>(j)] >> k) & 1)
+        covered.push_back(data[static_cast<std::size_t>(j)]);
+    code.push_back(xor_fold(b, std::move(covered)));
+  }
+  code.push_back(xor_fold(b, code));  // overall parity over data + checks
+  return code;
+}
+
+/// SECDED decoder/corrector: recomputes the syndrome, and flips the one
+/// data bit it points at when the overall parity confirms a single-bit
+/// error. Returns the m corrected data nets.
+std::vector<netlist::NetId> secded_decoder(
+    netlist::Builder& b, const std::vector<netlist::NetId>& code, int m) {
+  const int r = fault::secded_parity_bits(m);
+  LIMS_CHECK(static_cast<int>(code.size()) == m + r + 1);
+  const std::vector<int> pos = fault::secded_data_positions(m);
+
+  std::vector<netlist::NetId> syn, syn_n;
+  for (int k = 0; k < r; ++k) {
+    std::vector<netlist::NetId> covered = {
+        code[static_cast<std::size_t>(m + k)]};
+    for (int j = 0; j < m; ++j)
+      if ((pos[static_cast<std::size_t>(j)] >> k) & 1)
+        covered.push_back(code[static_cast<std::size_t>(j)]);
+    syn.push_back(xor_fold(b, std::move(covered)));
+    syn_n.push_back(b.inv(syn.back()));
+  }
+  const netlist::NetId parity_err = xor_fold(b, code);
+
+  std::vector<netlist::NetId> out;
+  out.reserve(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    std::vector<netlist::NetId> terms;
+    for (int k = 0; k < r; ++k)
+      terms.push_back((pos[static_cast<std::size_t>(j)] >> k) & 1
+                          ? syn[static_cast<std::size_t>(k)]
+                          : syn_n[static_cast<std::size_t>(k)]);
+    const netlist::NetId at_j = b.and_tree(std::move(terms));
+    const netlist::NetId flip = b.and2(at_j, parity_err);
+    out.push_back(b.xor2(code[static_cast<std::size_t>(j)], flip));
+  }
+  return out;
+}
+
+}  // namespace
+
 SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
                       const tech::StdCellLib& cells) {
-  LIMS_CHECK_MSG(cfg.words % cfg.banks == 0,
-                 "words not divisible by banks");
-  LIMS_CHECK_MSG(cfg.rows_per_bank() % cfg.brick_words == 0,
-                 "bank rows not divisible by brick words");
+  cfg.validate();
   const int addr_bits = exact_log2(cfg.words);
   const int bank_bits = exact_log2(cfg.banks);
   const int row_bits = addr_bits - bank_bits;
@@ -35,8 +126,12 @@ SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
   SramDesign d(cfg, cfg.name());
 
   // Libraries: standard cells + the one brick shape this design uses.
+  // With ECC the brick stores the full codeword, so the array widens to
+  // code_bits() columns and the extra area/energy flows through the
+  // estimator exactly like any other brick shape.
+  const int width = cfg.code_bits();
   d.lib = liberty::characterize_stdcell_library(cells);
-  const brick::BrickSpec brick_spec{cfg.bitcell, cfg.brick_words, cfg.bits,
+  const brick::BrickSpec brick_spec{cfg.bitcell, cfg.brick_words, width,
                                     cfg.bricks_per_bank()};
   const brick::Brick bank_brick = brick::compile_brick(brick_spec, process);
   d.bricks.push_back(bank_brick);
@@ -75,6 +170,10 @@ SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
   const std::vector<netlist::NetId> waddr_r = b.registers(d.waddr, d.clk);
   const std::vector<netlist::NetId> wdata_r = b.registers(d.wdata, d.clk);
   const netlist::NetId wen_r = b.registers({d.wen}, d.clk)[0];
+
+  // SECDED encoder on the write path: the bricks store the codeword.
+  const std::vector<netlist::NetId> wcode =
+      cfg.ecc ? secded_encoder(b, wdata_r) : wdata_r;
 
   const std::vector<netlist::NetId> r_row(raddr_r.begin(),
                                           raddr_r.begin() + row_bits);
@@ -147,12 +246,12 @@ SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
       conns.push_back(
           {"WWL[" + std::to_string(r) + "]", wwl_row[static_cast<std::size_t>(r)]});
     }
-    for (int j = 0; j < cfg.bits; ++j)
+    for (int j = 0; j < width; ++j)
       conns.push_back(
-          {"WDATA[" + std::to_string(j) + "]", wdata_r[static_cast<std::size_t>(j)]});
+          {"WDATA[" + std::to_string(j) + "]", wcode[static_cast<std::size_t>(j)]});
     std::vector<netlist::NetId> dos =
-        nl.make_bus("bank" + std::to_string(k) + "_do", cfg.bits);
-    for (int j = 0; j < cfg.bits; ++j)
+        nl.make_bus("bank" + std::to_string(k) + "_do", width);
+    for (int j = 0; j < width; ++j)
       conns.push_back({"DO[" + std::to_string(j) + "]", dos[static_cast<std::size_t>(j)]});
     const netlist::InstId inst = nl.add_instance(
         "bank" + std::to_string(k), macro_name, std::move(conns));
@@ -175,8 +274,8 @@ SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
     do_reg.reserve(static_cast<std::size_t>(cfg.banks));
     for (int k = 0; k < cfg.banks; ++k)
       do_reg.push_back(b.registers(bank_do[static_cast<std::size_t>(k)], d.clk));
-    rdata_comb.reserve(static_cast<std::size_t>(cfg.bits));
-    for (int j = 0; j < cfg.bits; ++j) {
+    rdata_comb.reserve(static_cast<std::size_t>(width));
+    for (int j = 0; j < width; ++j) {
       std::vector<netlist::NetId> per_bank;
       per_bank.reserve(static_cast<std::size_t>(cfg.banks));
       for (int k = 0; k < cfg.banks; ++k)
@@ -184,6 +283,10 @@ SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
       rdata_comb.push_back(b.onehot_mux(sel_reg2, per_bank));
     }
   }
+  // SECDED decoder/corrector on the read path, ahead of the output
+  // register: a single stuck bit anywhere in the codeword is fixed here,
+  // so downstream logic sees clean data end to end.
+  if (cfg.ecc) rdata_comb = secded_decoder(b, rdata_comb, cfg.bits);
   d.rdata = b.registers(rdata_comb, d.clk);
   for (int j = 0; j < cfg.bits; ++j)
     nl.add_port("rdata" + std::to_string(j), netlist::PortDir::kOutput,

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "brick/brick.hpp"
+#include "fault/repair.hpp"
 #include "liberty/library.hpp"
 #include "netlist/netlist.hpp"
 #include "tech/stdcell.hpp"
@@ -25,9 +26,27 @@ struct SramConfig {
   int brick_words = 16;  // rows per brick; bricks stacked to fill a bank
   tech::BitcellKind bitcell = tech::BitcellKind::kSram8T;
 
+  // Fault tolerance. `ecc` stores a Hamming SECDED codeword per row
+  // (wider bricks + synthesized encode/decode logic); `spare_rows` adds
+  // fuse-remappable redundant rows per bank for yield repair (area
+  // modeled analytically in the yield analysis; the logical netlist is
+  // unchanged, as the remap sits below the decoder abstraction).
+  bool ecc = false;
+  int spare_rows = 0;
+
   int rows_per_bank() const { return words / banks; }
   int bricks_per_bank() const { return rows_per_bank() / brick_words; }
+  /// Stored word width: the data plus SECDED check bits when ECC is on.
+  int code_bits() const {
+    return ecc ? fault::secded_total_bits(bits) : bits;
+  }
   std::string name() const;
+
+  /// Throws limsynth::Error with a clear message on any inconsistent
+  /// shape (non-power-of-two words, banks not dividing words, bricks not
+  /// dividing bank rows, ...). Called up front by build_sram so bad
+  /// configs never reach the brick compiler.
+  void validate() const;
 };
 
 /// The elaborated design plus everything downstream stages need.

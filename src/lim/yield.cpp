@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "brick/estimator.hpp"
+#include "fault/inject.hpp"
+#include "fault/repair.hpp"
 #include "util/error.hpp"
 
 namespace limsynth::lim {
@@ -38,6 +41,101 @@ YieldResult analyze_yield(
   }
   std::sort(bins.begin(), bins.end());
   for (double f : bins) res.yield_curve.emplace_back(f, res.yield_at(f));
+  return res;
+}
+
+fault::ArrayGeometry array_geometry(const SramConfig& cfg,
+                                    const tech::Process& process) {
+  cfg.validate();
+  fault::ArrayGeometry g;
+  g.banks = cfg.banks;
+  g.rows = cfg.rows_per_bank() + cfg.spare_rows;
+  g.spare_rows = cfg.spare_rows;
+  g.cols = cfg.code_bits();
+  g.brick_words = cfg.brick_words;
+  g.cam = cfg.bitcell == tech::BitcellKind::kCamNor10T;
+  const brick::Brick b = brick::compile_brick(
+      {cfg.bitcell, cfg.brick_words, g.cols, cfg.bricks_per_bank()}, process);
+  // Spare rows extend the brick stack; scale the estimator's bank area by
+  // the physical/logical row ratio so redundancy pays its area (and thus
+  // its extra defect exposure) honestly.
+  g.bank_area = brick::estimate_brick(b).bank_area *
+                (static_cast<double>(g.rows) /
+                 static_cast<double>(cfg.rows_per_bank()));
+  return g;
+}
+
+std::function<double(const tech::Process&)> estimator_fmax(
+    const SramConfig& cfg) {
+  return [cfg](const tech::Process& p) {
+    const brick::Brick b = brick::compile_brick(
+        {cfg.bitcell, cfg.brick_words, cfg.code_bits(),
+         cfg.bricks_per_bank()},
+        p);
+    return 1.0 / brick::estimate_brick(b).min_cycle;
+  };
+}
+
+FullYieldResult analyze_yield_full(
+    const SramConfig& cfg, const tech::Process& nominal,
+    const FullYieldOptions& opt,
+    const std::function<double(const tech::Process&)>& measure_fmax) {
+  LIMS_CHECK_MSG(opt.chips >= 1, "yield analysis needs at least one chip");
+  const fault::ArrayGeometry geom = array_geometry(cfg, nominal);
+  const double d0 = opt.defect_density_per_m2 >= 0.0
+                        ? opt.defect_density_per_m2
+                        : nominal.defect_density_per_m2;
+  const double alpha = opt.cluster_alpha > 0.0 ? opt.cluster_alpha
+                                               : nominal.defect_cluster_alpha;
+  const std::function<double(const tech::Process&)> fmax_of =
+      measure_fmax ? measure_fmax : estimator_fmax(cfg);
+
+  FullYieldResult res;
+  res.chips = opt.chips;
+  std::vector<bool> repairable(static_cast<std::size_t>(opt.chips), false);
+  Rng rng(opt.seed);
+  for (int i = 0; i < opt.chips; ++i) {
+    const tech::Process sample = nominal.monte_carlo_chip(rng);
+    const double f = fmax_of(sample);
+    LIMS_CHECK_MSG(f > 0.0, "yield: chip " << i << " returned fmax " << f);
+    res.parametric.fmax_samples.push_back(f);
+    res.parametric.stats.add(f);
+
+    const std::vector<fault::Defect> defects =
+        fault::sample_defects(geom, d0, alpha, rng);
+    res.mean_defects += static_cast<double>(defects.size());
+    fault::FaultMap map(geom, defects);
+    if (map.logical_array_clean()) ++res.functional_good;
+    const fault::RepairResult rr = fault::allocate_repairs(map, cfg.ecc);
+    if (rr.repairable) {
+      ++res.repaired_good;
+      repairable[static_cast<std::size_t>(i)] = true;
+    }
+    res.mean_spares_used += static_cast<double>(rr.spares_used);
+  }
+  res.mean_defects /= opt.chips;
+  res.mean_spares_used /= opt.chips;
+
+  std::vector<double> bins = opt.freq_bins;
+  if (bins.empty()) {
+    const double mean = res.parametric.stats.mean();
+    for (double frac : {0.80, 0.85, 0.90, 0.95, 1.00, 1.05, 1.10})
+      bins.push_back(frac * mean);
+  }
+  std::sort(bins.begin(), bins.end());
+  for (double f : bins) {
+    FullYieldResult::Bin bin;
+    bin.freq = f;
+    bin.parametric = res.parametric.yield_at(f);
+    res.parametric.yield_curve.emplace_back(f, bin.parametric);
+    int pass = 0;
+    for (int i = 0; i < opt.chips; ++i)
+      if (repairable[static_cast<std::size_t>(i)] &&
+          res.parametric.fmax_samples[static_cast<std::size_t>(i)] >= f)
+        ++pass;
+    bin.combined = static_cast<double>(pass) / opt.chips;
+    res.bins.push_back(bin);
+  }
   return res;
 }
 

@@ -6,11 +6,20 @@
 // run the flow on each, and report the f_max distribution plus parametric
 // yield at a target frequency — the speed-binning view a product team
 // would ask of the methodology.
+//
+// analyze_yield_full() adds the manufacturing half: each sampled chip also
+// draws a defect population (fault/defects.hpp), the repair allocator
+// tries to fix it with the config's spare rows and ECC, and the result
+// combines functional, post-repair and parametric yield per frequency bin
+// — turning every design point from "nominal numbers" into "shippable
+// fraction at speed".
 #pragma once
 
 #include <functional>
 #include <vector>
 
+#include "fault/defects.hpp"
+#include "lim/sram_builder.hpp"
 #include "tech/process.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -23,6 +32,8 @@ struct YieldResult {
   /// Fraction of chips meeting each queried frequency.
   std::vector<std::pair<double, double>> yield_curve;  // (freq, yield)
 
+  /// Fraction of sampled chips with f_max >= freq. Frequencies outside
+  /// the sampled range simply saturate (1.0 below it, 0.0 above it).
   double yield_at(double freq) const;
 };
 
@@ -33,5 +44,62 @@ YieldResult analyze_yield(
     const tech::Process& nominal, int chips, std::uint64_t seed,
     const std::function<double(const tech::Process&)>& measure_fmax,
     std::vector<double> bins = {});
+
+// ------------------------------------------------- defect-aware yield
+
+struct FullYieldOptions {
+  int chips = 100;
+  std::uint64_t seed = 1;
+  /// Frequencies for the yield curve; empty = 80%..110% of mean f_max.
+  std::vector<double> freq_bins;
+  /// Override the process defect density / clustering (negative = use
+  /// the tech::Process values).
+  double defect_density_per_m2 = -1.0;
+  double cluster_alpha = -1.0;
+};
+
+struct FullYieldResult {
+  int chips = 0;
+  int functional_good = 0;  // defect-free logical array, pre-repair
+  int repaired_good = 0;    // shippable after spare-row repair + ECC
+  YieldResult parametric;   // f_max distribution over all chips
+  double mean_defects = 0.0;
+  double mean_spares_used = 0.0;
+
+  struct Bin {
+    double freq = 0.0;
+    double parametric = 0.0;  // fraction of all chips with f_max >= freq
+    double combined = 0.0;    // repairable AND f_max >= freq
+  };
+  std::vector<Bin> bins;
+
+  double functional_yield() const {
+    return chips ? static_cast<double>(functional_good) / chips : 0.0;
+  }
+  double post_repair_yield() const {
+    return chips ? static_cast<double>(repaired_good) / chips : 0.0;
+  }
+};
+
+/// The config's array as the defect model sees it: physical rows (spares
+/// included), stored columns (ECC checks included), and the bank area the
+/// brick estimator reports, scaled for the spare rows.
+fault::ArrayGeometry array_geometry(const SramConfig& cfg,
+                                    const tech::Process& process);
+
+/// A cheap analytic f_max proxy — 1 / min_cycle of the config's bank
+/// brick under the sampled process — for yield curves that don't need a
+/// full flow run per chip.
+std::function<double(const tech::Process&)> estimator_fmax(
+    const SramConfig& cfg);
+
+/// Full defect + parametric yield analysis: per chip, samples process
+/// variation (f_max via `measure_fmax`; pass nullptr for the estimator
+/// proxy) and a defect population, plans repair with the config's spare
+/// rows and ECC, and bins the results. Deterministic given the seed.
+FullYieldResult analyze_yield_full(
+    const SramConfig& cfg, const tech::Process& nominal,
+    const FullYieldOptions& options = {},
+    const std::function<double(const tech::Process&)>& measure_fmax = {});
 
 }  // namespace limsynth::lim

@@ -37,9 +37,22 @@ void Simulator::set_bus(const std::vector<NetId>& bus, std::uint64_t value) {
     set_net(bus[i], (value >> i) & 1, true);
 }
 
+void Simulator::force_net(NetId net, bool value) {
+  const auto n = static_cast<std::size_t>(net);
+  LIMS_CHECK(n < values_.size());
+  forced_[net] = value;
+  values_[n] = value;
+}
+
+void Simulator::release_net(NetId net) { forced_.erase(net); }
+
 void Simulator::set_net(NetId net, bool value, bool count_toggle) {
   const auto n = static_cast<std::size_t>(net);
   LIMS_CHECK(n < values_.size());
+  if (!forced_.empty()) {
+    const auto it = forced_.find(net);
+    if (it != forced_.end()) value = it->second;  // stuck net wins
+  }
   if (values_[n] != value) {
     values_[n] = value;
     if (count_toggle) ++toggle_counts_[n];
@@ -121,9 +134,15 @@ void Simulator::settle() {
       LIMS_CHECK_MSG(fit != func_by_cell_.end(),
                      "unknown cell " << inst.cell);
       if (tech::cell_func_sequential(fit->second)) continue;
-      const bool v = eval_cell(inst);
+      bool v = eval_cell(inst);
       const NetId* out = inst.find_pin("Y");
       LIMS_CHECK(out != nullptr);
+      if (!forced_.empty()) {
+        // A stuck net never follows its driver; compare against the forced
+        // value so the fixpoint still converges.
+        const auto it = forced_.find(*out);
+        if (it != forced_.end()) v = it->second;
+      }
       if (value(*out) != v) {
         set_net(*out, v, true);
         changed = true;

@@ -57,6 +57,13 @@ class Simulator {
   bool pin_value(InstId inst, const std::string& pin) const;
   void drive_pin(InstId inst, const std::string& pin, bool value);
 
+  /// Fault-injection hook: clamps a net to a fixed value. A forced net
+  /// resists every driver (primary inputs, gates, flops, macro models)
+  /// until released — the gate-level model of a stuck-at net, e.g. a
+  /// defective word line or bank-select wire.
+  void force_net(NetId net, bool value);
+  void release_net(NetId net);
+
   /// Activity statistics for power analysis.
   std::uint64_t toggles(NetId net) const;
   std::uint64_t cycles() const { return cycles_; }
@@ -78,6 +85,7 @@ class Simulator {
   std::vector<bool> values_;
   std::vector<bool> ff_state_;  // per instance (DFF/DFFE)
   std::vector<std::uint64_t> toggle_counts_;
+  std::map<NetId, bool> forced_;  // stuck-at net faults
   std::map<InstId, std::shared_ptr<MacroModel>> macros_;
   std::map<InstId, std::uint64_t> macro_access_counts_;
   std::uint64_t cycles_ = 0;

@@ -60,6 +60,13 @@ struct Process {
   double t_control = 70e-12;    // s, clock -> wordline-enable (pulse gen)
   double e_control = 0.118e-12; // J per accessed brick per cycle (pulse gen)
 
+  // Manufacturing defectivity: Poisson point-defect density over die
+  // area, with negative-binomial clustering (the classic wafer-yield
+  // model Y = (1 + A*D0/alpha)^-alpha). 0.2 defects/cm^2 is a mature
+  // 65nm line; fault/defects.hpp samples discrete defects from these.
+  double defect_density_per_m2 = 0.2 * 1e4;  // D0: 0.2 / cm^2
+  double defect_cluster_alpha = 2.0;         // clustering shape (mean-1 Gamma)
+
   // Clock-network capacitance inside a brick control block (precharge
   // clocking, output latch clocks, pulse-generator internals): fixed part
   // plus per-column and per-row wire/gate load. This fixed per-brick cost

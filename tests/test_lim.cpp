@@ -8,6 +8,8 @@
 
 #include <map>
 
+#include "fault/defects.hpp"
+#include "fault/inject.hpp"
 #include "lim/brick_opt.hpp"
 #include "lim/cam_block.hpp"
 #include "lim/dse.hpp"
@@ -51,7 +53,7 @@ void exercise_sram(const SramConfig& cfg) {
   netlist::Simulator sim(d.nl, ctx.cells);
   for (netlist::InstId bank : d.banks)
     sim.attach(bank, std::make_shared<SramBankModel>(cfg.rows_per_bank(),
-                                                     cfg.bits));
+                                                     cfg.code_bits()));
   sim.settle();
 
   Rng rng(cfg.words);
@@ -87,6 +89,94 @@ TEST(SramBuilder, FunctionalSingleBank) { exercise_sram({32, 10, 1, 16}); }
 TEST(SramBuilder, FunctionalStacked) { exercise_sram({128, 10, 1, 16}); }
 TEST(SramBuilder, FunctionalBanked) { exercise_sram({128, 10, 4, 16}); }
 TEST(SramBuilder, FunctionalWide) { exercise_sram({64, 16, 2, 16}); }
+
+TEST(SramBuilder, FunctionalWithEcc) {
+  SramConfig cfg{64, 10, 2, 16};
+  cfg.ecc = true;
+  exercise_sram(cfg);
+}
+
+TEST(SramConfig, ValidateRejectsInconsistentShapes) {
+  EXPECT_THROW((SramConfig{100, 10, 4, 16}).validate(), Error);  // not pow2
+  EXPECT_THROW((SramConfig{128, 10, 3, 16}).validate(), Error);  // bad banks
+  EXPECT_THROW((SramConfig{128, 10, 1, 24}).validate(), Error);  // bad bricks
+  EXPECT_THROW((SramConfig{128, 0, 4, 16}).validate(), Error);   // no bits
+  SramConfig neg{128, 10, 4, 16};
+  neg.spare_rows = -1;
+  EXPECT_THROW(neg.validate(), Error);
+  SramConfig wide{128, 60, 4, 16};  // SECDED codeword would exceed 64 bits
+  wide.ecc = true;
+  EXPECT_THROW(wide.validate(), Error);
+  SramConfig ok{128, 10, 4, 16};
+  ok.ecc = true;
+  ok.spare_rows = 2;
+  EXPECT_NO_THROW(ok.validate());
+  EXPECT_EQ(ok.code_bits(), 15);  // 10 data + 4 checks + overall parity
+  // Fault-tolerance features show up in the design name.
+  EXPECT_NE(ok.name().find("_ecc"), std::string::npos);
+  EXPECT_NE(ok.name().find("_sp2"), std::string::npos);
+}
+
+/// Acceptance: a stuck-at bitcell injected into a SECDED-protected SRAM is
+/// corrected on the way out of the functional simulator; the identical
+/// defect in the unprotected SRAM escapes to rdata.
+std::uint64_t read_through(SramDesign& d, netlist::Simulator& sim,
+                           std::uint64_t addr) {
+  sim.set_bus(d.raddr, addr);
+  sim.settle();
+  for (int l = 0; l < d.read_latency(); ++l) sim.clock_edge();
+  return sim.bus_value(d.rdata);
+}
+
+std::uint64_t faulty_sram_read(bool ecc) {
+  Ctx ctx;
+  SramConfig cfg{32, 10, 1, 16};
+  cfg.ecc = ecc;
+  SramDesign d = build_sram(cfg, ctx.process, ctx.cells);
+  const fault::ArrayGeometry geom = array_geometry(cfg, ctx.process);
+  // One stuck-at-1 cell at row 5, column 3 — a data column either way.
+  const auto map = std::make_shared<fault::FaultMap>(
+      geom,
+      std::vector<fault::Defect>{{fault::DefectKind::kCellStuck1, 0, 5, 3, 0}});
+  netlist::Simulator sim(d.nl, ctx.cells);
+  auto model =
+      std::make_shared<SramBankModel>(cfg.rows_per_bank(), cfg.code_bits());
+  model->set_faults(map, 0);
+  sim.attach(d.banks[0], model);
+  sim.settle();
+  // Write 0x2A5 (bit 3 clear, so the stuck-at-1 cell corrupts the word).
+  sim.set_bus(d.waddr, 5);
+  sim.set_bus(d.wdata, 0x2A5);
+  sim.set_input(d.wen, true);
+  sim.set_bus(d.raddr, 0);
+  sim.settle();
+  sim.clock_edge();
+  sim.set_input(d.wen, false);
+  return read_through(d, sim, 5);
+}
+
+TEST(SramBuilder, EccCorrectsInjectedStuckBitcell) {
+  EXPECT_EQ(faulty_sram_read(/*ecc=*/true), 0x2A5u);
+  EXPECT_EQ(faulty_sram_read(/*ecc=*/false), 0x2ADu);  // bit 3 forced high
+}
+
+TEST(SramBuilder, EccCostsGatesAreaAndEnergy) {
+  Ctx ctx;
+  const SramConfig plain{32, 10, 1, 16};
+  SramConfig prot = plain;
+  prot.ecc = true;
+  // The encoder/decoder are real synthesized gates...
+  const SramDesign d_plain = build_sram(plain, ctx.process, ctx.cells);
+  const SramDesign d_ecc = build_sram(prot, ctx.process, ctx.cells);
+  EXPECT_GT(d_ecc.nl.live_instance_count(), d_plain.nl.live_instance_count());
+  // ...and the wider codeword bricks cost area and energy in the estimator.
+  const DsePoint base = evaluate_partition({128, 10, 16}, ctx.process);
+  SweepOptions with_ecc;
+  with_ecc.ecc = true;
+  const DsePoint ecc = evaluate_partition({128, 10, 16}, ctx.process, with_ecc);
+  EXPECT_GT(ecc.area, base.area);
+  EXPECT_GT(ecc.read_energy, base.read_energy);
+}
 
 TEST(Flow, ProducesConsistentReport) {
   Ctx ctx;
@@ -139,6 +229,70 @@ TEST(Dse, ParetoFrontBasics) {
       {2, 2, 2}, {1, 1, 1}, {0.5, 3, 1}, {0.6, 3.5, 1.5}};
   const auto front = pareto_front(pts);
   EXPECT_EQ(front, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Dse, ParetoFrontEdgeCases) {
+  // Empty input: empty front, no crash.
+  EXPECT_TRUE(pareto_front(std::vector<std::array<double, 3>>{}).empty());
+  EXPECT_TRUE(pareto_front(std::vector<DsePoint>{}).empty());
+  // A single point is its own front.
+  const std::vector<std::array<double, 3>> one = {{1.0, 2.0, 3.0}};
+  EXPECT_EQ(pareto_front(one), std::vector<std::size_t>{0});
+  // Exact duplicates don't dominate each other: both survive.
+  const std::vector<std::array<double, 3>> dup = {
+      {1.0, 1.0, 1.0}, {1.0, 1.0, 1.0}, {2.0, 2.0, 2.0}};
+  EXPECT_EQ(pareto_front(dup), (std::vector<std::size_t>{0, 1}));
+}
+
+/// Acceptance: a sweep over a mix of valid and invalid partitions finishes,
+/// marks the failures with their error text, and keeps them off the front.
+TEST(Dse, SweepDegradesGracefully) {
+  Ctx ctx;
+  const std::vector<PartitionChoice> choices = {
+      {128, 8, 16},  // fine
+      {100, 8, 16},  // 100 not divisible by 16
+      {128, 8, 32},  // fine
+      {0, 8, 16},    // empty array
+      {128, 8, 13},  // 128 not divisible by 13
+  };
+  const auto pts = sweep_partitions(choices, ctx.process);
+  ASSERT_EQ(pts.size(), choices.size());
+  const std::vector<bool> expect_ok = {true, false, true, false, false};
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].ok, expect_ok[i]) << "point " << i;
+    if (!pts[i].ok) {
+      EXPECT_FALSE(pts[i].error.empty()) << "point " << i;
+      EXPECT_DOUBLE_EQ(pts[i].post_repair_yield, 0.0);
+    }
+  }
+  const auto front = pareto_front(pts);
+  EXPECT_FALSE(front.empty());
+  for (std::size_t i : front) EXPECT_TRUE(pts[i].ok) << "front index " << i;
+}
+
+TEST(Dse, YieldAxisDeterministicAndFiltersFront) {
+  Ctx ctx;
+  SweepOptions opt;
+  opt.yield_chips = 60;
+  opt.yield_seed = 9;
+  opt.spare_rows = 2;
+  opt.defect_density_per_m2 = 5e8;  // hot process: yields clearly below 1
+  const std::vector<PartitionChoice> choices = {
+      {64, 8, 16}, {128, 8, 16}, {256, 8, 16}};
+  const auto pts = sweep_partitions(choices, ctx.process, opt);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.post_repair_yield, 0.0);
+    EXPECT_LE(p.post_repair_yield, 1.0);
+  }
+  // Bigger arrays collect more defects: yield falls with area.
+  EXPECT_GE(pts[0].post_repair_yield, pts[2].post_repair_yield);
+  // Same options, same seed: bit-identical yields.
+  const auto again = sweep_partitions(choices, ctx.process, opt);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_DOUBLE_EQ(pts[i].post_repair_yield, again[i].post_repair_yield);
+  // A yield floor above every point empties the front; floor 0 keeps it.
+  EXPECT_TRUE(pareto_front(pts, 1.01).empty());
+  EXPECT_FALSE(pareto_front(pts, 0.0).empty());
 }
 
 TEST(Dse, SweepFrontNeverEmpty) {
@@ -259,6 +413,55 @@ TEST(Yield, DistributionAndCurve) {
   // Determinism.
   const YieldResult again = analyze_yield(ctx.process, 40, 77, measure);
   EXPECT_EQ(again.fmax_samples, res.fmax_samples);
+}
+
+TEST(Yield, YieldAtHandlesOutOfRangeFrequencies) {
+  YieldResult empty;
+  EXPECT_THROW(empty.yield_at(1e9), Error);  // no samples: no answer
+  YieldResult r;
+  r.fmax_samples = {1e9, 2e9, 3e9};
+  EXPECT_DOUBLE_EQ(r.yield_at(0.0), 1.0);    // below every sample
+  EXPECT_DOUBLE_EQ(r.yield_at(-5e9), 1.0);   // nonsense-low
+  EXPECT_DOUBLE_EQ(r.yield_at(1e15), 0.0);   // above every sample
+  EXPECT_DOUBLE_EQ(r.yield_at(2e9), 2.0 / 3.0);  // boundary is inclusive
+}
+
+/// Acceptance: full yield analysis of the paper's configuration E with a
+/// deliberately dirty process. Redundancy + ECC must buy back yield —
+/// post-repair strictly above raw functional — and a rerun with the same
+/// seed must reproduce every number bit-exactly.
+TEST(Yield, FullAnalysisConfigEPostRepairBeatsFunctional) {
+  Ctx ctx;
+  SramConfig cfg{128, 10, 4, 16};
+  cfg.spare_rows = 2;
+  cfg.ecc = true;
+  FullYieldOptions opt;
+  opt.chips = 200;
+  opt.seed = 123;
+  opt.defect_density_per_m2 = 2e8;  // ~a few defects per chip at this area
+  const FullYieldResult res = analyze_yield_full(cfg, ctx.process, opt);
+  EXPECT_EQ(res.chips, 200);
+  EXPECT_GT(res.mean_defects, 0.0);
+  EXPECT_LT(res.functional_yield(), 1.0);  // the process really is dirty
+  EXPECT_GT(res.post_repair_yield(), res.functional_yield());  // repair works
+  EXPECT_GT(res.post_repair_yield(), 0.5);
+  // The combined curve can never beat the parametric curve, and both are
+  // monotone non-increasing in frequency.
+  ASSERT_FALSE(res.bins.empty());
+  for (std::size_t i = 0; i < res.bins.size(); ++i) {
+    EXPECT_LE(res.bins[i].combined, res.bins[i].parametric);
+    if (i > 0) {
+      EXPECT_LE(res.bins[i].parametric, res.bins[i - 1].parametric);
+      EXPECT_LE(res.bins[i].combined, res.bins[i - 1].combined);
+    }
+  }
+  // Bit-exact reproducibility from the seed.
+  const FullYieldResult again = analyze_yield_full(cfg, ctx.process, opt);
+  EXPECT_EQ(again.functional_good, res.functional_good);
+  EXPECT_EQ(again.repaired_good, res.repaired_good);
+  EXPECT_EQ(again.parametric.fmax_samples, res.parametric.fmax_samples);
+  EXPECT_DOUBLE_EQ(again.mean_defects, res.mean_defects);
+  EXPECT_DOUBLE_EQ(again.mean_spares_used, res.mean_spares_used);
 }
 
 // ------------------------------------------------ brick-selection opt

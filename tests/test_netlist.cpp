@@ -294,6 +294,36 @@ TEST(Verilog, ParserRejectsGarbage) {
   EXPECT_THROW(parse_verilog("module x (a; endmodule"), Error);
 }
 
+TEST_F(GenSim, ForceNetModelsStuckAtFaults) {
+  init_inputs(2);
+  const NetId y = b_.and2(inputs_[0], inputs_[1]);
+  const NetId z = b_.inv(y);
+  Simulator sim = make_sim();
+  sim.set_input(inputs_[0], true);
+  sim.set_input(inputs_[1], true);
+  sim.settle();
+  EXPECT_TRUE(sim.value(y));
+  EXPECT_FALSE(sim.value(z));
+  // Stuck-at-0 on y: the fault propagates through downstream logic and
+  // wins against any drive from the AND gate.
+  sim.force_net(y, false);
+  sim.settle();
+  EXPECT_FALSE(sim.value(y));
+  EXPECT_TRUE(sim.value(z));
+  sim.set_input(inputs_[0], false);
+  sim.set_input(inputs_[1], false);
+  sim.settle();
+  sim.set_input(inputs_[0], true);
+  sim.set_input(inputs_[1], true);
+  sim.settle();
+  EXPECT_FALSE(sim.value(y));  // still stuck
+  // Releasing the net restores normal evaluation.
+  sim.release_net(y);
+  sim.settle();
+  EXPECT_TRUE(sim.value(y));
+  EXPECT_FALSE(sim.value(z));
+}
+
 TEST(SimErrors, UnknownCellThrows) {
   Netlist nl("t");
   const NetId a = nl.add_net("a");

@@ -6,6 +6,7 @@
 //   limsynth sram <words> <bits> <banks> <brick_words> [--verilog]
 //   limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]
 //   limsynth spgemm <rmat_scale> <avg_degree>         both chips, one run
+//   limsynth yield <words> <bits> <banks> <brick_words>  CSV yield curve
 //
 // kinds: sram6t sram8t cam10t edram
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include "lim/brick_opt.hpp"
 #include "lim/dse.hpp"
 #include "lim/report.hpp"
+#include "lim/yield.hpp"
 #include "netlist/verilog.hpp"
 #include "spgemm/generate.hpp"
 #include "spgemm/reference.hpp"
@@ -39,6 +41,9 @@ int usage() {
                " [--verilog|--report|--svg]\n"
                "  limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]\n"
                "  limsynth spgemm <rmat_scale> <avg_degree>\n"
+               "  limsynth yield <words> <bits> <banks> <brick_words>\n"
+               "      [--chips N] [--seed S] [--d0 defects_per_cm2]\n"
+               "      [--spares N] [--ecc]\n"
                "kinds: sram6t sram8t cam10t edram\n");
   return 2;
 }
@@ -55,6 +60,13 @@ bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 0; i < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
+}
+
+/// Value of `--flag <value>`, or `fallback` when absent.
+double flag_value(int argc, char** argv, const char* flag, double fallback) {
+  for (int i = 0; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
+  return fallback;
 }
 
 int cmd_brick(int argc, char** argv) {
@@ -220,6 +232,42 @@ int cmd_spgemm(int argc, char** argv) {
   return ok ? 0 : 1;
 }
 
+// Defect-aware yield curve as CSV: one line per frequency bin with the
+// parametric (speed-only) and combined (repairable AND at-speed) yield.
+int cmd_yield(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const tech::Process process = tech::default_process();
+  lim::SramConfig cfg{std::atoi(argv[1]), std::atoi(argv[2]),
+                      std::atoi(argv[3]), std::atoi(argv[4])};
+  cfg.ecc = has_flag(argc, argv, "--ecc");
+  cfg.spare_rows =
+      static_cast<int>(flag_value(argc, argv, "--spares", 0.0));
+
+  lim::FullYieldOptions opt;
+  opt.chips = static_cast<int>(flag_value(argc, argv, "--chips", 200.0));
+  opt.seed =
+      static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1.0));
+  const double d0_cm2 = flag_value(argc, argv, "--d0", -1.0);
+  if (d0_cm2 >= 0.0) opt.defect_density_per_m2 = d0_cm2 * 1e4;
+
+  const lim::FullYieldResult res = lim::analyze_yield_full(cfg, process, opt);
+  std::printf("# config=%s chips=%d seed=%llu d0=%.3f/cm2 spares=%d ecc=%d\n",
+              cfg.name().c_str(), res.chips,
+              static_cast<unsigned long long>(opt.seed),
+              (opt.defect_density_per_m2 >= 0.0 ? opt.defect_density_per_m2
+                                                : process.defect_density_per_m2) /
+                  1e4,
+              cfg.spare_rows, cfg.ecc ? 1 : 0);
+  std::printf("# mean_defects_per_chip=%.3f mean_spares_used=%.3f\n",
+              res.mean_defects, res.mean_spares_used);
+  std::printf("# functional_yield=%.4f post_repair_yield=%.4f\n",
+              res.functional_yield(), res.post_repair_yield());
+  std::printf("freq_hz,parametric_yield,combined_yield\n");
+  for (const auto& bin : res.bins)
+    std::printf("%.6e,%.4f,%.4f\n", bin.freq, bin.parametric, bin.combined);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +279,7 @@ int main(int argc, char** argv) {
     if (cmd == "sram") return cmd_sram(argc - 1, argv + 1);
     if (cmd == "optimize") return cmd_optimize(argc - 1, argv + 1);
     if (cmd == "spgemm") return cmd_spgemm(argc - 1, argv + 1);
+    if (cmd == "yield") return cmd_yield(argc - 1, argv + 1);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
