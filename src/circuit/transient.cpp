@@ -36,7 +36,9 @@ void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
         pivot = row;
       }
     }
-    LIMS_CHECK_MSG(best > 1e-30, "singular conductance matrix at col " << col);
+    if (best <= 1e-30)
+      LIMS_FAIL(ErrorCode::kNumericalFault,
+                "singular conductance matrix at col " << col);
     if (pivot != col) {
       for (int k = 0; k < n; ++k)
         std::swap(a[static_cast<std::size_t>(pivot) * n + k],
@@ -56,11 +58,22 @@ void solve_dense(std::vector<double>& a, std::vector<double>& b, int n) {
   }
   for (int row = n - 1; row >= 0; --row) {
     double acc = b[static_cast<std::size_t>(row)];
-    for (int k = row + 1; k < n; ++k)
-      acc -= a[static_cast<std::size_t>(row) * n + k] * b[static_cast<std::size_t>(k)];
+    for (int k = row + 1; k < n; ++k) {
+      // Skip structural zeros: 0 * NaN would smear a poisoned unknown
+      // across unrelated rows and misattribute the fault.
+      const double aik = a[static_cast<std::size_t>(row) * n + k];
+      if (aik != 0.0) acc -= aik * b[static_cast<std::size_t>(k)];
+    }
     b[static_cast<std::size_t>(row)] = acc / a[static_cast<std::size_t>(row) * n + row];
   }
 }
+
+/// Internal signal for the adaptive-dt retry loop: a step produced a
+/// non-finite node voltage. Never escapes simulate().
+struct NonFiniteVoltage {
+  NodeId node;
+  double time;
+};
 
 }  // namespace
 
@@ -105,12 +118,13 @@ double TransientResult::final_voltage(NodeId node) const {
   return waves_.at(static_cast<std::size_t>(node)).back();
 }
 
-TransientResult simulate(const Circuit& circuit, const TransientConfig& config) {
+namespace {
+
+TransientResult simulate_once(const Circuit& circuit,
+                              const TransientConfig& config, const double dt) {
   const auto& process = circuit.process();
   const double vdd = process.vdd;
   const int total_nodes = static_cast<int>(circuit.node_count());
-  const double dt = config.dt > 0.0 ? config.dt : process.tau() / 40.0;
-  LIMS_CHECK(config.t_stop > dt);
 
   // Node classification: fixed nodes are gnd, vdd, and PWL-forced nodes.
   std::vector<int> solve_index(static_cast<std::size_t>(total_nodes), -1);
@@ -219,6 +233,12 @@ TransientResult simulate(const Circuit& circuit, const TransientConfig& config) 
       }
     }
 
+    // NaN/Inf watchdog: a diverged or poisoned solve must not propagate
+    // silently into delay/energy measurements downstream.
+    for (int node = 0; node < total_nodes; ++node)
+      if (!std::isfinite(volt[static_cast<std::size_t>(node)]))
+        throw NonFiniteVoltage{node, t};
+
     // Supply current: every branch touching vdd.
     double i_vdd = 0.0;
     for (const auto& r : circuit.resistors()) {
@@ -265,6 +285,60 @@ TransientResult simulate(const Circuit& circuit, const TransientConfig& config) 
   }
 
   return TransientResult(std::move(rec_times), std::move(rec_waves), energy, vdd);
+}
+
+}  // namespace
+
+TransientResult simulate(const Circuit& circuit, const TransientConfig& config) {
+  // Validate the stepping relationships up front so a bad config is a
+  // typed error, not a hang or silent NaN propagation.
+  if (!std::isfinite(config.t_stop) || config.t_stop <= 0.0)
+    LIMS_FAIL(ErrorCode::kInvalidConfig,
+              "transient t_stop must be finite and positive, got "
+                  << config.t_stop);
+  if (!std::isfinite(config.dt) || config.dt < 0.0)
+    LIMS_FAIL(ErrorCode::kInvalidConfig,
+              "transient dt must be finite and >= 0 (0 = auto), got "
+                  << config.dt);
+  if (!std::isfinite(config.dc_settle) || config.dc_settle < 0.0)
+    LIMS_FAIL(ErrorCode::kInvalidConfig,
+              "transient dc_settle must be finite and >= 0, got "
+                  << config.dc_settle);
+  if (config.waveform_stride < 1)
+    LIMS_FAIL(ErrorCode::kInvalidConfig, "waveform_stride must be >= 1, got "
+                                             << config.waveform_stride);
+  if (config.max_dt_retries < 0)
+    LIMS_FAIL(ErrorCode::kInvalidConfig, "max_dt_retries must be >= 0, got "
+                                             << config.max_dt_retries);
+  const double dt0 =
+      config.dt > 0.0 ? config.dt : circuit.process().tau() / 40.0;
+  if (dt0 >= config.t_stop)
+    LIMS_FAIL(ErrorCode::kInvalidConfig, "transient t_stop ("
+                                             << config.t_stop
+                                             << " s) must exceed dt (" << dt0
+                                             << " s)");
+
+  // Bounded adaptive-dt retry: halve dt on a non-finite step, up to
+  // max_dt_retries attempts, then fail typed.
+  double dt = dt0;
+  for (int attempt = 0;; ++attempt, dt *= 0.5) {
+    const double steps = (config.t_stop + config.dc_settle) / dt;
+    if (steps > static_cast<double>(config.max_steps))
+      LIMS_FAIL(ErrorCode::kResourceExhausted,
+                "transient would take " << steps << " steps at dt " << dt
+                                        << " s, over the budget of "
+                                        << config.max_steps);
+    try {
+      return simulate_once(circuit, config, dt);
+    } catch (const NonFiniteVoltage& nf) {
+      if (attempt >= config.max_dt_retries)
+        LIMS_FAIL(ErrorCode::kNumericalFault,
+                  "non-finite voltage on node "
+                      << circuit.node_name(nf.node) << " at t " << nf.time
+                      << " s; still non-finite after " << attempt
+                      << " dt-halving retries (final dt " << dt << " s)");
+    }
+  }
 }
 
 double measure_delay(const TransientResult& result, const Circuit& circuit,

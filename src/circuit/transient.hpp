@@ -23,6 +23,16 @@ struct TransientConfig {
   /// values, to establish the DC operating point. Not recorded; energy
   /// drawn during settling is not counted.
   double dc_settle = 1e-9;
+
+  /// Numerical-fault recovery: when a step produces a non-finite node
+  /// voltage the attempt is abandoned and rerun with dt halved, up to this
+  /// many retries; exhaustion raises Error(kNumericalFault) instead of
+  /// silently propagating NaNs into delay/energy measurements.
+  int max_dt_retries = 3;
+  /// Step budget per attempt (settling + main phase). A dt/t_stop pair
+  /// that would exceed it raises Error(kResourceExhausted) up front rather
+  /// than stalling the caller.
+  std::size_t max_steps = 20'000'000;
 };
 
 class TransientResult {
@@ -51,8 +61,12 @@ class TransientResult {
   double vdd_ = 1.0;
 };
 
-/// Runs the transient simulation. Throws limsynth::Error when the circuit
-/// is singular (a node with no DC path and no capacitance).
+/// Runs the transient simulation. Validates the config up front
+/// (kInvalidConfig on inconsistent dt/t_stop/dc_settle), guards the step
+/// count (kResourceExhausted), and detects non-finite node voltages,
+/// retrying with halved dt before raising kNumericalFault. Throws
+/// kNumericalFault when the conductance matrix is singular (a node with no
+/// DC path and no capacitance).
 TransientResult simulate(const Circuit& circuit, const TransientConfig& config);
 
 /// Delay measured from `in` crossing 50% to `out` crossing 50%, with given

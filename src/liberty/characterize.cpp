@@ -3,6 +3,7 @@
 #include "circuit/circuit.hpp"
 #include "circuit/transient.hpp"
 #include "util/error.hpp"
+#include "util/table.hpp"
 
 namespace limsynth::liberty {
 
@@ -155,45 +156,80 @@ GateCircuit build_gate(const tech::StdCell& cell, const tech::Process& process) 
 }  // namespace
 
 LibCell characterize_golden(const tech::StdCell& cell,
-                            const tech::Process& process) {
+                            const tech::Process& process,
+                            CharacterizeStats* stats) {
+  DIAG_CONTEXT("golden characterization of " + cell.name);
+  // An unsupported topology is a structural property of the cell, not a
+  // sick grid point: reject it up front instead of degrading every point.
+  if (cell.func != tech::CellFunc::kInv && cell.func != tech::CellFunc::kNand2 &&
+      cell.func != tech::CellFunc::kNor2)
+    LIMS_FAIL(ErrorCode::kInvalidConfig,
+              "characterize_golden: unsupported function "
+                  << tech::cell_func_name(cell.func));
   LibCell out = shell_for(cell);
   const auto slews = default_slew_axis();
   const auto loads = default_load_axis();
+  const double vdd = process.vdd;
+  CharacterizeStats local_stats;
+  if (!stats) stats = &local_stats;
+
+  // Simulates one (slew, load) grid point; throws on any sick simulation
+  // (the caller degrades the point to the analytic model).
+  struct PointValues {
+    double delay, oslew, energy;
+  };
+  auto simulate_point = [&](double slew, double load) -> PointValues {
+    GateCircuit g = build_gate(cell, process);
+    g.ckt.add_cap(g.out, load);
+    // Rising input -> falling output (all supported gates invert).
+    const double t0 = 100e-12;
+    g.ckt.add_ramp_input(g.in, t0, slew, true);
+    circuit::TransientConfig cfg;
+    cfg.t_stop = t0 + 20 * slew + 60 * process.tau() +
+                 40.0 * process.r_unit() * load / cell.drive;
+    cfg.waveform_stride = 1;
+    const auto res = circuit::simulate(g.ckt, cfg);
+    const double d =
+        circuit::measure_delay(res, g.ckt, g.in, true, g.out, false);
+    if (d <= 0.0)
+      LIMS_FAIL(ErrorCode::kNumericalFault,
+                "golden characterization did not switch for " << cell.name);
+    const double t80 = res.cross_time(g.out, 0.8, false);
+    const double t20 = res.cross_time(g.out, 0.2, false);
+
+    // Energy of the opposite (charging) transition: rerun with a falling
+    // input so the PMOS network charges the load from the rail.
+    GateCircuit g2 = build_gate(cell, process);
+    g2.ckt.add_cap(g2.out, load);
+    g2.ckt.add_ramp_input(g2.in, t0, slew, false);
+    circuit::TransientConfig cfg2 = cfg;
+    cfg2.record_waveforms = false;
+    const auto res2 = circuit::simulate(g2.ckt, cfg2);
+    // Per-transition energy convention: half the rise energy (the fall
+    // dissipates the stored half), matching the analytic tables.
+    return {d, (t20 - t80) / 0.6, 0.5 * res2.energy()};
+  };
 
   std::vector<double> delays, oslews, energies;
   delays.reserve(slews.size() * loads.size());
   for (double slew : slews) {
     for (double load : loads) {
-      GateCircuit g = build_gate(cell, process);
-      g.ckt.add_cap(g.out, load);
-      // Rising input -> falling output (all supported gates invert).
-      const double t0 = 100e-12;
-      g.ckt.add_ramp_input(g.in, t0, slew, true);
-      circuit::TransientConfig cfg;
-      cfg.t_stop = t0 + 20 * slew + 60 * process.tau() +
-                   40.0 * process.r_unit() * load / cell.drive;
-      cfg.waveform_stride = 1;
-      const auto res = circuit::simulate(g.ckt, cfg);
-      const double d =
-          circuit::measure_delay(res, g.ckt, g.in, true, g.out, false);
-      LIMS_CHECK_MSG(d > 0.0, "golden characterization did not switch for "
-                                  << cell.name);
-      const double t80 = res.cross_time(g.out, 0.8, false);
-      const double t20 = res.cross_time(g.out, 0.2, false);
-      delays.push_back(d);
-      oslews.push_back((t20 - t80) / 0.6);  // normalized 0-100% equivalent
-
-      // Energy of the opposite (charging) transition: rerun with a falling
-      // input so the PMOS network charges the load from the rail.
-      GateCircuit g2 = build_gate(cell, process);
-      g2.ckt.add_cap(g2.out, load);
-      g2.ckt.add_ramp_input(g2.in, t0, slew, false);
-      circuit::TransientConfig cfg2 = cfg;
-      cfg2.record_waveforms = false;
-      const auto res2 = circuit::simulate(g2.ckt, cfg2);
-      // Per-transition energy convention: half the rise energy (the fall
-      // dissipates the stored half), matching the analytic tables.
-      energies.push_back(0.5 * res2.energy());
+      ++stats->grid_points;
+      PointValues v{};
+      try {
+        v = simulate_point(slew, load);
+      } catch (const Error& e) {
+        // Retry-with-fallback: the point degrades to the analytic model
+        // (flagged in stats) instead of aborting library generation.
+        v = {cell.delay(load, slew), cell.output_slew(load),
+             0.5 * cell.switch_energy(load, vdd)};
+        ++stats->fallback_points;
+        stats->notes.push_back(strformat("slew %.3e load %.3e: %s", slew,
+                                         load, e.what()));
+      }
+      delays.push_back(v.delay);
+      oslews.push_back(v.oslew);
+      energies.push_back(v.energy);
     }
   }
 

@@ -23,10 +23,25 @@ namespace limsynth::liberty {
 LibCell characterize_analytic(const tech::StdCell& cell,
                               const tech::Process& process);
 
+/// Per-run accounting for characterize_golden: how many LUT grid points
+/// were simulated and how many degraded to the analytic fallback.
+struct CharacterizeStats {
+  int grid_points = 0;
+  int fallback_points = 0;
+  /// One human-readable note per fallback point: which (slew, load) and why.
+  std::vector<std::string> notes;
+
+  bool clean() const { return fallback_points == 0; }
+};
+
 /// Golden (transient-simulated) tables. Supports kInv, kNand2, kNor2;
-/// throws for other functions.
+/// throws for other functions. One sick LUT point (non-convergence,
+/// numerical fault, no output switch) degrades to the analytic value for
+/// that point and is recorded in `stats` instead of aborting library
+/// generation.
 LibCell characterize_golden(const tech::StdCell& cell,
-                            const tech::Process& process);
+                            const tech::Process& process,
+                            CharacterizeStats* stats = nullptr);
 
 /// Characterizes an entire standard-cell library analytically.
 Library characterize_stdcell_library(const tech::StdCellLib& lib);

@@ -1,0 +1,286 @@
+#include "lim/checkpoint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/watchdog.hpp"
+
+namespace limsynth::lim {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Unescapes the journal's own json_escape output. Returns false on a
+/// truncated escape (torn line).
+bool json_unescape(const std::string& s, std::string* out) {
+  out->clear();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      *out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '"': *out += '"'; break;
+      case '\\': *out += '\\'; break;
+      case 'n': *out += '\n'; break;
+      case 'r': *out += '\r'; break;
+      case 't': *out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) return false;
+        const std::string hex = s.substr(i + 1, 4);
+        *out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return true;
+}
+
+/// Finds `"name":` in `line` and returns the offset just past the colon,
+/// or npos.
+std::size_t find_field(const std::string& line, const std::string& name) {
+  const std::string tag = "\"" + name + "\":";
+  const std::size_t pos = line.find(tag);
+  return pos == std::string::npos ? std::string::npos : pos + tag.size();
+}
+
+/// Reads a quoted JSON string starting at `pos` (which must point at the
+/// opening quote). Returns false on malformed/truncated input.
+bool read_string(const std::string& line, std::size_t pos, std::string* out) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  std::size_t end = pos + 1;
+  while (end < line.size()) {
+    if (line[end] == '\\') {
+      end += 2;
+      continue;
+    }
+    if (line[end] == '"') break;
+    ++end;
+  }
+  if (end >= line.size()) return false;  // unterminated: torn line
+  return json_unescape(line.substr(pos + 1, end - pos - 1), out);
+}
+
+bool read_double(const std::string& line, std::size_t pos, double* out) {
+  if (pos >= line.size()) return false;
+  const char* start = line.c_str() + pos;
+  char* end = nullptr;
+  *out = std::strtod(start, &end);
+  return end != start;
+}
+
+bool read_bool(const std::string& line, std::size_t pos, bool* out) {
+  if (line.compare(pos, 4, "true") == 0) {
+    *out = true;
+    return true;
+  }
+  if (line.compare(pos, 5, "false") == 0) {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Parses one journal line into (key, point). Returns false on any
+/// malformed or truncated field — the caller skips the line.
+bool parse_journal_line(const std::string& line, std::uint64_t* key,
+                        DsePoint* point) {
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+
+  std::size_t pos = find_field(line, "key");
+  std::string key_hex;
+  if (pos == std::string::npos || !read_string(line, pos, &key_hex))
+    return false;
+  char* end = nullptr;
+  *key = std::strtoull(key_hex.c_str(), &end, 16);
+  if (end == key_hex.c_str() || *end != '\0') return false;
+
+  pos = find_field(line, "ok");
+  if (pos == std::string::npos || !read_bool(line, pos, &point->ok))
+    return false;
+
+  pos = find_field(line, "code");
+  std::string code_name;
+  if (pos == std::string::npos || !read_string(line, pos, &code_name))
+    return false;
+  if (!error_code_from_name(code_name, &point->error_code)) return false;
+
+  pos = find_field(line, "error");
+  if (pos == std::string::npos || !read_string(line, pos, &point->error))
+    return false;
+
+  const struct {
+    const char* name;
+    double* dst;
+  } numbers[] = {
+      {"read_delay", &point->read_delay},
+      {"read_energy", &point->read_energy},
+      {"area", &point->area},
+      {"yield", &point->post_repair_yield},
+  };
+  for (const auto& n : numbers) {
+    pos = find_field(line, n.name);
+    if (pos == std::string::npos || !read_double(line, pos, n.dst))
+      return false;
+  }
+  return true;
+}
+
+std::string format_g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t dse_point_key(const PartitionChoice& choice,
+                            const SweepOptions& options) {
+  std::ostringstream os;
+  os << "words=" << choice.words << ";bits=" << choice.bits
+     << ";brick_words=" << choice.brick_words
+     << ";bitcell=" << tech::bitcell_kind_name(choice.bitcell)
+     << ";ecc=" << options.ecc << ";spare_rows=" << options.spare_rows
+     << ";yield_chips=" << options.yield_chips
+     << ";yield_seed=" << options.yield_seed
+     << ";d0=" << format_g17(options.defect_density_per_m2)
+     << ";alpha=" << format_g17(options.cluster_alpha);
+  return fnv1a(os.str());
+}
+
+void append_journal_entry(std::ostream& os, std::uint64_t key,
+                          const DsePoint& point) {
+  char key_hex[24];
+  std::snprintf(key_hex, sizeof key_hex, "%016" PRIx64, key);
+  os << "{\"key\":\"" << key_hex << "\",\"label\":\""
+     << json_escape(point.choice.label()) << "\",\"ok\":"
+     << (point.ok ? "true" : "false") << ",\"code\":\""
+     << error_code_name(point.ok ? ErrorCode::kInternal : point.error_code)
+     << "\",\"error\":\"" << json_escape(point.error)
+     << "\",\"read_delay\":" << format_g17(point.read_delay)
+     << ",\"read_energy\":" << format_g17(point.read_energy)
+     << ",\"area\":" << format_g17(point.area)
+     << ",\"yield\":" << format_g17(point.post_repair_yield) << "}\n";
+  os.flush();
+}
+
+JournalLoad load_journal(const std::string& path) {
+  JournalLoad load;
+  std::ifstream in(path);
+  if (!in) return load;  // missing journal = nothing to resume
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::uint64_t key = 0;
+    DsePoint point;
+    if (parse_journal_line(line, &key, &point))
+      load.points[key] = std::move(point);
+    else
+      ++load.malformed_lines;
+  }
+  return load;
+}
+
+CheckpointedSweep sweep_partitions_checkpointed(
+    const std::vector<PartitionChoice>& choices, const tech::Process& process,
+    const SweepOptions& options, const CheckpointOptions& ckpt) {
+  DIAG_CONTEXT("checkpointed DSE sweep");
+  CheckpointedSweep result;
+  result.points.reserve(choices.size());
+
+  JournalLoad journal;
+  if (ckpt.resume && !ckpt.journal_path.empty()) {
+    journal = load_journal(ckpt.journal_path);
+    result.malformed = journal.malformed_lines;
+  }
+
+  std::ofstream out;
+  if (!ckpt.journal_path.empty()) {
+    out.open(ckpt.journal_path, std::ios::app);
+    if (!out)
+      LIMS_FAIL(ErrorCode::kIo,
+                "cannot open DSE journal for append: " << ckpt.journal_path);
+  }
+
+  const Watchdog watchdog("DSE sweep", ckpt.timeout_seconds);
+  std::size_t matched = 0;
+  for (const auto& choice : choices) {
+    const std::uint64_t key = dse_point_key(choice, options);
+    const auto hit = journal.points.find(key);
+    if (hit != journal.points.end()) {
+      DsePoint p = hit->second;
+      p.choice = choice;  // the journal stores metrics, not the shape
+      result.points.push_back(std::move(p));
+      ++result.resumed;
+      ++matched;
+      continue;
+    }
+    if (watchdog.expired()) {
+      // Stop cleanly between points: everything finished so far is in the
+      // journal, so a --resume run completes the sweep.
+      result.timed_out = true;
+      break;
+    }
+    DsePoint p = evaluate_partition_caught(choice, process, options);
+    if (out.is_open()) append_journal_entry(out, key, p);
+    result.points.push_back(std::move(p));
+    ++result.computed;
+  }
+  result.stale = static_cast<int>(journal.points.size() - matched);
+  return result;
+}
+
+void write_dse_csv(const std::vector<DsePoint>& points, std::ostream& os) {
+  os << "words,bits,brick_words,stack,bitcell,ok,error_code,"
+        "read_delay_s,read_energy_j,area_m2,post_repair_yield,error\n";
+  for (const auto& p : points) {
+    os << p.choice.words << ',' << p.choice.bits << ',' << p.choice.brick_words
+       << ',' << p.choice.stack() << ','
+       << tech::bitcell_kind_name(p.choice.bitcell) << ','
+       << (p.ok ? "true" : "false") << ','
+       << (p.ok ? "none" : error_code_name(p.error_code)) << ','
+       << format_g17(p.read_delay) << ',' << format_g17(p.read_energy) << ','
+       << format_g17(p.area) << ',' << format_g17(p.post_repair_yield) << ','
+       << '"' << json_escape(p.error) << '"' << '\n';
+  }
+}
+
+}  // namespace limsynth::lim

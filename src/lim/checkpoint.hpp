@@ -1,0 +1,76 @@
+// Checkpoint/resume for DSE sweeps.
+//
+// A sweep journals each completed DsePoint to a JSONL file (one object per
+// line, flushed as it lands) so a killed run loses at most the line being
+// written. Resuming loads the journal, skips every point whose config hash
+// matches, and recomputes only the rest — a torn last line (SIGKILL mid
+// write) is skipped, and entries from a *different* sweep (changed shapes
+// or options) never match any key, so stale checkpoints are ignored rather
+// than trusted.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lim/dse.hpp"
+
+namespace limsynth::lim {
+
+/// Stable 64-bit key of one sweep point: the partition shape plus every
+/// SweepOptions field that affects its metrics (FNV-1a over a canonical
+/// encoding). Changing the sweep options changes every key.
+std::uint64_t dse_point_key(const PartitionChoice& choice,
+                            const SweepOptions& options);
+
+/// Appends one completed point as a JSONL line. Metrics use %.17g so a
+/// reloaded point is bit-identical to the computed one.
+void append_journal_entry(std::ostream& os, std::uint64_t key,
+                          const DsePoint& point);
+
+struct JournalLoad {
+  /// Journaled scalar results by config key. Loaded points carry the
+  /// summary metrics only (no BrickEstimate detail); `choice` is filled in
+  /// by the resuming sweep from its own point list.
+  std::map<std::uint64_t, DsePoint> points;
+  int malformed_lines = 0;  ///< torn/corrupt lines skipped
+};
+
+/// Loads a journal. A missing file yields an empty load (resume of a
+/// never-started sweep just computes everything); an unreadable line is
+/// counted in malformed_lines and skipped.
+JournalLoad load_journal(const std::string& path);
+
+struct CheckpointOptions {
+  std::string journal_path;  ///< empty = no journaling
+  bool resume = false;       ///< load journal_path first, skip matching keys
+  /// Wall-clock budget for the whole sweep, checked between points; 0 =
+  /// unlimited. On expiry the sweep stops cleanly with timed_out set (the
+  /// journal holds everything finished so far).
+  double timeout_seconds = 0.0;
+};
+
+struct CheckpointedSweep {
+  /// One point per choice in sweep order; truncated when timed_out.
+  std::vector<DsePoint> points;
+  int computed = 0;   ///< evaluated this run
+  int resumed = 0;    ///< satisfied from the journal
+  int stale = 0;      ///< journal entries matching no current point
+  int malformed = 0;  ///< journal lines skipped as torn/corrupt
+  bool timed_out = false;
+};
+
+/// sweep_partitions with journaling, resume, and a wall-clock watchdog.
+/// Throws Error(kIo) when the journal file cannot be opened for append.
+CheckpointedSweep sweep_partitions_checkpointed(
+    const std::vector<PartitionChoice>& choices, const tech::Process& process,
+    const SweepOptions& options, const CheckpointOptions& ckpt);
+
+/// CSV with one row per point (header + shape, status, error code, and
+/// %.17g metrics). Stable formatting: a resumed sweep's CSV byte-matches
+/// an uninterrupted run's.
+void write_dse_csv(const std::vector<DsePoint>& points, std::ostream& os);
+
+}  // namespace limsynth::lim

@@ -64,6 +64,7 @@ double partition_yield(const PartitionChoice& choice, int width,
 DsePoint evaluate_partition(const PartitionChoice& choice,
                             const tech::Process& process,
                             const SweepOptions& options) {
+  DIAG_CONTEXT("evaluate partition " + choice.label());
   choice.validate();
   const int width =
       options.ecc ? fault::secded_total_bits(choice.bits) : choice.bits;
@@ -83,25 +84,32 @@ DsePoint evaluate_partition(const PartitionChoice& choice,
   return p;
 }
 
+DsePoint evaluate_partition_caught(const PartitionChoice& choice,
+                                   const tech::Process& process,
+                                   const SweepOptions& options) {
+  try {
+    return evaluate_partition(choice, process, options);
+  } catch (const Error& e) {
+    // Graceful degradation: the sweep keeps going, and the failure is
+    // carried on the point so reports can show which shapes were rejected
+    // and why.
+    DsePoint p;
+    p.choice = choice;
+    p.ok = false;
+    p.error = e.what();
+    p.error_code = e.code();
+    p.post_repair_yield = 0.0;
+    return p;
+  }
+}
+
 std::vector<DsePoint> sweep_partitions(
     const std::vector<PartitionChoice>& choices, const tech::Process& process,
     const SweepOptions& options) {
   std::vector<DsePoint> out;
   out.reserve(choices.size());
-  for (const auto& c : choices) {
-    try {
-      out.push_back(evaluate_partition(c, process, options));
-    } catch (const Error& e) {
-      // Graceful degradation: keep sweeping, carry the failure on the
-      // point so reports can show which shapes were rejected and why.
-      DsePoint p;
-      p.choice = c;
-      p.ok = false;
-      p.error = e.what();
-      p.post_repair_yield = 0.0;
-      out.push_back(std::move(p));
-    }
-  }
+  for (const auto& c : choices)
+    out.push_back(evaluate_partition_caught(c, process, options));
   return out;
 }
 

@@ -21,6 +21,7 @@
 
 #include "brick/brick.hpp"
 #include "brick/estimator.hpp"
+#include "util/error.hpp"
 
 namespace limsynth::lim {
 
@@ -33,7 +34,9 @@ struct PartitionChoice {
   int brick_words = 16;
   tech::BitcellKind bitcell = tech::BitcellKind::kSram8T;
 
-  int stack() const { return words / brick_words; }
+  /// Bricks stacked per partition; 0 for nonsensical shapes (validate()
+  /// rejects those, but label()/reporting must not divide by zero first).
+  int stack() const { return brick_words > 0 ? words / brick_words : 0; }
   std::string label() const;
 
   /// Throws limsynth::Error with a clear message on inconsistent shapes
@@ -61,9 +64,11 @@ struct SweepOptions {
 struct DsePoint {
   PartitionChoice choice;
   /// Evaluation status: failed points (bad shapes, compiler errors) stay
-  /// in the sweep with `ok` false and the error message captured.
+  /// in the sweep with `ok` false and the error message + taxonomy code
+  /// captured, so reports and CSV rows can flag them.
   bool ok = true;
   std::string error;
+  ErrorCode error_code = ErrorCode::kInternal;  // meaningful when !ok
   double read_delay = 0.0;  // s
   double read_energy = 0.0; // J
   double area = 0.0;        // m^2
@@ -78,6 +83,13 @@ struct DsePoint {
 DsePoint evaluate_partition(const PartitionChoice& choice,
                             const tech::Process& process,
                             const SweepOptions& options = {});
+
+/// evaluate_partition with the sweep's per-point degradation applied: any
+/// limsynth::Error is captured on the returned point (ok=false, error,
+/// error_code) instead of propagating.
+DsePoint evaluate_partition_caught(const PartitionChoice& choice,
+                                   const tech::Process& process,
+                                   const SweepOptions& options = {});
 
 /// Sweeps a list of partitions. Never throws for individual bad points:
 /// each failure is recorded on its DsePoint and the sweep keeps going.

@@ -11,11 +11,16 @@ FlowReport run_flow(
     const std::function<void(netlist::Simulator&)>& attach_models,
     const std::function<void(netlist::Simulator&, Rng&)>& stimulus,
     const FlowOptions& opt) {
+  DIAG_CONTEXT("flow for design " + nl.name());
   FlowReport rep;
 
-  rep.synthesis = synth::synthesize(nl, lib, cells, opt.synth);
+  {
+    DIAG_CONTEXT("logic synthesis");
+    rep.synthesis = synth::synthesize(nl, lib, cells, opt.synth);
+  }
 
   if (opt.run_placement) {
+    DIAG_CONTEXT("placement + parasitics");
     rep.floorplan = place::place_design(nl, lib, process);
     // Post-placement timing recovery: resize against extracted wire caps,
     // then re-place/re-extract (the ICC optimize loop).
@@ -31,12 +36,16 @@ FlowReport run_flow(
     rep.wirelength = rep.floorplan.total_wirelength;
   }
 
-  sta::StaOptions sta_opt = opt.sta;
-  if (opt.run_placement) sta_opt.floorplan = &rep.floorplan;
-  rep.timing = sta::run_sta(nl, lib, sta_opt);
-  rep.fmax = rep.timing.fmax();
+  {
+    DIAG_CONTEXT("static timing analysis");
+    sta::StaOptions sta_opt = opt.sta;
+    if (opt.run_placement) sta_opt.floorplan = &rep.floorplan;
+    rep.timing = sta::run_sta(nl, lib, sta_opt);
+    rep.fmax = rep.timing.fmax();
+  }
 
   if (stimulus) {
+    DIAG_CONTEXT("activity simulation + power analysis");
     netlist::Simulator sim(nl, cells);
     if (attach_models) attach_models(sim);
     Rng rng(opt.stimulus_seed);

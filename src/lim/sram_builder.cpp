@@ -118,6 +118,7 @@ std::vector<netlist::NetId> secded_decoder(
 
 SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
                       const tech::StdCellLib& cells) {
+  DIAG_CONTEXT("elaborate " + cfg.name());
   cfg.validate();
   const int addr_bits = exact_log2(cfg.words);
   const int bank_bits = exact_log2(cfg.banks);

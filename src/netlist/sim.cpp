@@ -1,6 +1,9 @@
 #include "netlist/sim.hpp"
 
 #include <algorithm>
+#include <sstream>
+
+#include "util/watchdog.hpp"
 
 namespace limsynth::netlist {
 
@@ -122,8 +125,16 @@ void Simulator::settle() {
   const std::size_t n_inst = nl_.instance_storage_size();
   // Bounded fixpoint iteration: each pass evaluates every combinational
   // gate; netlists are acyclic so this converges within depth passes.
-  const std::size_t max_passes = n_inst + 2;
+  const std::size_t max_passes =
+      budget_.max_passes > 0 ? budget_.max_passes : n_inst + 2;
+  const Watchdog watchdog("netlist settle", budget_.wall_seconds);
+  // Nets that changed during the most recent pass: on non-convergence
+  // these are the oscillating nets, and naming them turns "combinational
+  // loop?" into an actionable diagnostic.
+  std::vector<NetId> last_changed;
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    watchdog.check();
+    last_changed.clear();
     bool changed = false;
     for (std::size_t i = 0; i < n_inst; ++i) {
       const auto id = static_cast<InstId>(i);
@@ -146,11 +157,20 @@ void Simulator::settle() {
       if (value(*out) != v) {
         set_net(*out, v, true);
         changed = true;
+        last_changed.push_back(*out);
       }
     }
     if (!changed) return;
   }
-  throw Error("netlist simulation did not settle (combinational loop?)");
+  std::ostringstream os;
+  os << "netlist simulation did not settle after " << max_passes
+     << " passes (combinational loop?); still-oscillating nets:";
+  const std::size_t show = std::min<std::size_t>(last_changed.size(), 10);
+  for (std::size_t i = 0; i < show; ++i)
+    os << ' ' << nl_.net_name(last_changed[i]);
+  if (last_changed.size() > show)
+    os << " (+" << last_changed.size() - show << " more)";
+  throw Error(ErrorCode::kNonConvergence, os.str());
 }
 
 void Simulator::clock_edge() {

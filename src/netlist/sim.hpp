@@ -31,6 +31,14 @@ class MacroModel {
   virtual void on_clock(Simulator& sim, InstId inst) = 0;
 };
 
+/// Watchdog budgets for the settle fixpoint. Zero fields mean "automatic":
+/// max_passes defaults to instance count + 2 (enough for any acyclic
+/// netlist) and wall_seconds to unlimited.
+struct SettleBudget {
+  std::size_t max_passes = 0;
+  double wall_seconds = 0.0;
+};
+
 class Simulator {
  public:
   Simulator(const Netlist& nl, const tech::StdCellLib& cells);
@@ -42,9 +50,14 @@ class Simulator {
   void set_input(NetId net, bool value);
   void set_bus(const std::vector<NetId>& bus, std::uint64_t value);
 
-  /// Propagates combinational logic to a fixpoint. Throws on oscillation
-  /// (combinational loop).
+  /// Propagates combinational logic to a fixpoint. Throws
+  /// Error(kNonConvergence) naming the still-oscillating nets when the
+  /// pass budget runs out (combinational loop), and
+  /// Error(kResourceExhausted) when the wall-clock budget does.
   void settle();
+
+  /// Overrides the settle watchdog budgets (see SettleBudget).
+  void set_settle_budget(const SettleBudget& budget) { budget_ = budget; }
 
   /// One rising clock edge: DFFs capture, macro models fire, then logic
   /// resettles. Counts as one cycle for activity statistics.
@@ -89,6 +102,7 @@ class Simulator {
   std::map<InstId, std::shared_ptr<MacroModel>> macros_;
   std::map<InstId, std::uint64_t> macro_access_counts_;
   std::uint64_t cycles_ = 0;
+  SettleBudget budget_;
 };
 
 }  // namespace limsynth::netlist

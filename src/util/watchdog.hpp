@@ -1,0 +1,48 @@
+// Wall-clock watchdog for iterative kernels (settle fixpoints, transient
+// stepping, DSE sweeps). A budget of zero disables the watchdog, so call
+// sites can thread an optional limit through without branching.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace limsynth {
+
+class Watchdog {
+ public:
+  /// `what` names the guarded activity in the error message; a
+  /// non-positive `budget_seconds` disables the watchdog entirely.
+  Watchdog(std::string what, double budget_seconds)
+      : what_(std::move(what)),
+        budget_seconds_(budget_seconds),
+        start_(std::chrono::steady_clock::now()) {}
+
+  bool enabled() const { return budget_seconds_ > 0.0; }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  bool expired() const { return enabled() && elapsed_seconds() > budget_seconds_; }
+
+  /// Throws Error(kResourceExhausted) once the budget is spent. Call at
+  /// iteration boundaries (per pass / per point), not in inner loops.
+  void check() const {
+    if (!expired()) return;
+    LIMS_FAIL(ErrorCode::kResourceExhausted,
+              what_ << " exceeded its wall-clock budget of " << budget_seconds_
+                    << " s (elapsed " << elapsed_seconds() << " s)");
+  }
+
+ private:
+  std::string what_;
+  double budget_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace limsynth

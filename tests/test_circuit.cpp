@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "circuit/circuit.hpp"
 #include "circuit/elmore.hpp"
@@ -238,6 +239,83 @@ TEST(Transient, SingularCircuitsAreHandledByLeak) {
   TransientConfig cfg;
   cfg.t_stop = 0.2e-9;
   EXPECT_NO_THROW(simulate(ckt, cfg));
+}
+
+/// Plain RC divider used by the robustness tests below.
+Circuit rc_fixture() {
+  Circuit ckt(proc());
+  const NodeId n = ckt.add_node("mid");
+  ckt.add_resistor(ckt.vdd(), n, 1 * kOhm);
+  ckt.add_cap(n, 1 * fF);
+  return ckt;
+}
+
+TEST(TransientGuards, RejectsInconsistentConfigsUpFront) {
+  const Circuit ckt = rc_fixture();
+  const auto expect_invalid = [&](TransientConfig cfg) {
+    try {
+      simulate(ckt, cfg);
+      FAIL() << "expected rejection";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+    }
+  };
+  TransientConfig cfg;
+  cfg.t_stop = -1e-9;
+  expect_invalid(cfg);
+
+  cfg = {};
+  cfg.t_stop = 1e-9;
+  cfg.dt = 2e-9;  // dt past t_stop
+  expect_invalid(cfg);
+
+  cfg = {};
+  cfg.dc_settle = std::nan("");
+  expect_invalid(cfg);
+
+  cfg = {};
+  cfg.dt = std::numeric_limits<double>::infinity();
+  expect_invalid(cfg);
+
+  cfg = {};
+  cfg.waveform_stride = 0;
+  expect_invalid(cfg);
+}
+
+TEST(TransientGuards, NonFiniteVoltageRaisesNumericalFault) {
+  // Poison a node: the NaN initial condition propagates into the solve and
+  // must surface as a typed numerical fault (after the bounded dt-halving
+  // retries), never as NaN delay/energy results.
+  Circuit ckt = rc_fixture();
+  const NodeId sick = ckt.add_node("sick");
+  ckt.add_resistor(ckt.vdd(), sick, 1 * kOhm);
+  ckt.add_cap(sick, 1 * fF);
+  ckt.set_initial(sick, std::nan(""));
+  TransientConfig cfg;
+  cfg.t_stop = 0.2e-9;
+  cfg.max_dt_retries = 2;
+  try {
+    simulate(ckt, cfg);
+    FAIL() << "expected numerical fault";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNumericalFault);
+    EXPECT_NE(std::string(e.what()).find("sick"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2 dt-halving retries"),
+              std::string::npos);
+  }
+}
+
+TEST(TransientGuards, StepBudgetRaisesResourceExhausted) {
+  const Circuit ckt = rc_fixture();
+  TransientConfig cfg;
+  cfg.t_stop = 1e-3;  // with dt = 1e-18 this would be 1e15 steps
+  cfg.dt = 1e-18;
+  try {
+    simulate(ckt, cfg);
+    FAIL() << "expected step-budget rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+  }
 }
 
 }  // namespace

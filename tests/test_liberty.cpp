@@ -111,7 +111,42 @@ TEST(Characterize, GoldenTracksAnalyticWithinTolerance) {
 TEST(Characterize, GoldenRejectsUnsupportedFunctions) {
   const auto process = tech::default_process();
   const tech::StdCellLib cells(process);
-  EXPECT_THROW(characterize_golden(cells.by_name("XOR2_X1"), process), Error);
+  try {
+    characterize_golden(cells.by_name("XOR2_X1"), process);
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+  }
+}
+
+TEST(Characterize, GoldenReportsCleanStatsOnHealthyCells) {
+  const auto process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  CharacterizeStats stats;
+  characterize_golden(cells.by_name("INV_X1"), process, &stats);
+  EXPECT_GT(stats.grid_points, 0);
+  EXPECT_EQ(stats.fallback_points, 0);
+  EXPECT_TRUE(stats.clean());
+}
+
+TEST(Characterize, SickPointsDegradeToAnalyticInsteadOfAborting) {
+  // A pathologically weak drive never switches the output inside the
+  // simulated window; every grid point must fall back to the analytic
+  // model (and be flagged), not abort library generation.
+  const auto process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  tech::StdCell weak = cells.by_name("INV_X1");
+  weak.drive = 1e-12;  // every point trips the step budget or never switches
+  CharacterizeStats stats;
+  LibCell lib_cell;
+  ASSERT_NO_THROW(lib_cell = characterize_golden(weak, process, &stats));
+  EXPECT_EQ(stats.fallback_points, stats.grid_points);
+  EXPECT_EQ(stats.notes.size(),
+            static_cast<std::size_t>(stats.fallback_points));
+  // The fallback values are the analytic ones, so the tables stay usable.
+  const LibCell analytic = characterize_analytic(weak, process);
+  EXPECT_DOUBLE_EQ(lib_cell.arcs[0].delay.lookup(20 * ps, 15 * fF),
+                   analytic.arcs[0].delay.lookup(20 * ps, 15 * fF));
 }
 
 TEST(Characterize, WholeLibraryBuilds) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "netlist/generators.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/sim.hpp"
@@ -331,6 +333,89 @@ TEST(SimErrors, UnknownCellThrows) {
   nl.add_instance("g", "FROB_X1", {{"A", a}, {"Y", y}});
   Simulator sim(nl, cells());
   EXPECT_THROW(sim.settle(), Error);
+}
+
+/// Three-inverter ring: the classic combinational loop that can never
+/// settle, used to exercise the non-convergence diagnostics.
+Netlist inverter_ring() {
+  Netlist nl("osc");
+  const NetId a = nl.add_net("ring_a");
+  const NetId b = nl.add_net("ring_b");
+  const NetId c = nl.add_net("ring_c");
+  nl.add_instance("i0", "INV_X1", {{"A", a}, {"Y", b}});
+  nl.add_instance("i1", "INV_X1", {{"A", b}, {"Y", c}});
+  nl.add_instance("i2", "INV_X1", {{"A", c}, {"Y", a}});
+  return nl;
+}
+
+TEST(SimErrors, NonConvergenceNamesOscillatingNets) {
+  const Netlist nl = inverter_ring();
+  Simulator sim(nl, cells());
+  try {
+    sim.settle();
+    FAIL() << "expected non-convergence";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNonConvergence);
+    // The message must say *which* nets oscillate, not just that some did.
+    EXPECT_NE(std::string(e.what()).find("ring_"), std::string::npos);
+  }
+}
+
+TEST(SimErrors, SettleWallClockBudgetFires) {
+  const Netlist nl = inverter_ring();
+  Simulator sim(nl, cells());
+  // Unlimited passes, but a wall-clock budget that expires immediately:
+  // the watchdog must stop the fixpoint, not the pass counter.
+  SettleBudget budget;
+  budget.max_passes = std::numeric_limits<std::size_t>::max();
+  budget.wall_seconds = 1e-9;
+  sim.set_settle_budget(budget);
+  try {
+    sim.settle();
+    FAIL() << "expected watchdog";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+  }
+}
+
+TEST(SimErrors, SettlePassBudgetOverrideApplies) {
+  const Netlist nl = inverter_ring();
+  Simulator sim(nl, cells());
+  SettleBudget budget;
+  budget.max_passes = 2;
+  sim.set_settle_budget(budget);
+  try {
+    sim.settle();
+    FAIL() << "expected non-convergence";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNonConvergence);
+    EXPECT_NE(std::string(e.what()).find("2 passes"), std::string::npos);
+  }
+}
+
+// Regression for the forced-net clamp: settling with an active stuck-at
+// fault must converge, both on a plain path and inside a combinational
+// loop that the clamp breaks.
+TEST(SimErrors, SettleUnderForcedNetConverges) {
+  Netlist nl("f");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId c = nl.add_net("c");
+  nl.add_instance("i0", "INV_X1", {{"A", a}, {"Y", b}});
+  nl.add_instance("i1", "INV_X1", {{"A", b}, {"Y", c}});
+  Simulator sim(nl, cells());
+  sim.set_input(a, true);     // the driver wants b = 0...
+  sim.force_net(b, true);     // ...but the fault holds it at 1
+  ASSERT_NO_THROW(sim.settle());
+  EXPECT_TRUE(sim.value(b));
+  EXPECT_FALSE(sim.value(c));
+
+  const Netlist ring = inverter_ring();
+  Simulator ring_sim(ring, cells());
+  ring_sim.force_net(ring.find_net("ring_a"), true);
+  ASSERT_NO_THROW(ring_sim.settle());  // the clamp breaks the loop
+  EXPECT_TRUE(ring_sim.value(ring.find_net("ring_a")));
+  EXPECT_FALSE(ring_sim.value(ring.find_net("ring_b")));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/watchdog.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -24,6 +25,93 @@ TEST(Error, CheckThrowsWithLocation) {
 
 TEST(Error, CheckPassesSilently) {
   EXPECT_NO_THROW(LIMS_CHECK(2 + 2 == 4));
+}
+
+TEST(Diag, ErrorCarriesCodeAndContextStack) {
+  try {
+    DIAG_CONTEXT("characterize brick 64x16");
+    DIAG_CONTEXT(std::string("grid point ") + std::to_string(3));
+    throw Error(ErrorCode::kNumericalFault, "voltage went NaN");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNumericalFault);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("voltage went NaN"), std::string::npos);
+    EXPECT_NE(what.find("characterize brick 64x16"), std::string::npos);
+    EXPECT_NE(what.find("grid point 3"), std::string::npos);
+    EXPECT_EQ(e.context(), "characterize brick 64x16 > grid point 3");
+  }
+}
+
+TEST(Diag, ContextPopsOnScopeExit) {
+  { DIAG_CONTEXT("stale frame"); }
+  try {
+    throw Error("plain failure");
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).find("stale frame"), std::string::npos);
+    EXPECT_TRUE(e.context().empty());
+    EXPECT_EQ(e.code(), ErrorCode::kInternal);
+  }
+}
+
+TEST(Diag, CheckFailuresClassifyAsInvalidConfig) {
+  try {
+    LIMS_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+  }
+}
+
+TEST(Diag, LimsFailStreamsAndTypes) {
+  try {
+    LIMS_FAIL(ErrorCode::kIo, "cannot open " << "journal.jsonl");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_NE(std::string(e.what()).find("cannot open journal.jsonl"),
+              std::string::npos);
+  }
+}
+
+TEST(Diag, CodeNamesRoundTripAndExitCodesAreStable) {
+  const ErrorCode all[] = {ErrorCode::kInternal, ErrorCode::kInvalidConfig,
+                           ErrorCode::kNonConvergence,
+                           ErrorCode::kNumericalFault,
+                           ErrorCode::kResourceExhausted, ErrorCode::kIo};
+  for (ErrorCode code : all) {
+    ErrorCode parsed = ErrorCode::kInternal;
+    EXPECT_TRUE(error_code_from_name(error_code_name(code), &parsed));
+    EXPECT_EQ(parsed, code);
+  }
+  EXPECT_FALSE(error_code_from_name("segfault", nullptr));
+  // Documented CLI contract (README): these values must never shift.
+  EXPECT_EQ(exit_code_for(ErrorCode::kInternal), 1);
+  EXPECT_EQ(exit_code_for(ErrorCode::kInvalidConfig), 2);
+  EXPECT_EQ(exit_code_for(ErrorCode::kNonConvergence), 3);
+  EXPECT_EQ(exit_code_for(ErrorCode::kNumericalFault), 4);
+  EXPECT_EQ(exit_code_for(ErrorCode::kResourceExhausted), 5);
+  EXPECT_EQ(exit_code_for(ErrorCode::kIo), 6);
+}
+
+TEST(Watchdog, DisabledBudgetNeverFires) {
+  const Watchdog dog("idle", 0.0);
+  EXPECT_FALSE(dog.enabled());
+  EXPECT_FALSE(dog.expired());
+  EXPECT_NO_THROW(dog.check());
+}
+
+TEST(Watchdog, TinyBudgetFiresAsResourceExhausted) {
+  const Watchdog dog("settle fixpoint", 1e-9);
+  while (!dog.expired()) {
+  }
+  try {
+    dog.check();
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+    EXPECT_NE(std::string(e.what()).find("settle fixpoint"),
+              std::string::npos);
+  }
 }
 
 TEST(Units, FormatSiPicoseconds) {

@@ -3,15 +3,22 @@
 //   limsynth brick <kind> <words> <bits> [stack]      compile + estimate
 //   limsynth brick ... --lib                          also dump the .lib
 //   limsynth sweep <words> <bits>                     DSE + Pareto front
+//   limsynth dse <words> <bits> [--csv F] [--journal F] [--resume F]
+//       [--timeout SEC] ...                           checkpointed DSE
 //   limsynth sram <words> <bits> <banks> <brick_words> [--verilog]
 //   limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]
 //   limsynth spgemm <rmat_scale> <avg_degree>         both chips, one run
 //   limsynth yield <words> <bits> <banks> <brick_words>  CSV yield curve
 //
 // kinds: sram6t sram8t cam10t edram
+//
+// Exit codes follow the limsynth error taxonomy (see README):
+//   0 ok, 1 internal, 2 invalid config/usage, 3 non-convergence,
+//   4 numerical fault, 5 resource exhausted (timeouts), 6 I/O.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "arch/chip.hpp"
@@ -19,6 +26,7 @@
 #include "brick/library_gen.hpp"
 #include "liberty/writer.hpp"
 #include "lim/brick_opt.hpp"
+#include "lim/checkpoint.hpp"
 #include "lim/dse.hpp"
 #include "lim/report.hpp"
 #include "lim/yield.hpp"
@@ -37,6 +45,9 @@ int usage() {
                "usage:\n"
                "  limsynth brick <kind> <words> <bits> [stack] [--lib] [--golden]\n"
                "  limsynth sweep <words> <bits>\n"
+               "  limsynth dse <words> <bits> [--csv FILE] [--journal FILE]\n"
+               "      [--resume FILE] [--timeout SEC] [--chips N] [--seed S]\n"
+               "      [--ecc] [--spares N] [--d0 defects_per_cm2]\n"
                "  limsynth sram <words> <bits> <banks> <brick_words>"
                " [--verilog|--report|--svg]\n"
                "  limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]\n"
@@ -67,6 +78,13 @@ double flag_value(int argc, char** argv, const char* flag, double fallback) {
   for (int i = 0; i + 1 < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return std::atof(argv[i + 1]);
   return fallback;
+}
+
+/// String value of `--flag <value>`, or empty when absent.
+std::string flag_string(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return "";
 }
 
 int cmd_brick(int argc, char** argv) {
@@ -141,6 +159,73 @@ int cmd_sweep(int argc, char** argv) {
                strformat("%.0f um2", p.area * 1e12), on ? "*" : ""});
   }
   t.print(std::cout);
+  return 0;
+}
+
+// Checkpointed design-space exploration: like `sweep`, but journals every
+// completed point to a JSONL file, resumes from it (--resume), honours a
+// wall-clock budget (--timeout), and emits a machine-readable CSV in which
+// sick points carry their error code instead of aborting the sweep.
+int cmd_dse(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const int words = std::atoi(argv[1]);
+  const int bits = std::atoi(argv[2]);
+  const tech::Process process = tech::default_process();
+
+  lim::SweepOptions sopt;
+  sopt.ecc = has_flag(argc, argv, "--ecc");
+  sopt.spare_rows = static_cast<int>(flag_value(argc, argv, "--spares", 0.0));
+  sopt.yield_chips = static_cast<int>(flag_value(argc, argv, "--chips", 0.0));
+  sopt.yield_seed =
+      static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1.0));
+  const double d0_cm2 = flag_value(argc, argv, "--d0", -1.0);
+  if (d0_cm2 >= 0.0) sopt.defect_density_per_m2 = d0_cm2 * 1e4;
+
+  lim::CheckpointOptions copt;
+  copt.journal_path = flag_string(argc, argv, "--journal");
+  const std::string resume_path = flag_string(argc, argv, "--resume");
+  if (!resume_path.empty()) {
+    copt.resume = true;
+    if (copt.journal_path.empty()) copt.journal_path = resume_path;
+  }
+  copt.timeout_seconds = flag_value(argc, argv, "--timeout", 0.0);
+
+  std::vector<lim::PartitionChoice> choices;
+  for (int bw : {8, 16, 32, 64, 128})
+    if (words % bw == 0 && words / bw <= 64)
+      choices.push_back({words, bits, bw});
+  LIMS_CHECK_MSG(!choices.empty(),
+                 "no viable brick partitions for " << words << " words");
+
+  const lim::CheckpointedSweep sweep =
+      lim::sweep_partitions_checkpointed(choices, process, sopt, copt);
+
+  const std::string csv_path = flag_string(argc, argv, "--csv");
+  if (csv_path.empty()) {
+    lim::write_dse_csv(sweep.points, std::cout);
+  } else {
+    std::ofstream csv(csv_path);
+    if (!csv) throw Error(ErrorCode::kIo, "cannot write CSV: " + csv_path);
+    lim::write_dse_csv(sweep.points, csv);
+  }
+
+  int failed = 0;
+  for (const auto& p : sweep.points)
+    if (!p.ok) ++failed;
+  std::fprintf(stderr,
+               "# dse %dx%d: %zu points (%d computed, %d resumed, %d failed;"
+               " %d stale + %d torn journal entries)\n",
+               words, bits, sweep.points.size(), sweep.computed, sweep.resumed,
+               failed, sweep.stale, sweep.malformed);
+  if (sweep.timed_out) {
+    std::fprintf(stderr,
+                 "# timed out after %.3g s with %zu/%zu points done; rerun"
+                 " with --resume %s to finish\n",
+                 copt.timeout_seconds, sweep.points.size(), choices.size(),
+                 copt.journal_path.empty() ? "<journal>"
+                                           : copt.journal_path.c_str());
+    return exit_code_for(ErrorCode::kResourceExhausted);
+  }
   return 0;
 }
 
@@ -276,11 +361,18 @@ int main(int argc, char** argv) {
     const std::string cmd = argv[1];
     if (cmd == "brick") return cmd_brick(argc - 1, argv + 1);
     if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (cmd == "dse") return cmd_dse(argc - 1, argv + 1);
     if (cmd == "sram") return cmd_sram(argc - 1, argv + 1);
     if (cmd == "optimize") return cmd_optimize(argc - 1, argv + 1);
     if (cmd == "spgemm") return cmd_spgemm(argc - 1, argv + 1);
     if (cmd == "yield") return cmd_yield(argc - 1, argv + 1);
     return usage();
+  } catch (const Error& e) {
+    // Structured exit codes: scripts driving sweeps can tell a bad config
+    // (2) from a numerics problem (4) or an exhausted budget (5).
+    std::fprintf(stderr, "error [%s]: %s\n", error_code_name(e.code()),
+                 e.what());
+    return exit_code_for(e.code());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
