@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "arch/chip.hpp"
+#include "bench_args.hpp"
 #include "spgemm/generate.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -14,12 +15,12 @@
 
 using namespace limsynth;
 
-int main() {
+int main(int argc, char** argv) {
   const tech::Process process = tech::default_process();
   const tech::StdCellLib cells(process);
   const arch::ChipModel chip = arch::build_lim_chip(process, cells);
 
-  Rng rng(21);
+  Rng rng(benchargs::seed_from_args(argc, argv, 21));
   const spgemm::SparseMatrix a =
       spgemm::gen_rmat(12, 26 * 4096, 0.55, 0.18, 0.18, rng);
 

@@ -1,0 +1,44 @@
+// Shared argv parsing for the sampling benches. Every bench that draws
+// random samples takes `--seed N`; the fixed defaults keep the emitted
+// CSVs byte-reproducible run to run (and in CI) unless a sweep explicitly
+// asks for fresh draws.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace limsynth::benchargs {
+
+/// Returns the value of `--seed N` (also `--seed=N`), or `fallback` when
+/// absent. Exits with a usage message on a malformed flag so a typo never
+/// silently reseeds a reproducibility-sensitive run.
+inline std::uint64_t seed_from_args(int argc, char** argv,
+                                    std::uint64_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--seed") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --seed requires a value\n", argv[0]);
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      value = arg + 7;
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    const std::uint64_t seed = std::strtoull(value, &end, 0);
+    if (end == value || *end != '\0') {
+      std::fprintf(stderr, "%s: bad --seed value '%s'\n", argv[0], value);
+      std::exit(2);
+    }
+    return seed;
+  }
+  return fallback;
+}
+
+}  // namespace limsynth::benchargs

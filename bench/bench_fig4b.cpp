@@ -21,6 +21,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "brick/golden.hpp"
 #include "lim/flow.hpp"
 #include "util/csv.hpp"
@@ -60,8 +61,9 @@ double flow_fmax(const lim::SramConfig& cfg, const tech::Process& process,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const tech::Process tt = tech::default_process();
+  const std::uint64_t seed = benchargs::seed_from_args(argc, argv, 2026);
 
   const Config configs[] = {
       {"A 16x10 (1 brick)", {16, 10, 1, 16}},
@@ -96,7 +98,7 @@ int main() {
     const brick::GoldenMeasurement nom_gold = brick::golden_read(nom_brick);
     const double brick_corr = nom_gold.delay / nom_est;
 
-    Rng rng(2026);
+    Rng rng(seed);
     OnlineStats f_chips, e_chips;
     const int kChips = 8;
     for (int chip = 0; chip < kChips; ++chip) {

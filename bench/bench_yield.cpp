@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_args.hpp"
 #include "brick/estimator.hpp"
 #include "lim/yield.hpp"
 #include "util/csv.hpp"
@@ -18,11 +19,11 @@
 
 using namespace limsynth;
 
-int main() {
+int main(int argc, char** argv) {
   const tech::Process process = tech::default_process();
   lim::FullYieldOptions opt;
   opt.chips = 400;
-  opt.seed = 20150608;  // DAC'15
+  opt.seed = benchargs::seed_from_args(argc, argv, 20150608);  // DAC'15
   // A deliberately dirty process (the default 0.2/cm2 is invisible at
   // sub-mm2 arrays): a few defects per chip on average.
   opt.defect_density_per_m2 = 2e8;

@@ -1,0 +1,171 @@
+#include "evsim/annotate.hpp"
+
+#include <algorithm>
+
+#include "netlist/sim.hpp"
+#include "sta/loads.hpp"
+#include "synth/synth.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::evsim {
+
+namespace {
+
+using netlist::InstId;
+using netlist::Netlist;
+using netlist::NetId;
+using synth::pin_base;
+
+// Input pin order shared with eval_func / netlist::Simulator.
+constexpr const char* kInputPins[4] = {"A", "B", "C", "D"};
+
+}  // namespace
+
+TimingAnnotation annotate_delays(const Netlist& nl,
+                                 const liberty::Library& lib,
+                                 const tech::StdCellLib& cells,
+                                 const AnnotateOptions& opt) {
+  sta::NetLoadOptions load_opt;
+  load_opt.floorplan = opt.floorplan;
+  load_opt.prelayout_cap_per_sink = opt.prelayout_cap_per_sink;
+  load_opt.output_load = opt.output_load;
+  const sta::NetLoads loads = sta::compute_net_loads(nl, lib, load_opt);
+
+  std::map<std::string, tech::CellFunc> func_by_stem;
+  for (const auto& c : cells.cells())
+    func_by_stem[netlist::cell_stem(c.name)] = c.func;
+
+  // STA records the worst slew on each net; reuse it for arc lookups so
+  // the delays this engine replays are the ones STA summed. Nets STA
+  // never reached (constants) fall back to the default.
+  auto slew_of = [&](NetId net) {
+    const auto n = static_cast<std::size_t>(net);
+    if (opt.sta != nullptr && n < opt.sta->net_slew.size() &&
+        n < opt.sta->net_arrival.size() && opt.sta->net_arrival[n] >= 0.0)
+      return opt.sta->net_slew[n];
+    return opt.default_slew;
+  };
+  auto wire_of = [&](NetId net) {
+    return loads.wire_delay[static_cast<std::size_t>(net)];
+  };
+  auto load_of = [&](NetId net) {
+    return loads.load[static_cast<std::size_t>(net)];
+  };
+
+  TimingAnnotation ann;
+  const std::size_t n_inst = nl.instance_storage_size();
+  for (std::size_t i = 0; i < n_inst; ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (!nl.is_live(id)) continue;
+    const auto& inst = nl.instance(id);
+    const liberty::LibCell& cell = lib.cell(inst.cell);
+    const std::string clock_pin =
+        cell.clock_pin.empty() ? "CK" : cell.clock_pin;
+
+    if (cell.is_macro || cell.sequential) {
+      // Launch side: CK -> output arcs. STA adds a net's wire delay on
+      // the consumption side, so launch delays carry the arc only.
+      if (cell.is_macro) {
+        MacroInfo mi;
+        mi.inst = id;
+        for (const auto& c : inst.conns) {
+          if (!Netlist::is_output_pin(c.pin)) continue;
+          const liberty::TimingArc* arc =
+              cell.find_arc(clock_pin, pin_base(c.pin));
+          LIMS_CHECK_MSG(arc != nullptr, "no clock arc to " << c.pin
+                                                            << " on "
+                                                            << cell.name);
+          mi.outputs.push_back(
+              {c.pin, c.net,
+               to_fs(arc->delay.lookup(sta::kClockSlew, load_of(c.net)))});
+        }
+        ann.macros.push_back(std::move(mi));
+      } else {
+        const auto fit = func_by_stem.find(netlist::cell_stem(inst.cell));
+        LIMS_CHECK_MSG(fit != func_by_stem.end(),
+                       "unknown cell " << inst.cell);
+        if (fit->second != tech::CellFunc::kDff &&
+            fit->second != tech::CellFunc::kDffEn) {
+          throw Error(ErrorCode::kInvalidConfig,
+                      "event simulation supports DFF/DFFE sequentials only, "
+                      "got " + inst.cell + " on " + inst.name);
+        }
+        FlopInfo fi;
+        fi.inst = id;
+        const NetId* d = inst.find_pin("D");
+        const NetId* q = inst.find_pin("Q");
+        LIMS_CHECK_MSG(d != nullptr && q != nullptr,
+                       "flop " << inst.name << " missing D/Q pins");
+        fi.d = *d;
+        fi.q = *q;
+        if (fit->second == tech::CellFunc::kDffEn) {
+          const NetId* en = inst.find_pin("EN");
+          LIMS_CHECK_MSG(en != nullptr,
+                         "DFFE " << inst.name << " missing EN pin");
+          fi.en = *en;
+        }
+        const liberty::TimingArc* arc = cell.find_arc(clock_pin, "Q");
+        LIMS_CHECK_MSG(arc != nullptr,
+                       "no CK->Q arc on " << cell.name);
+        fi.clk_to_q_fs =
+            to_fs(arc->delay.lookup(sta::kClockSlew, load_of(fi.q)));
+        ann.flops.push_back(fi);
+      }
+      // Capture side: every constrained input pin is an endpoint. The
+      // window folds in the data net's wire delay (STA adds it at the
+      // endpoint) and the clock uncertainty.
+      for (const auto& c : inst.conns) {
+        if (Netlist::is_output_pin(c.pin)) continue;
+        if (c.net == nl.clock()) continue;
+        const liberty::Constraint* con =
+            cell.find_constraint(pin_base(c.pin));
+        if (con == nullptr) continue;
+        ann.endpoints.push_back(
+            {inst.name + "/" + c.pin, c.net,
+             to_fs(wire_of(c.net) + con->setup + opt.clock_uncertainty)});
+      }
+      continue;
+    }
+
+    // Combinational gate (or tie constant).
+    const auto fit = func_by_stem.find(netlist::cell_stem(inst.cell));
+    LIMS_CHECK_MSG(fit != func_by_stem.end(), "unknown cell " << inst.cell);
+    GateInfo gi;
+    gi.inst = id;
+    gi.func = fit->second;
+    gi.nin = tech::cell_func_inputs(gi.func);
+    LIMS_CHECK_MSG(gi.nin <= 4, "too many inputs on " << inst.cell);
+    const NetId* out = inst.find_pin("Y");
+    LIMS_CHECK_MSG(out != nullptr, "gate " << inst.name << " missing Y pin");
+    gi.out = *out;
+    const double out_load = load_of(gi.out);
+    TimeFs worst = 0;
+    std::vector<int> missing;
+    for (int k = 0; k < gi.nin; ++k) {
+      const NetId* in = inst.find_pin(kInputPins[k]);
+      LIMS_CHECK_MSG(in != nullptr, "gate " << inst.name << " missing pin "
+                                            << kInputPins[k]);
+      gi.in[k] = *in;
+      const liberty::TimingArc* arc = cell.find_arc(kInputPins[k], "Y");
+      if (arc == nullptr) {
+        missing.push_back(k);  // non-timing pin: pessimize below
+        continue;
+      }
+      gi.delay_fs[k] =
+          to_fs(wire_of(*in) + arc->delay.lookup(slew_of(*in), out_load));
+      worst = std::max(worst, gi.delay_fs[k]);
+    }
+    for (int k : missing)
+      gi.delay_fs[k] = std::max<TimeFs>(worst, to_fs(wire_of(gi.in[k]))) + 1;
+    ann.gates.push_back(gi);
+  }
+
+  for (const auto& port : nl.ports()) {
+    if (port.dir != netlist::PortDir::kOutput) continue;
+    ann.endpoints.push_back(
+        {"PO " + port.name, port.net, to_fs(opt.clock_uncertainty)});
+  }
+  return ann;
+}
+
+}  // namespace limsynth::evsim

@@ -1,0 +1,83 @@
+// Equivalence and timing-validation harnesses tying the two simulation
+// engines together.
+//
+// cross_check() drives the settle engine and the event engine (quiesce
+// mode, zero-init) with one stimulus trace and compares every net and
+// every cycle — the functional proof that event-driven evaluation with
+// per-arc delays reaches the same fixpoints as the golden two-phase
+// simulator. validate_at_period() reruns the trace in timed mode: at
+// STA's min_period every capture must match the settle engine and no
+// setup check may fire; 5% past it the critical endpoint must complain.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "evsim/evsim.hpp"
+#include "netlist/sim.hpp"
+
+namespace limsynth::evsim {
+
+/// Per-cycle primary-input changes, applied to both engines verbatim.
+struct StimulusTrace {
+  struct Change {
+    netlist::NetId net = netlist::kNoNet;
+    bool value = false;
+  };
+  std::vector<std::vector<Change>> cycles;
+
+  void set(std::size_t cycle, netlist::NetId net, bool value);
+  void set_bus(std::size_t cycle, const std::vector<netlist::NetId>& bus,
+               std::uint64_t value);
+  std::size_t size() const { return cycles.size(); }
+};
+
+using AttachSettle = std::function<void(netlist::Simulator&)>;
+using AttachEvent = std::function<void(EventSimulator&)>;
+
+struct CrossCheckResult {
+  std::uint64_t cycles = 0;
+  /// Net-value disagreements accumulated over all cycles (X on the event
+  /// engine where the settle engine has a value counts as a mismatch).
+  std::uint64_t mismatched_nets = 0;
+  std::string first_mismatch;  // human-readable locus of the first one
+  bool ok() const { return mismatched_nets == 0; }
+};
+
+/// Runs both engines over `stimulus` and compares all non-clock nets
+/// after every cycle. The attach callbacks install fresh MacroModel
+/// instances on each engine (models carry state, so each engine needs
+/// its own).
+CrossCheckResult cross_check(const netlist::Netlist& nl,
+                             const tech::StdCellLib& cells,
+                             const TimingAnnotation& annotation,
+                             const StimulusTrace& stimulus,
+                             const AttachSettle& attach_settle = {},
+                             const AttachEvent& attach_event = {});
+
+struct StaValidation {
+  double period = 0.0;
+  std::uint64_t cycles = 0;
+  /// Flop captures disagreeing with the settle engine's (period-blind)
+  /// golden captures — nonzero means the period is functionally too fast.
+  std::uint64_t capture_mismatches = 0;
+  std::uint64_t setup_violations = 0;
+  std::vector<SetupViolation> endpoints;  // most-violated first
+  bool endpoint_violated(const std::string& name) const;
+  bool clean() const {
+    return capture_mismatches == 0 && setup_violations == 0;
+  }
+};
+
+/// Replays `stimulus` on the event engine clocked at `period` (timed
+/// mode) in lockstep with a settle-engine golden run.
+StaValidation validate_at_period(const netlist::Netlist& nl,
+                                 const tech::StdCellLib& cells,
+                                 const TimingAnnotation& annotation,
+                                 double period, const StimulusTrace& stimulus,
+                                 const AttachSettle& attach_settle = {},
+                                 const AttachEvent& attach_event = {});
+
+}  // namespace limsynth::evsim

@@ -1,0 +1,196 @@
+// Event-driven timing simulation over netlist::Netlist.
+//
+// Where the settle engine answers "what value does this net reach", this
+// engine answers "when, and through how many spurious transitions". Nets
+// change through timestamped events drained from a calendar-queue wheel;
+// every gate arc carries its back-annotated NLDM delay (see annotate.hpp),
+// so unequal path depths produce real hazard pulses. Inertial filtering
+// models what silicon does to pulses shorter than a gate's response:
+// a pending output event preempted by a newer evaluation is a *filtered*
+// glitch (it never reaches the net); extra transitions that do land on a
+// net beyond its one functional change per cycle are *propagated* glitches
+// and feed the glitch component of power analysis.
+//
+// Two clocking modes:
+//  - quiesce (period = 0): every cycle drains the wheel to empty before
+//    and after the edge. Timing-accurate event order, settle-equivalent
+//    end-of-cycle state — the mode cross_check() uses.
+//  - timed (period > 0): the edge cuts the event stream at t = k*period.
+//    Late arrivals are *missed* by captures, which is what makes the STA
+//    min_period claim checkable dynamically (see crosscheck.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "evsim/annotate.hpp"
+#include "evsim/logic.hpp"
+#include "evsim/vcd.hpp"
+#include "evsim/wheel.hpp"
+#include "netlist/activity.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/sim.hpp"
+
+namespace limsynth::evsim {
+
+struct EvsimOptions {
+  /// Clock period in seconds; 0 selects quiesce mode (see header).
+  double period = 0.0;
+  /// Inertial delay: a gate output re-evaluation preempts its own pending
+  /// event (short pulses are swallowed and counted as filtered glitches).
+  /// When false, transport delay: every scheduled transition lands.
+  bool inertial = true;
+  /// Power-up state: X (hardware-honest) or 0 (settle-engine-equivalent,
+  /// required by cross_check).
+  bool x_init = true;
+  /// Slack added to setup windows before flagging a violation, absorbing
+  /// the <=0.5 fs/arc integer rounding of the annotation (s).
+  double setup_guard = 64e-15;
+  /// Event budget per cycle; 0 = automatic (1000 * gate count). Exceeding
+  /// it throws Error(kResourceExhausted) naming the hottest net.
+  std::uint64_t max_events_per_cycle = 0;
+};
+
+struct GlitchStats {
+  /// Pulses swallowed by inertial filtering (never reached a net).
+  std::uint64_t filtered = 0;
+  /// Hazard transitions that landed on nets beyond the one functional
+  /// change per cycle (these cost real energy).
+  std::uint64_t propagated = 0;
+};
+
+struct SetupViolation {
+  std::string endpoint;  // sta::StaResult::critical_endpoint formatting
+  std::uint64_t count = 0;
+};
+
+class EventSimulator {
+ public:
+  EventSimulator(const netlist::Netlist& nl, const tech::StdCellLib& cells,
+                 TimingAnnotation annotation,
+                 const EvsimOptions& options = {});
+  ~EventSimulator();
+
+  /// Attaches an unmodified netlist::MacroModel; it sees this engine
+  /// through the Simulator macro-port adapter.
+  void attach(netlist::InstId inst, std::shared_ptr<netlist::MacroModel> model);
+
+  /// Applies a primary-input change at the current time (takes effect in
+  /// the upcoming cycle, like Simulator::set_input before settle()).
+  void set_input(netlist::NetId net, bool value);
+  void set_bus(const std::vector<netlist::NetId>& bus, std::uint64_t value);
+
+  /// Advances one clock cycle (events, rising edge, captures).
+  void cycle();
+  void run(std::uint64_t cycles);
+
+  Logic value(netlist::NetId net) const {
+    return values_[static_cast<std::size_t>(net)];
+  }
+  /// Bus value; X bits read as 0 (check bus_has_x when it matters).
+  std::uint64_t bus_value(const std::vector<netlist::NetId>& bus) const;
+  bool bus_has_x(const std::vector<netlist::NetId>& bus) const;
+  Logic flop_state(netlist::InstId inst) const;
+
+  std::uint64_t cycles() const { return cycles_; }
+  TimeFs now_fs() const { return t_now_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  const GlitchStats& glitch_stats() const { return glitch_; }
+  std::uint64_t toggles(netlist::NetId net) const {
+    return toggle_counts_[static_cast<std::size_t>(net)];
+  }
+  std::uint64_t glitch_toggles(netlist::NetId net) const {
+    return glitch_counts_[static_cast<std::size_t>(net)];
+  }
+
+  /// Setup checks run in timed mode only (quiesce mode has no deadline).
+  std::uint64_t setup_violations() const { return total_violations_; }
+  /// Per-endpoint violation counts, most-violated first.
+  std::vector<SetupViolation> violations_by_endpoint() const;
+  bool endpoint_violated(const std::string& name) const;
+
+  /// Switching activity in the engine-independent record consumed by
+  /// power::analyze_power (includes glitch transitions).
+  netlist::Activity activity() const;
+
+  /// Streams value changes as VCD to `os` (which must outlive the
+  /// simulator). Call before the first cycle(); the header dumps the
+  /// current (power-up) state.
+  void stream_vcd(std::ostream& os);
+  /// Emits the closing timestamp and flushes (no-op without stream_vcd).
+  void finish_vcd();
+
+  const netlist::Netlist& netlist() const { return nl_; }
+
+  // Macro-port surface used by the adapter (public for the adapter, not
+  // meant for testbenches).
+  Logic pin_logic(netlist::InstId inst, const std::string& pin) const;
+  void macro_drive(netlist::InstId inst, const std::string& pin, bool value);
+  void note_macro_access(netlist::InstId inst);
+
+ private:
+  struct Fanin {
+    std::uint32_t gate;  // index into ann_.gates
+    std::uint8_t input;  // input position on that gate
+  };
+
+  void prime();
+  void apply_change(netlist::NetId net, Logic v, TimeFs t);
+  void eval_and_schedule(std::uint32_t gate, std::uint8_t input,
+                         TimeFs t_cause);
+  void schedule_output(netlist::NetId net, Logic v, TimeFs te);
+  void drain(TimeFs horizon, bool bounded);
+  void edge(TimeFs t_edge);
+  void check_setup(TimeFs t_edge);
+  void finalize_cycle_glitches();
+  void touch_net(netlist::NetId net);
+
+  const netlist::Netlist& nl_;
+  TimingAnnotation ann_;
+  EvsimOptions opt_;
+  bool timed_ = false;
+  TimeFs period_fs_ = 0;
+
+  EventWheel wheel_;
+  std::vector<Logic> values_;
+  std::vector<std::vector<Fanin>> fanout_;  // net -> gate inputs it feeds
+  std::vector<EventWheel::Handle> pending_;  // inertial: 1 event max/net
+  std::vector<Logic> transport_last_;        // transport: last scheduled
+
+  std::vector<Logic> flop_state_;            // parallel to ann_.flops
+  std::map<netlist::InstId, std::size_t> flop_index_;
+  std::map<netlist::InstId, std::size_t> macro_index_;
+  std::map<netlist::InstId, std::shared_ptr<netlist::MacroModel>> models_;
+  std::unique_ptr<netlist::Simulator> adapter_;
+  std::vector<std::map<std::string, std::size_t>> macro_pin_index_;
+
+  std::vector<std::vector<std::size_t>> endpoints_on_net_;
+  std::vector<std::uint64_t> endpoint_violations_;
+  std::uint64_t total_violations_ = 0;
+
+  std::vector<std::uint64_t> toggle_counts_;
+  std::vector<std::uint64_t> glitch_counts_;
+  std::vector<std::uint32_t> cycle_transitions_;
+  std::vector<Logic> cycle_start_value_;
+  std::vector<netlist::NetId> touched_;
+  std::vector<TimeFs> last_change_;
+  std::map<netlist::InstId, std::uint64_t> macro_access_counts_;
+
+  GlitchStats glitch_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t cycle_events_ = 0;
+  std::uint64_t event_budget_ = 0;
+  TimeFs t_now_ = 0;
+  TimeFs next_edge_ = 0;
+  TimeFs edge_time_ = 0;  // during edge(): when macro drives launch
+
+  std::unique_ptr<VcdWriter> vcd_;
+};
+
+}  // namespace limsynth::evsim

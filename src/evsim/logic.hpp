@@ -1,0 +1,94 @@
+// Three-valued logic for the event-driven engine.
+//
+// The settle engine is two-valued (everything powers up to 0); the event
+// engine models uninitialized state explicitly: every net, flop and brick
+// output is X until something drives it, and X propagates through gates
+// with Kleene semantics (a controlling 0 on a NAND still forces a 1, an X
+// select on a mux resolves only when both data inputs agree).
+#pragma once
+
+#include <cstdint>
+
+#include "tech/stdcell.hpp"
+#include "util/error.hpp"
+
+namespace limsynth::evsim {
+
+enum class Logic : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+inline Logic from_bool(bool b) { return b ? Logic::k1 : Logic::k0; }
+inline bool is_x(Logic v) { return v == Logic::kX; }
+/// X coerces to 0 (the adapter contract for behavioral macro models).
+inline bool to_bool(Logic v) { return v == Logic::k1; }
+inline char logic_char(Logic v) {
+  return v == Logic::k0 ? '0' : (v == Logic::k1 ? '1' : 'x');
+}
+
+inline Logic logic_not(Logic a) {
+  if (a == Logic::kX) return Logic::kX;
+  return a == Logic::k0 ? Logic::k1 : Logic::k0;
+}
+
+inline Logic logic_and(Logic a, Logic b) {
+  if (a == Logic::k0 || b == Logic::k0) return Logic::k0;
+  if (a == Logic::kX || b == Logic::kX) return Logic::kX;
+  return Logic::k1;
+}
+
+inline Logic logic_or(Logic a, Logic b) {
+  if (a == Logic::k1 || b == Logic::k1) return Logic::k1;
+  if (a == Logic::kX || b == Logic::kX) return Logic::kX;
+  return Logic::k0;
+}
+
+inline Logic logic_xor(Logic a, Logic b) {
+  if (a == Logic::kX || b == Logic::kX) return Logic::kX;
+  return from_bool(a != b);
+}
+
+/// Mux with an X select resolves when both data inputs agree.
+inline Logic logic_mux(Logic a, Logic b, Logic sel) {
+  if (sel == Logic::kX) return a == b ? a : Logic::kX;
+  return sel == Logic::k1 ? b : a;
+}
+
+/// Evaluates a combinational cell function over inputs in pin order
+/// (A, B, C, D) — the same pin convention as netlist::Simulator.
+inline Logic eval_func(tech::CellFunc func, const Logic* in, int nin) {
+  using tech::CellFunc;
+  auto all_and = [&] {
+    Logic v = Logic::k1;
+    for (int i = 0; i < nin; ++i) v = logic_and(v, in[i]);
+    return v;
+  };
+  auto all_or = [&] {
+    Logic v = Logic::k0;
+    for (int i = 0; i < nin; ++i) v = logic_or(v, in[i]);
+    return v;
+  };
+  switch (func) {
+    case CellFunc::kInv: return logic_not(in[0]);
+    case CellFunc::kBuf: return in[0];
+    case CellFunc::kNand2:
+    case CellFunc::kNand3:
+    case CellFunc::kNand4: return logic_not(all_and());
+    case CellFunc::kNor2:
+    case CellFunc::kNor3: return logic_not(all_or());
+    case CellFunc::kAnd2: return all_and();
+    case CellFunc::kOr2: return all_or();
+    case CellFunc::kXor2: return logic_xor(in[0], in[1]);
+    case CellFunc::kXnor2: return logic_not(logic_xor(in[0], in[1]));
+    // Pin convention from netlist::Simulator: select on C.
+    case CellFunc::kMux2: return logic_mux(in[0], in[1], in[2]);
+    case CellFunc::kAoi21:
+      return logic_not(logic_or(logic_and(in[0], in[1]), in[2]));
+    case CellFunc::kOai21:
+      return logic_not(logic_and(logic_or(in[0], in[1]), in[2]));
+    case CellFunc::kTie0: return Logic::k0;
+    case CellFunc::kTie1: return Logic::k1;
+    default:
+      LIMS_UNREACHABLE("sequential cell in combinational eval");
+  }
+}
+
+}  // namespace limsynth::evsim

@@ -1,0 +1,69 @@
+#include "evsim/vcd.hpp"
+
+#include "util/error.hpp"
+
+namespace limsynth::evsim {
+
+namespace {
+
+// Shortest base-94 identifier over VCD's printable range '!'..'~'.
+std::string id_code(std::size_t n) {
+  std::string s;
+  do {
+    s.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  return s;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::ostream& os, const netlist::Netlist& nl)
+    : os_(os), nl_(nl) {
+  ids_.reserve(nl.nets().size());
+  for (std::size_t n = 0; n < nl.nets().size(); ++n)
+    ids_.push_back(id_code(n));
+}
+
+void VcdWriter::write_header(const std::vector<Logic>& values) {
+  LIMS_CHECK(values.size() == ids_.size());
+  os_ << "$version limsynth evsim $end\n";
+  os_ << "$timescale 1fs $end\n";
+  os_ << "$scope module " << nl_.name() << " $end\n";
+  for (std::size_t n = 0; n < ids_.size(); ++n) {
+    os_ << "$var wire 1 " << ids_[n] << ' ' << nl_.net_name(static_cast<int>(n))
+        << " $end\n";
+  }
+  os_ << "$upscope $end\n";
+  os_ << "$enddefinitions $end\n";
+  os_ << "$dumpvars\n";
+  for (std::size_t n = 0; n < ids_.size(); ++n)
+    emit(static_cast<int>(n), values[n]);
+  os_ << "$end\n";
+}
+
+void VcdWriter::change(TimeFs t, netlist::NetId net, Logic v) {
+  LIMS_CHECK_MSG(!time_open_ || t >= emitted_time_,
+                 "VCD time moved backwards");
+  if (!time_open_ || t != emitted_time_) {
+    os_ << '#' << t << '\n';
+    emitted_time_ = t;
+    time_open_ = true;
+  }
+  emit(net, v);
+}
+
+void VcdWriter::finish(TimeFs t) {
+  if (!time_open_ || t > emitted_time_) {
+    os_ << '#' << t << '\n';
+    emitted_time_ = t;
+    time_open_ = true;
+  }
+  os_.flush();
+}
+
+void VcdWriter::emit(netlist::NetId net, Logic v) {
+  os_ << logic_char(v) << ids_[static_cast<std::size_t>(net)] << '\n';
+}
+
+}  // namespace limsynth::evsim

@@ -1,0 +1,45 @@
+// Streaming VCD (value change dump) writer.
+//
+// Deliberately deterministic: no $date section, ids assigned in net-id
+// order, timestamps emitted only when time advances. Two runs of the same
+// stimulus produce byte-identical files, which is what lets CI diff
+// waveforms instead of eyeballing them.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "evsim/logic.hpp"
+#include "evsim/wheel.hpp"
+#include "netlist/netlist.hpp"
+
+namespace limsynth::evsim {
+
+class VcdWriter {
+ public:
+  /// Binds the writer to a stream; `os` must outlive the writer.
+  VcdWriter(std::ostream& os, const netlist::Netlist& nl);
+
+  /// Emits $timescale/$scope/$var/$enddefinitions and a $dumpvars block
+  /// with the given initial net values. Call exactly once, first.
+  void write_header(const std::vector<Logic>& values);
+
+  /// Records one value change at absolute time `t` (fs, monotone).
+  void change(TimeFs t, netlist::NetId net, Logic v);
+
+  /// Emits a final timestamp so the last changes have visible duration.
+  void finish(TimeFs t);
+
+ private:
+  void emit(netlist::NetId net, Logic v);
+
+  std::ostream& os_;
+  const netlist::Netlist& nl_;
+  std::vector<std::string> ids_;
+  TimeFs emitted_time_ = 0;
+  bool time_open_ = false;  // a #<t> line has been written yet
+};
+
+}  // namespace limsynth::evsim

@@ -1,0 +1,108 @@
+#include "evsim/wheel.hpp"
+
+#include <algorithm>
+
+namespace limsynth::evsim {
+
+EventWheel::EventWheel(TimeFs bucket_width_fs, std::size_t buckets)
+    : buckets_(buckets), width_(bucket_width_fs) {
+  LIMS_CHECK(bucket_width_fs > 0 && buckets > 0);
+}
+
+EventWheel::Handle EventWheel::schedule(TimeFs time, netlist::NetId net,
+                                        Logic value) {
+  LIMS_CHECK_MSG(time >= last_popped_,
+                 "event scheduled in the past: " << time << " < "
+                                                 << last_popped_);
+  Handle h;
+  if (free_head_ != kNoHandle) {
+    h = free_head_;
+    free_head_ = pool_[h].next_free;
+  } else {
+    h = static_cast<Handle>(pool_.size());
+    pool_.emplace_back();
+  }
+  Event& ev = pool_[h];
+  ev.time = time;
+  ev.seq = next_seq_++;
+  ev.net = net;
+  ev.value = value;
+  ev.cancelled = false;
+  ev.next_free = kNoHandle;
+
+  std::vector<Handle>& bucket =
+      buckets_[(time / width_) % buckets_.size()];
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), h,
+      [this](Handle a, Handle b) { return before(a, b); });
+  bucket.insert(pos, h);
+  ++live_;
+  return h;
+}
+
+void EventWheel::cancel(Handle h) {
+  LIMS_CHECK(h < pool_.size() && !pool_[h].cancelled);
+  pool_[h].cancelled = true;
+  --live_;
+  // The entry stays in its bucket; locate() reclaims it lazily.
+}
+
+void EventWheel::release(Handle h) {
+  pool_[h].next_free = free_head_;
+  free_head_ = h;
+}
+
+EventWheel::Handle EventWheel::locate() {
+  // Calendar-queue walk: starting at the bucket of the last popped time,
+  // visit buckets in lap order. Buckets partition time by (t / width)
+  // ring position, and each is sorted, so the first head that falls
+  // inside the current lap window is the global minimum.
+  const std::size_t nb = buckets_.size();
+  std::size_t lap = last_popped_ / width_;
+  for (std::size_t walked = 0; walked < nb; ++walked, ++lap) {
+    std::vector<Handle>& bucket = buckets_[lap % nb];
+    while (!bucket.empty() && pool_[bucket.front()].cancelled) {
+      release(bucket.front());
+      bucket.erase(bucket.begin());
+    }
+    if (bucket.empty()) continue;
+    if (pool_[bucket.front()].time < (lap + 1) * width_)
+      return bucket.front();
+  }
+  // The earliest event is more than a full ring ahead: fall back to a
+  // head scan (rare — only across long quiet gaps).
+  Handle best = kNoHandle;
+  for (auto& bucket : buckets_) {
+    while (!bucket.empty() && pool_[bucket.front()].cancelled) {
+      release(bucket.front());
+      bucket.erase(bucket.begin());
+    }
+    if (bucket.empty()) continue;
+    if (best == kNoHandle || before(bucket.front(), best))
+      best = bucket.front();
+  }
+  LIMS_CHECK_MSG(best != kNoHandle, "event wheel locate on empty wheel");
+  return best;
+}
+
+TimeFs EventWheel::next_time() {
+  LIMS_CHECK(!empty());
+  return pool_[locate()].time;
+}
+
+EventWheel::Popped EventWheel::pop() {
+  LIMS_CHECK(!empty());
+  const Handle h = locate();
+  Event& ev = pool_[h];
+  std::vector<Handle>& bucket =
+      buckets_[(ev.time / width_) % buckets_.size()];
+  LIMS_CHECK(!bucket.empty() && bucket.front() == h);
+  bucket.erase(bucket.begin());
+  --live_;
+  last_popped_ = ev.time;
+  Popped out{ev.time, ev.net, ev.value};
+  release(h);
+  return out;
+}
+
+}  // namespace limsynth::evsim

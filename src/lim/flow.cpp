@@ -58,6 +58,7 @@ FlowReport run_flow(
     popt.frequency =
         opt.power_frequency > 0.0 ? opt.power_frequency : rep.fmax;
     popt.floorplan = opt.run_placement ? &rep.floorplan : nullptr;
+    popt.sta = &rep.timing;  // per-net slews for the energy LUT lookups
     rep.power = power::analyze_power(nl, lib, sim, popt);
     rep.analysis_frequency = popt.frequency;
   }

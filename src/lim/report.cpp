@@ -37,6 +37,7 @@ void write_power_report(const FlowReport& rep, std::ostream& os) {
   row("sequential", rep.power.sequential);
   row("clock tree", rep.power.clock_tree);
   row("memory macros", rep.power.macro);
+  row("glitch", rep.power.glitch);
   row("leakage", rep.power.leakage);
   t.add_separator();
   t.add_row({"total", units::format_si(total, "W"),

@@ -1,0 +1,23 @@
+#include "netlist/activity.hpp"
+
+#include "netlist/sim.hpp"
+
+namespace limsynth::netlist {
+
+Activity Activity::from_simulator(const Simulator& sim) {
+  Activity act;
+  act.cycles = sim.cycles();
+  const std::size_t n_nets = sim.netlist().nets().size();
+  act.toggles.resize(n_nets);
+  act.glitch_toggles.assign(n_nets, 0);
+  for (std::size_t n = 0; n < n_nets; ++n)
+    act.toggles[n] = sim.toggles(static_cast<NetId>(n));
+  for (std::size_t i = 0; i < sim.netlist().instance_storage_size(); ++i) {
+    const auto id = static_cast<InstId>(i);
+    const std::uint64_t accesses = sim.macro_accesses(id);
+    if (accesses > 0) act.macro_accesses[id] = accesses;
+  }
+  return act;
+}
+
+}  // namespace limsynth::netlist

@@ -7,15 +7,10 @@
 
 namespace limsynth::netlist {
 
-namespace {
-
-/// Strips the drive suffix: "NAND2_X4" -> "NAND2".
 std::string cell_stem(const std::string& cell) {
   const auto pos = cell.rfind("_X");
   return pos == std::string::npos ? cell : cell.substr(0, pos);
 }
-
-}  // namespace
 
 Simulator::Simulator(const Netlist& nl, const tech::StdCellLib& cells)
     : nl_(nl) {

@@ -19,9 +19,17 @@ namespace limsynth::netlist {
 
 class Simulator;
 
+/// Strips the drive suffix: "NAND2_X4" -> "NAND2". Both simulation
+/// engines use it to map instance cell names onto CellFunc templates.
+std::string cell_stem(const std::string& cell);
+
 /// Behavioral model for a macro instance (e.g. a memory brick bank).
 /// Called on every clock edge with read access to current net values and
 /// the ability to schedule its output values for the new cycle.
+///
+/// Models must confine themselves to the virtual macro-port surface of
+/// Simulator (pin_value / drive_pin / note_macro_access) so the same
+/// model runs unmodified on the event-driven engine through its adapter.
 class MacroModel {
  public:
   virtual ~MacroModel() = default;
@@ -42,6 +50,7 @@ struct SettleBudget {
 class Simulator {
  public:
   Simulator(const Netlist& nl, const tech::StdCellLib& cells);
+  virtual ~Simulator() = default;
 
   /// Attaches a behavioral model to a macro instance.
   void attach(InstId inst, std::shared_ptr<MacroModel> model);
@@ -66,9 +75,10 @@ class Simulator {
   bool value(NetId net) const;
   std::uint64_t bus_value(const std::vector<NetId>& bus) const;
 
-  /// Macro-model helpers.
-  bool pin_value(InstId inst, const std::string& pin) const;
-  void drive_pin(InstId inst, const std::string& pin, bool value);
+  /// Macro-model port (virtual so the event-driven engine can present
+  /// itself to unmodified MacroModels through an adapter).
+  virtual bool pin_value(InstId inst, const std::string& pin) const;
+  virtual void drive_pin(InstId inst, const std::string& pin, bool value);
 
   /// Fault-injection hook: clamps a net to a fixed value. A forced net
   /// resists every driver (primary inputs, gates, flops, macro models)
@@ -85,7 +95,7 @@ class Simulator {
   /// Number of clock cycles in which a macro instance was "accessed"
   /// (its model reported activity via note_macro_access).
   std::uint64_t macro_accesses(InstId inst) const;
-  void note_macro_access(InstId inst);
+  virtual void note_macro_access(InstId inst);
 
   const Netlist& netlist() const { return nl_; }
 

@@ -1,5 +1,6 @@
 #include "power/power.hpp"
 
+#include "sta/loads.hpp"
 #include "synth/synth.hpp"
 #include "util/error.hpp"
 
@@ -12,33 +13,37 @@ using netlist::Netlist;
 using netlist::NetId;
 using synth::pin_base;
 
+/// Slew for an arc lookup: the STA-propagated slew of the arc's input net
+/// when available (the clock net carries sta::kClockSlew there), else the
+/// configured default.
+double arc_slew(const PowerOptions& opt, NetId from_net) {
+  if (opt.sta != nullptr && from_net != netlist::kNoNet) {
+    const auto n = static_cast<std::size_t>(from_net);
+    if (n < opt.sta->net_slew.size() && opt.sta->net_arrival[n] >= 0.0)
+      return opt.sta->net_slew[n];
+  }
+  return opt.default_slew;
+}
+
 }  // namespace
 
 PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
-                          const netlist::Simulator& sim,
+                          const netlist::Activity& act,
                           const PowerOptions& opt) {
-  LIMS_CHECK_MSG(sim.cycles() > 0, "run the simulator before power analysis");
+  LIMS_CHECK_MSG(act.cycles > 0, "run the simulator before power analysis");
+  LIMS_CHECK_MSG(act.toggles.size() == nl.nets().size() &&
+                     act.glitch_toggles.size() == nl.nets().size(),
+                 "activity record does not match the netlist");
   PowerReport rep;
   const double f = opt.frequency;
-  const std::size_t n_nets = nl.nets().size();
 
   // Per-net total load (wire + sink pins), as in STA.
-  std::vector<double> net_load(n_nets, 0.0);
-  for (NetId net = 0; net < static_cast<NetId>(n_nets); ++net) {
-    double pins = 0.0;
-    for (const auto& sink : nl.sinks_of(net)) {
-      const liberty::LibCell& cell = lib.cell(nl.instance(sink.inst).cell);
-      const liberty::PinModel* pin = cell.find_input(pin_base(sink.pin));
-      if (pin != nullptr) pins += pin->cap;
-    }
-    const double wire = opt.floorplan != nullptr
-                            ? opt.floorplan->net(net).wire_cap
-                            : opt.prelayout_cap_per_sink *
-                                  static_cast<double>(nl.sinks_of(net).size());
-    net_load[static_cast<std::size_t>(net)] = pins + wire;
-  }
+  sta::NetLoadOptions load_opt;
+  load_opt.floorplan = opt.floorplan;
+  load_opt.prelayout_cap_per_sink = opt.prelayout_cap_per_sink;
+  const sta::NetLoads loads = compute_net_loads(nl, lib, load_opt);
 
-  const double cycles = static_cast<double>(sim.cycles());
+  const double cycles = static_cast<double>(act.cycles);
   for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
     const auto id = static_cast<InstId>(i);
     if (!nl.is_live(id)) continue;
@@ -49,7 +54,7 @@ PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
     if (cell.is_macro) {
       // Brick: fixed energy per accessed cycle + output-arc energy below.
       const double access_rate =
-          static_cast<double>(sim.macro_accesses(id)) / cycles;
+          static_cast<double>(act.macro_access_count(id)) / cycles;
       rep.macro += cell.clock_energy * access_rate * f;
     }
 
@@ -63,23 +68,31 @@ PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
     // Output switching: activity * per-transition arc energy.
     for (const auto& c : inst.conns) {
       if (!Netlist::is_output_pin(c.pin)) continue;
-      const double act = sim.activity(c.net);  // toggles per cycle
-      if (act <= 0.0) continue;
+      const double total_rate = act.rate(c.net);  // toggles per cycle
+      if (total_rate <= 0.0) continue;
       const liberty::TimingArc* arc = nullptr;
+      NetId from_net = netlist::kNoNet;
       if (cell.sequential || cell.is_macro) {
-        arc = cell.find_arc(cell.clock_pin.empty() ? "CK" : cell.clock_pin,
-                            pin_base(c.pin));
+        const std::string& ck = cell.clock_pin.empty() ? "CK" : cell.clock_pin;
+        arc = cell.find_arc(ck, pin_base(c.pin));
+        if (const NetId* n = inst.find_pin(ck)) from_net = *n;
       } else {
         for (const auto& in : inst.conns) {
           if (Netlist::is_output_pin(in.pin)) continue;
           arc = cell.find_arc(pin_base(in.pin), pin_base(c.pin));
-          if (arc != nullptr) break;
+          if (arc != nullptr) {
+            from_net = in.net;
+            break;
+          }
         }
       }
       if (arc == nullptr) continue;
-      const double e_per_toggle = arc->energy.lookup(
-          opt.default_slew, net_load[static_cast<std::size_t>(c.net)]);
-      const double watts = act * e_per_toggle * f;
+      const double e_per_toggle =
+          arc->energy.lookup(arc_slew(opt, from_net),
+                             loads.load[static_cast<std::size_t>(c.net)]);
+      const double glitch_rate = act.glitch_rate(c.net);
+      rep.glitch += glitch_rate * e_per_toggle * f;
+      const double watts = (total_rate - glitch_rate) * e_per_toggle * f;
       if (cell.is_macro) rep.macro += watts;
       else if (cell.sequential) rep.sequential += watts;
       else rep.combinational += watts;
@@ -88,6 +101,12 @@ PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
 
   rep.energy_per_cycle = rep.total() / f;
   return rep;
+}
+
+PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
+                          const netlist::Simulator& sim,
+                          const PowerOptions& opt) {
+  return analyze_power(nl, lib, netlist::Activity::from_simulator(sim), opt);
 }
 
 }  // namespace limsynth::power

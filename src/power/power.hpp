@@ -1,16 +1,19 @@
 // Activity-based power analysis.
 //
 // Mirrors the paper's flow: switching activity comes from gate-level
-// simulation (netlist::Simulator, the Modelsim/.saif substitute), wire
-// capacitance from placement (.spef substitute), and per-transition
+// simulation (the Modelsim/.saif substitute — either the settle engine's
+// functional toggles or the event-driven engine's glitch-aware record),
+// wire capacitance from placement (.spef substitute), and per-transition
 // energies from the NLDM energy tables — then PrimeTime-style summation
 // gives dynamic + leakage power at a target frequency.
 #pragma once
 
 #include "liberty/library.hpp"
+#include "netlist/activity.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/sim.hpp"
 #include "place/place.hpp"
+#include "sta/sta.hpp"
 
 namespace limsynth::power {
 
@@ -19,7 +22,14 @@ struct PowerOptions {
   double vdd = 1.2;          // V, for clock-pin CV^2f
   const place::Floorplan* floorplan = nullptr;
   double prelayout_cap_per_sink = 1.0e-15;  // F when no floorplan
-  double default_slew = 30e-12;             // s for LUT lookups
+  /// Slew used for the energy-LUT lookups when no STA result is supplied
+  /// (or for nets STA never reached). With `sta` set, each arc is looked
+  /// up at the STA-propagated slew of its input net instead — the same
+  /// slews the delay LUTs saw — so fast and slow corners of the same
+  /// netlist stop sharing one energy point.
+  double default_slew = 30e-12;  // s
+  /// Optional STA result over the same netlist; enables per-net slews.
+  const sta::StaResult* sta = nullptr;
 };
 
 struct PowerReport {
@@ -27,16 +37,27 @@ struct PowerReport {
   double sequential = 0.0;     // W, flop internal + Q nets
   double clock_tree = 0.0;     // W, clock pin loads
   double macro = 0.0;          // W, brick access + clock energy
+  double glitch = 0.0;         // W, hazard transitions (event engine only)
   double leakage = 0.0;        // W
   double total() const {
-    return combinational + sequential + clock_tree + macro + leakage;
+    return combinational + sequential + clock_tree + macro + glitch + leakage;
   }
   /// Energy per clock cycle (J) at the analysis frequency.
   double energy_per_cycle = 0.0;
 };
 
-/// Computes power from recorded activity. `sim` must have been run for at
-/// least one cycle over the same netlist.
+/// Computes power from an engine-independent activity record. The record
+/// must cover at least one cycle over the same netlist. Hazard toggles
+/// (activity.glitch_toggles, produced by the event-driven engine) are
+/// priced with the same NLDM arc energies as functional toggles and land
+/// in PowerReport::glitch.
+PowerReport analyze_power(const netlist::Netlist& nl,
+                          const liberty::Library& lib,
+                          const netlist::Activity& activity,
+                          const PowerOptions& options = {});
+
+/// Convenience: snapshots activity from a settle-based simulation run
+/// (glitch component is necessarily zero).
 PowerReport analyze_power(const netlist::Netlist& nl,
                           const liberty::Library& lib,
                           const netlist::Simulator& sim,

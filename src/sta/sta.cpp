@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "sta/loads.hpp"
 #include "synth/synth.hpp"
 #include "util/error.hpp"
 
@@ -14,8 +15,6 @@ using netlist::InstId;
 using netlist::Netlist;
 using netlist::NetId;
 using synth::pin_base;
-
-constexpr double kClockSlew = 30e-12;
 
 }  // namespace
 
@@ -31,30 +30,13 @@ StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
   std::vector<double> min_arrival(n_nets, -1.0);
 
   // ------------------------------------------------------------- loads
-  std::vector<double> net_load(n_nets, 0.0);
-  std::vector<double> net_wire_delay(n_nets, 0.0);
-  for (NetId net = 0; net < static_cast<NetId>(n_nets); ++net) {
-    double pins = 0.0;
-    for (const auto& sink : nl.sinks_of(net)) {
-      const liberty::LibCell& cell = lib.cell(nl.instance(sink.inst).cell);
-      const liberty::PinModel* pin = cell.find_input(pin_base(sink.pin));
-      LIMS_CHECK_MSG(pin != nullptr, "no pin " << sink.pin << " on "
-                                               << cell.name);
-      pins += pin->cap;
-    }
-    double wire_cap = 0.0, wire_res = 0.0;
-    if (opt.floorplan != nullptr) {
-      wire_cap = opt.floorplan->net(net).wire_cap;
-      wire_res = opt.floorplan->net(net).wire_res;
-    } else {
-      wire_cap = opt.prelayout_cap_per_sink *
-                 static_cast<double>(nl.sinks_of(net).size());
-    }
-    net_load[static_cast<std::size_t>(net)] =
-        pins + wire_cap + (nl.is_primary_output(net) ? opt.output_load : 0.0);
-    net_wire_delay[static_cast<std::size_t>(net)] =
-        0.69 * wire_res * (wire_cap / 2.0 + pins);
-  }
+  NetLoadOptions load_opt;
+  load_opt.floorplan = opt.floorplan;
+  load_opt.prelayout_cap_per_sink = opt.prelayout_cap_per_sink;
+  load_opt.output_load = opt.output_load;
+  const NetLoads loads = compute_net_loads(nl, lib, load_opt);
+  const std::vector<double>& net_load = loads.load;
+  const std::vector<double>& net_wire_delay = loads.wire_delay;
 
   // --------------------------------------------------------- classify
   // A net is "ready" once its arrival is final. Start points: primary

@@ -6,6 +6,9 @@
 //   limsynth dse <words> <bits> [--csv F] [--journal F] [--resume F]
 //       [--timeout SEC] ...                           checkpointed DSE
 //   limsynth sram <words> <bits> <banks> <brick_words> [--verilog]
+//   limsynth simulate <words> <bits> <banks> <brick_words>
+//       [--cycles N] [--seed S] [--period NS] [--vcd FILE]
+//       [--glitch-report] [--cross-check] [--check-sta]  event-driven sim
 //   limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]
 //   limsynth spgemm <rmat_scale> <avg_degree>         both chips, one run
 //   limsynth yield <words> <bits> <banks> <brick_words>  CSV yield curve
@@ -24,8 +27,11 @@
 #include "arch/chip.hpp"
 #include "brick/golden.hpp"
 #include "brick/library_gen.hpp"
+#include "evsim/crosscheck.hpp"
 #include "liberty/writer.hpp"
 #include "lim/brick_opt.hpp"
+#include "lim/flow.hpp"
+#include "lim/macro_models.hpp"
 #include "lim/checkpoint.hpp"
 #include "lim/dse.hpp"
 #include "lim/report.hpp"
@@ -50,6 +56,9 @@ int usage() {
                "      [--ecc] [--spares N] [--d0 defects_per_cm2]\n"
                "  limsynth sram <words> <bits> <banks> <brick_words>"
                " [--verilog|--report|--svg]\n"
+               "  limsynth simulate <words> <bits> <banks> <brick_words>\n"
+               "      [--cycles N] [--seed S] [--period NS] [--vcd FILE]\n"
+               "      [--glitch-report] [--cross-check] [--check-sta]\n"
                "  limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]\n"
                "  limsynth spgemm <rmat_scale> <avg_degree>\n"
                "  limsynth yield <words> <bits> <banks> <brick_words>\n"
@@ -262,6 +271,166 @@ int cmd_sram(int argc, char** argv) {
   return 0;
 }
 
+// Event-driven timing simulation of a built SRAM: stimulus replay with
+// VCD waveforms and glitch-aware power, plus the two agreement harnesses
+// (settle-engine cross-check, dynamic validation of STA's min_period).
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  lim::SramConfig cfg{std::atoi(argv[1]), std::atoi(argv[2]),
+                      std::atoi(argv[3]), std::atoi(argv[4])};
+  lim::SramDesign d = lim::build_sram(cfg, process, cells);
+
+  // Synthesis + placement + STA; no settle-based power pass — activity
+  // comes from the event engine below.
+  lim::FlowOptions fopt;
+  const lim::FlowReport rep =
+      lim::run_flow(d.nl, d.lib, cells, process, {}, {}, fopt);
+
+  evsim::AnnotateOptions aopt;
+  aopt.floorplan = &rep.floorplan;
+  aopt.sta = &rep.timing;
+  const evsim::TimingAnnotation ann =
+      evsim::annotate_delays(d.nl, d.lib, cells, aopt);
+
+  const auto cycles =
+      static_cast<int>(flag_value(argc, argv, "--cycles", 200.0));
+  const auto seed =
+      static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1.0));
+  auto mask = [](std::size_t bits) {
+    return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  };
+  evsim::StimulusTrace trace;
+  Rng rng(seed);
+  for (int c = 0; c < cycles; ++c) {
+    trace.set_bus(c, d.raddr, rng.next_u64() & mask(d.raddr.size()));
+    trace.set_bus(c, d.waddr, rng.next_u64() & mask(d.waddr.size()));
+    trace.set_bus(c, d.wdata, rng.next_u64() & mask(d.wdata.size()));
+    trace.set(c, d.wen, rng.chance(0.5));
+  }
+  auto attach_settle = [&](netlist::Simulator& sim) {
+    for (netlist::InstId bank : d.banks)
+      sim.attach(bank, std::make_shared<lim::SramBankModel>(
+                           cfg.rows_per_bank(), cfg.code_bits()));
+  };
+  auto attach_event = [&](evsim::EventSimulator& sim) {
+    for (netlist::InstId bank : d.banks)
+      sim.attach(bank, std::make_shared<lim::SramBankModel>(
+                           cfg.rows_per_bank(), cfg.code_bits()));
+  };
+
+  if (has_flag(argc, argv, "--cross-check")) {
+    const evsim::CrossCheckResult res = evsim::cross_check(
+        d.nl, cells, ann, trace, attach_settle, attach_event);
+    std::printf("cross-check %s: %llu cycles, %llu mismatched net samples\n",
+                res.ok() ? "PASS" : "FAIL",
+                static_cast<unsigned long long>(res.cycles),
+                static_cast<unsigned long long>(res.mismatched_nets));
+    if (!res.ok())
+      std::printf("first mismatch: %s\n", res.first_mismatch.c_str());
+    return res.ok() ? 0 : 1;
+  }
+
+  if (has_flag(argc, argv, "--check-sta")) {
+    const double mp = rep.timing.min_period;
+    const evsim::StaValidation at_mp = evsim::validate_at_period(
+        d.nl, cells, ann, mp, trace, attach_settle, attach_event);
+    const evsim::StaValidation fast = evsim::validate_at_period(
+        d.nl, cells, ann, 0.95 * mp, trace, attach_settle, attach_event);
+    std::printf("sta check at min_period %s: %llu capture mismatches,"
+                " %llu setup violations\n",
+                units::format_si(mp, "s").c_str(),
+                static_cast<unsigned long long>(at_mp.capture_mismatches),
+                static_cast<unsigned long long>(at_mp.setup_violations));
+    std::printf("sta check at 0.95x: %llu setup violations"
+                " (critical endpoint %s %s)\n",
+                static_cast<unsigned long long>(fast.setup_violations),
+                rep.timing.critical_endpoint.c_str(),
+                fast.endpoint_violated(rep.timing.critical_endpoint)
+                    ? "flagged"
+                    : "not flagged");
+    for (std::size_t i = 0; i < fast.endpoints.size() && i < 5; ++i)
+      std::printf("  %s: %llu late captures\n",
+                  fast.endpoints[i].endpoint.c_str(),
+                  static_cast<unsigned long long>(fast.endpoints[i].count));
+    const bool ok = at_mp.clean() && fast.setup_violations > 0;
+    std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+
+  evsim::EvsimOptions eopt;
+  const double period_ns = flag_value(argc, argv, "--period", 0.0);
+  if (period_ns > 0.0) eopt.period = period_ns * 1e-9;
+  evsim::EventSimulator ev(d.nl, cells, ann, eopt);
+  attach_event(ev);
+
+  std::ofstream vcd_file;
+  const std::string vcd_path = flag_string(argc, argv, "--vcd");
+  if (!vcd_path.empty()) {
+    vcd_file.open(vcd_path);
+    if (!vcd_file)
+      throw Error(ErrorCode::kIo, "cannot write VCD: " + vcd_path);
+    ev.stream_vcd(vcd_file);
+  }
+  for (const auto& cycle_changes : trace.cycles) {
+    for (const auto& ch : cycle_changes) ev.set_input(ch.net, ch.value);
+    ev.cycle();
+  }
+  ev.finish_vcd();
+
+  std::printf("%s: %llu cycles, %llu events, sim time %s\n",
+              cfg.name().c_str(),
+              static_cast<unsigned long long>(ev.cycles()),
+              static_cast<unsigned long long>(ev.events_processed()),
+              units::format_si(static_cast<double>(ev.now_fs()) * 1e-15, "s")
+                  .c_str());
+  std::printf("glitches: %llu filtered (inertial), %llu propagated\n",
+              static_cast<unsigned long long>(ev.glitch_stats().filtered),
+              static_cast<unsigned long long>(ev.glitch_stats().propagated));
+  if (period_ns > 0.0)
+    std::printf("setup violations at %.3f ns: %llu\n", period_ns,
+                static_cast<unsigned long long>(ev.setup_violations()));
+
+  if (has_flag(argc, argv, "--glitch-report")) {
+    std::vector<netlist::NetId> worst;
+    for (std::size_t n = 0; n < d.nl.nets().size(); ++n)
+      if (ev.glitch_toggles(static_cast<netlist::NetId>(n)) > 0)
+        worst.push_back(static_cast<netlist::NetId>(n));
+    std::sort(worst.begin(), worst.end(),
+              [&](netlist::NetId a, netlist::NetId b) {
+                const auto ga = ev.glitch_toggles(a), gb = ev.glitch_toggles(b);
+                if (ga != gb) return ga > gb;
+                return a < b;
+              });
+    Table t({"net", "glitch toggles", "total toggles"});
+    for (std::size_t i = 0; i < worst.size() && i < 10; ++i)
+      t.add_row({d.nl.net_name(worst[i]),
+                 std::to_string(ev.glitch_toggles(worst[i])),
+                 std::to_string(ev.toggles(worst[i]))});
+    t.print(std::cout);
+  }
+
+  power::PowerOptions popt;
+  popt.vdd = process.vdd;
+  popt.frequency = rep.fmax;
+  popt.floorplan = &rep.floorplan;
+  popt.sta = &rep.timing;
+  const power::PowerReport pw =
+      power::analyze_power(d.nl, d.lib, ev.activity(), popt);
+  Table t({"category", "power"});
+  t.add_row({"combinational", units::format_si(pw.combinational, "W")});
+  t.add_row({"sequential", units::format_si(pw.sequential, "W")});
+  t.add_row({"clock tree", units::format_si(pw.clock_tree, "W")});
+  t.add_row({"memory macros", units::format_si(pw.macro, "W")});
+  t.add_row({"glitch", units::format_si(pw.glitch, "W")});
+  t.add_row({"leakage", units::format_si(pw.leakage, "W")});
+  t.add_separator();
+  t.add_row({"total", units::format_si(pw.total(), "W")});
+  t.print(std::cout);
+  return 0;
+}
+
 int cmd_optimize(int argc, char** argv) {
   if (argc < 4) return usage();
   const tech::Process process = tech::default_process();
@@ -363,6 +532,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (cmd == "dse") return cmd_dse(argc - 1, argv + 1);
     if (cmd == "sram") return cmd_sram(argc - 1, argv + 1);
+    if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (cmd == "optimize") return cmd_optimize(argc - 1, argv + 1);
     if (cmd == "spgemm") return cmd_spgemm(argc - 1, argv + 1);
     if (cmd == "yield") return cmd_yield(argc - 1, argv + 1);
