@@ -119,6 +119,56 @@ void EventSimulator::attach(InstId inst,
   models_[inst] = std::move(model);
 }
 
+netlist::MacroModel* EventSimulator::model(InstId inst) const {
+  const auto it = models_.find(inst);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<InstId> EventSimulator::flop_instances() const {
+  std::vector<InstId> out;
+  out.reserve(ann_.flops.size());
+  for (const FlopInfo& fi : ann_.flops) out.push_back(fi.inst);
+  return out;
+}
+
+void EventSimulator::flip_flop(InstId inst) {
+  const auto it = flop_index_.find(inst);
+  LIMS_CHECK_MSG(it != flop_index_.end(),
+                 "not a flop: " << nl_.instance(inst).name);
+  const std::size_t f = it->second;
+  const Logic flipped = flop_state_[f] == Logic::k1 ? Logic::k0 : Logic::k1;
+  flop_state_[f] = flipped;
+  // The corrupted value leaves the cell through the normal CK->Q arc, as
+  // if the storage node flipped right now.
+  schedule_output(ann_.flops[f].q, flipped, t_now_ + ann_.flops[f].clk_to_q_fs);
+}
+
+void EventSimulator::arm_set_pulse(NetId net, TimeFs width_fs,
+                                   TimeFs lead_fs) {
+  LIMS_CHECK_MSG(static_cast<std::size_t>(net) < values_.size(),
+                 "SET pulse on unknown net " << net);
+  LIMS_CHECK_MSG(net != nl_.clock(), "SET pulse on the clock net");
+  LIMS_CHECK_MSG(width_fs > 0, "SET pulse needs a positive width");
+  LIMS_CHECK_MSG(!set_armed_, "a SET pulse is already armed");
+  set_armed_ = true;
+  set_net_ = net;
+  set_width_fs_ = width_fs;
+  set_lead_fs_ = lead_fs;
+}
+
+void EventSimulator::fire_set(TimeFs t_pulse) {
+  set_armed_ = false;
+  const auto n = static_cast<std::size_t>(set_net_);
+  const Logic v = values_[n];
+  const Logic hit = v == Logic::k1 ? Logic::k0 : Logic::k1;  // X upsets to 1
+  t_now_ = std::max(t_now_, t_pulse);
+  // The particle strike overrides the driver instantly...
+  apply_change(set_net_, hit, t_now_);
+  // ...and the driving gate restores the functional value once the
+  // deposited charge dissipates (the pulse's trailing edge).
+  schedule_output(set_net_, v, t_now_ + set_width_fs_);
+}
+
 void EventSimulator::set_input(NetId net, bool value) {
   apply_change(net, from_bool(value), t_now_);
 }
@@ -309,6 +359,12 @@ void EventSimulator::cycle() {
   cycle_events_ = 0;
   if (timed_) {
     const TimeFs t_edge = next_edge_;
+    if (set_armed_) {
+      const TimeFs t_pulse =
+          t_edge > set_lead_fs_ ? t_edge - set_lead_fs_ : TimeFs{0};
+      drain(std::max(t_now_, t_pulse), /*bounded=*/true);
+      fire_set(t_pulse);
+    }
     drain(t_edge, /*bounded=*/true);
     check_setup(t_edge);
     edge(t_edge);
@@ -317,7 +373,18 @@ void EventSimulator::cycle() {
     // Quiesce: settle-equivalent end-of-cycle state. Drain everything,
     // clock the state, drain the consequences.
     drain(0, /*bounded=*/false);
-    const TimeFs t_edge = std::max(next_edge_, t_now_ + 1);
+    TimeFs t_edge = std::max(next_edge_, t_now_ + 1);
+    if (set_armed_) {
+      // A quiesce cycle has no real clock, so pin the strike exactly
+      // `lead` before the edge (pushing the edge out if the cycle has
+      // already settled closer than that). Capture then follows the same
+      // physics as timed mode: a corrupted front whose path delay p
+      // satisfies lead - width < p <= lead is still live at the edge;
+      // everything else reconverges or arrives too late.
+      t_edge = std::max(t_edge, t_now_ + set_lead_fs_);
+      fire_set(t_edge - set_lead_fs_);
+      drain(t_edge, /*bounded=*/true);
+    }
     edge(t_edge);
     t_now_ = t_edge;
     drain(0, /*bounded=*/false);

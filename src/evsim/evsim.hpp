@@ -78,6 +78,9 @@ class EventSimulator {
   /// Attaches an unmodified netlist::MacroModel; it sees this engine
   /// through the Simulator macro-port adapter.
   void attach(netlist::InstId inst, std::shared_ptr<netlist::MacroModel> model);
+  /// The model attached to `inst`, or nullptr. Fault injectors use this to
+  /// reach the MacroModel peek/poke state surface of a live run.
+  netlist::MacroModel* model(netlist::InstId inst) const;
 
   /// Applies a primary-input change at the current time (takes effect in
   /// the upcoming cycle, like Simulator::set_input before settle()).
@@ -126,6 +129,26 @@ class EventSimulator {
   void finish_vcd();
 
   const netlist::Netlist& netlist() const { return nl_; }
+  /// The annotation this engine replays (fault-site enumeration reads the
+  /// gate and flop tables from here).
+  const TimingAnnotation& annotation() const { return ann_; }
+  /// Sequential instances in annotation order.
+  std::vector<netlist::InstId> flop_instances() const;
+
+  // --- transient-fault surface (src/seu) ---
+
+  /// Single-event upset in a sequential element: inverts the stored state
+  /// and launches the corrupted Q at the clock-to-Q arc delay, as if the
+  /// storage node flipped at the current time. X state upsets to 1.
+  void flip_flop(netlist::InstId inst);
+
+  /// Arms one single-event transient: during the next cycle(), `net` is
+  /// inverted `lead_fs` before the capture edge and re-driven to its
+  /// functional value `width_fs` later. The pulse propagates through real
+  /// arc delays, so inertial filtering can swallow it and the capture
+  /// window decides whether it is latched — exactly the masking physics a
+  /// SET campaign wants to measure. One pulse may be armed at a time.
+  void arm_set_pulse(netlist::NetId net, TimeFs width_fs, TimeFs lead_fs);
 
   // Macro-port surface used by the adapter (public for the adapter, not
   // meant for testbenches).
@@ -145,6 +168,7 @@ class EventSimulator {
                          TimeFs t_cause);
   void schedule_output(netlist::NetId net, Logic v, TimeFs te);
   void drain(TimeFs horizon, bool bounded);
+  void fire_set(TimeFs t_pulse);
   void edge(TimeFs t_edge);
   void check_setup(TimeFs t_edge);
   void finalize_cycle_glitches();
@@ -180,6 +204,12 @@ class EventSimulator {
   std::vector<netlist::NetId> touched_;
   std::vector<TimeFs> last_change_;
   std::map<netlist::InstId, std::uint64_t> macro_access_counts_;
+
+  // Armed single-event transient (applied by the next cycle()).
+  bool set_armed_ = false;
+  netlist::NetId set_net_ = netlist::kNoNet;
+  TimeFs set_width_fs_ = 0;
+  TimeFs set_lead_fs_ = 0;
 
   GlitchStats glitch_;
   std::uint64_t cycles_ = 0;

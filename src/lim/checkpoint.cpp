@@ -1,123 +1,24 @@
 #include "lim/checkpoint.hpp"
 
-#include <cinttypes>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
+#include "util/jsonl.hpp"
 #include "util/watchdog.hpp"
 
 namespace limsynth::lim {
 
 namespace {
 
-std::uint64_t fnv1a(const std::string& data) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const char c : data) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-/// Unescapes the journal's own json_escape output. Returns false on a
-/// truncated escape (torn line).
-bool json_unescape(const std::string& s, std::string* out) {
-  out->clear();
-  for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\') {
-      *out += s[i];
-      continue;
-    }
-    if (++i >= s.size()) return false;
-    switch (s[i]) {
-      case '"': *out += '"'; break;
-      case '\\': *out += '\\'; break;
-      case 'n': *out += '\n'; break;
-      case 'r': *out += '\r'; break;
-      case 't': *out += '\t'; break;
-      case 'u': {
-        if (i + 4 >= s.size()) return false;
-        const std::string hex = s.substr(i + 1, 4);
-        *out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
-        i += 4;
-        break;
-      }
-      default: return false;
-    }
-  }
-  return true;
-}
-
-/// Finds `"name":` in `line` and returns the offset just past the colon,
-/// or npos.
-std::size_t find_field(const std::string& line, const std::string& name) {
-  const std::string tag = "\"" + name + "\":";
-  const std::size_t pos = line.find(tag);
-  return pos == std::string::npos ? std::string::npos : pos + tag.size();
-}
-
-/// Reads a quoted JSON string starting at `pos` (which must point at the
-/// opening quote). Returns false on malformed/truncated input.
-bool read_string(const std::string& line, std::size_t pos, std::string* out) {
-  if (pos >= line.size() || line[pos] != '"') return false;
-  std::size_t end = pos + 1;
-  while (end < line.size()) {
-    if (line[end] == '\\') {
-      end += 2;
-      continue;
-    }
-    if (line[end] == '"') break;
-    ++end;
-  }
-  if (end >= line.size()) return false;  // unterminated: torn line
-  return json_unescape(line.substr(pos + 1, end - pos - 1), out);
-}
-
-bool read_double(const std::string& line, std::size_t pos, double* out) {
-  if (pos >= line.size()) return false;
-  const char* start = line.c_str() + pos;
-  char* end = nullptr;
-  *out = std::strtod(start, &end);
-  return end != start;
-}
-
-bool read_bool(const std::string& line, std::size_t pos, bool* out) {
-  if (line.compare(pos, 4, "true") == 0) {
-    *out = true;
-    return true;
-  }
-  if (line.compare(pos, 5, "false") == 0) {
-    *out = false;
-    return true;
-  }
-  return false;
-}
+using jsonl::find_field;
+using jsonl::fnv1a;
+using jsonl::format_g17;
+using jsonl::json_escape;
+using jsonl::read_bool;
+using jsonl::read_double;
+using jsonl::read_string;
 
 /// Parses one journal line into (key, point). Returns false on any
 /// malformed or truncated field — the caller skips the line.
@@ -164,12 +65,6 @@ bool parse_journal_line(const std::string& line, std::uint64_t* key,
   return true;
 }
 
-std::string format_g17(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
 }  // namespace
 
 std::uint64_t dse_point_key(const PartitionChoice& choice,
@@ -188,9 +83,7 @@ std::uint64_t dse_point_key(const PartitionChoice& choice,
 
 void append_journal_entry(std::ostream& os, std::uint64_t key,
                           const DsePoint& point) {
-  char key_hex[24];
-  std::snprintf(key_hex, sizeof key_hex, "%016" PRIx64, key);
-  os << "{\"key\":\"" << key_hex << "\",\"label\":\""
+  os << "{\"key\":\"" << jsonl::to_hex(key) << "\",\"label\":\""
      << json_escape(point.choice.label()) << "\",\"ok\":"
      << (point.ok ? "true" : "false") << ",\"code\":\""
      << error_code_name(point.ok ? ErrorCode::kInternal : point.error_code)

@@ -10,57 +10,93 @@ std::string idx(const char* base, int i) {
   return std::string(base) + "[" + std::to_string(i) + "]";
 }
 
+std::uint64_t word_mask(int bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
 }  // namespace
 
+std::uint64_t SramBankModel::peek(int row) const {
+  LIMS_CHECK_MSG(row >= 0 && row < rows_,
+                 "SRAM bank peek row " << row << " outside [0, " << rows_
+                                       << ")");
+  return mem_[static_cast<std::size_t>(row)];
+}
+
+void SramBankModel::poke(int row, std::uint64_t value) {
+  LIMS_CHECK_MSG(row >= 0 && row < rows_,
+                 "SRAM bank poke row " << row << " outside [0, " << rows_
+                                       << ")");
+  mem_[static_cast<std::size_t>(row)] = value & word_mask(bits_);
+}
+
+std::uint64_t CamBankModel::peek(int row) const {
+  LIMS_CHECK_MSG(row >= 0 && row < rows_,
+                 "CAM bank peek row " << row << " outside [0, " << rows_
+                                      << ")");
+  return mem_[static_cast<std::size_t>(row)];
+}
+
+void CamBankModel::poke(int row, std::uint64_t value) {
+  LIMS_CHECK_MSG(row >= 0 && row < rows_,
+                 "CAM bank poke row " << row << " outside [0, " << rows_
+                                      << ")");
+  mem_[static_cast<std::size_t>(row)] = value & word_mask(bits_);
+}
+
 void SramBankModel::on_clock(netlist::Simulator& sim, netlist::InstId inst) {
-  // Write port.
-  int wrow = -1;
+  // Write port. Functional decode is one-hot by construction, but a
+  // transient fault on a decoder net can hold several wordlines hot at
+  // the capture edge. Every open row then latches the driven bitline
+  // data — a destructive multi-write — so no one-hot invariant is
+  // asserted here.
+  bool wrote = false;
+  std::uint64_t wv = 0;
   for (int r = 0; r < rows_; ++r) {
-    if (sim.pin_value(inst, idx("WWL", r))) {
-      LIMS_CHECK_MSG(wrow < 0, "multiple write wordlines hot");
-      wrow = r;
+    if (!sim.pin_value(inst, idx("WWL", r))) continue;
+    if (!wrote) {
+      for (int j = 0; j < bits_; ++j)
+        if (sim.pin_value(inst, idx("WDATA", j))) wv |= (std::uint64_t{1} << j);
+      wrote = true;
     }
+    mem_[static_cast<std::size_t>(r)] = wv;
   }
-  if (wrow >= 0) {
-    std::uint64_t v = 0;
-    for (int j = 0; j < bits_; ++j)
-      if (sim.pin_value(inst, idx("WDATA", j))) v |= (std::uint64_t{1} << j);
-    mem_[static_cast<std::size_t>(wrow)] = v;
-    sim.note_macro_access(inst);
-  }
-  // Read port.
-  int rrow = -1;
+  if (wrote) sim.note_macro_access(inst);
+  // Read port. Precharged bitlines discharge when any selected cell
+  // holds a 0, so a multi-hot read resolves to the bitwise AND of the
+  // selected rows.
+  bool read = false;
+  std::uint64_t rv = word_mask(bits_);
   for (int r = 0; r < rows_; ++r) {
-    if (sim.pin_value(inst, idx("RWL", r))) {
-      LIMS_CHECK_MSG(rrow < 0, "multiple read wordlines hot");
-      rrow = r;
-    }
+    if (!sim.pin_value(inst, idx("RWL", r))) continue;
+    std::uint64_t v = mem_[static_cast<std::size_t>(r)];
+    if (faults_) v = faults_->corrupt_read(bank_index_, r, v);
+    rv &= v;
+    read = true;
   }
-  if (rrow >= 0) {
-    std::uint64_t v = mem_[static_cast<std::size_t>(rrow)];
-    if (faults_) v = faults_->corrupt_read(bank_index_, rrow, v);
+  if (read) {
     for (int j = 0; j < bits_; ++j)
-      sim.drive_pin(inst, idx("DO", j), (v >> j) & 1);
+      sim.drive_pin(inst, idx("DO", j), (rv >> j) & 1);
     sim.note_macro_access(inst);
   }
 }
 
 void CamBankModel::on_clock(netlist::Simulator& sim, netlist::InstId inst) {
-  // Write port (stores + validates an entry).
-  int wrow = -1;
+  // Write port (stores + validates an entry). As with the SRAM bank, a
+  // decoder transient can light several wordlines; each open row takes
+  // the entry (destructive multi-write).
+  bool wrote = false;
+  std::uint64_t wv = 0;
   for (int r = 0; r < rows_; ++r) {
-    if (sim.pin_value(inst, idx("WWL", r))) {
-      LIMS_CHECK_MSG(wrow < 0, "multiple write wordlines hot");
-      wrow = r;
+    if (!sim.pin_value(inst, idx("WWL", r))) continue;
+    if (!wrote) {
+      for (int j = 0; j < bits_; ++j)
+        if (sim.pin_value(inst, idx("WDATA", j))) wv |= (std::uint64_t{1} << j);
+      wrote = true;
     }
+    set_word(r, wv);
   }
-  if (wrow >= 0) {
-    std::uint64_t v = 0;
-    for (int j = 0; j < bits_; ++j)
-      if (sim.pin_value(inst, idx("WDATA", j))) v |= (std::uint64_t{1} << j);
-    set_word(wrow, v);
-    sim.note_macro_access(inst);
-  }
+  if (wrote) sim.note_macro_access(inst);
 
   // Search: single-cycle match against all valid rows.
   std::uint64_t key = 0;

@@ -35,8 +35,15 @@ class SramBankModel : public netlist::MacroModel {
   }
 
   /// Backdoor access for tests.
-  std::uint64_t word(int row) const { return mem_.at(static_cast<std::size_t>(row)); }
-  void set_word(int row, std::uint64_t v) { mem_.at(static_cast<std::size_t>(row)) = v; }
+  std::uint64_t word(int row) const { return peek(row); }
+  void set_word(int row, std::uint64_t v) { poke(row, v); }
+
+  // State mutation surface (netlist::MacroModel): the stored words, for
+  // SEU injection and live verification.
+  int state_rows() const override { return rows_; }
+  int state_bits() const override { return bits_; }
+  std::uint64_t peek(int row) const override;
+  void poke(int row, std::uint64_t value) override;
 
  private:
   int rows_;
@@ -68,11 +75,18 @@ class CamBankModel : public netlist::MacroModel {
   }
 
   void set_word(int row, std::uint64_t v, bool valid = true) {
-    mem_.at(static_cast<std::size_t>(row)) = v;
+    poke(row, v);
     valid_.at(static_cast<std::size_t>(row)) = valid;
   }
-  std::uint64_t word(int row) const { return mem_.at(static_cast<std::size_t>(row)); }
+  std::uint64_t word(int row) const { return peek(row); }
   bool is_valid(int row) const { return valid_.at(static_cast<std::size_t>(row)); }
+
+  // State mutation surface. A poke corrupts the stored index word only;
+  // the validity flag is side-band state an SEU in the array cannot reach.
+  int state_rows() const override { return rows_; }
+  int state_bits() const override { return bits_; }
+  std::uint64_t peek(int row) const override;
+  void poke(int row, std::uint64_t value) override;
 
  private:
   int rows_;

@@ -12,6 +12,19 @@ std::string cell_stem(const std::string& cell) {
   return pos == std::string::npos ? cell : cell.substr(0, pos);
 }
 
+std::uint64_t MacroModel::peek(int row) const {
+  LIMS_FAIL(ErrorCode::kInvalidConfig,
+            "macro model exposes no inspectable state (peek row " << row
+                                                                  << ")");
+}
+
+void MacroModel::poke(int row, std::uint64_t value) {
+  (void)value;
+  LIMS_FAIL(ErrorCode::kInvalidConfig,
+            "macro model exposes no inspectable state (poke row " << row
+                                                                  << ")");
+}
+
 Simulator::Simulator(const Netlist& nl, const tech::StdCellLib& cells)
     : nl_(nl) {
   for (const auto& c : cells.cells())

@@ -37,6 +37,25 @@ class MacroModel {
   /// values with sim.pin_value(inst, "NAME[i]") and drive outputs with
   /// sim.drive_pin(inst, "DO[j]", v).
   virtual void on_clock(Simulator& sim, InstId inst) = 0;
+
+  // State mutation surface: models with internal storage expose it as
+  // state_rows() words of state_bits() bits each, so fault injectors
+  // (SEU campaigns) and checkpointers can read and corrupt live state
+  // without knowing the concrete model type. The default is a model with
+  // no inspectable state; peek/poke on it throw Error(kInvalidConfig).
+  virtual int state_rows() const { return 0; }
+  virtual int state_bits() const { return 0; }
+  /// Reads stored word `row`. Throws Error(kInvalidConfig) when the row is
+  /// out of range or the model exposes no state.
+  virtual std::uint64_t peek(int row) const;
+  /// Overwrites stored word `row` (value is masked to state_bits()). Same
+  /// error contract as peek. Side-band state (e.g. CAM validity flags) is
+  /// left untouched — a poke models corrupted storage, not a write access.
+  virtual void poke(int row, std::uint64_t value);
+  /// Single-event upset helper: XORs `mask` into stored word `row`.
+  void flip_state_bits(int row, std::uint64_t mask) {
+    poke(row, peek(row) ^ mask);
+  }
 };
 
 /// Watchdog budgets for the settle fixpoint. Zero fields mean "automatic":

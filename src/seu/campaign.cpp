@@ -1,0 +1,467 @@
+#include "seu/campaign.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/jsonl.hpp"
+#include "util/rng.hpp"
+#include "util/watchdog.hpp"
+
+namespace limsynth::seu {
+
+namespace {
+
+/// splitmix64 finalizer over (seed, index): every sample draws from an
+/// independent, reproducible stream regardless of which worker runs it.
+std::uint64_t mix64(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Largest-remainder proportional allocation of `samples` over the
+/// stratum sizes (ties broken by stratum order). Empty strata get zero.
+void allocate_strata(int samples, const std::uint64_t sites[kSiteKinds],
+                     int out[kSiteKinds]) {
+  std::uint64_t total = 0;
+  for (int k = 0; k < kSiteKinds; ++k) total += sites[k];
+  LIMS_CHECK_MSG(total > 0, "design exposes no injectable fault sites");
+  int assigned = 0;
+  double frac[kSiteKinds];
+  for (int k = 0; k < kSiteKinds; ++k) {
+    const double exact = static_cast<double>(samples) *
+                         static_cast<double>(sites[k]) /
+                         static_cast<double>(total);
+    out[k] = static_cast<int>(exact);
+    frac[k] = exact - static_cast<double>(out[k]);
+    assigned += out[k];
+  }
+  while (assigned < samples) {
+    int best = -1;
+    for (int k = 0; k < kSiteKinds; ++k) {
+      if (sites[k] == 0) continue;
+      if (best < 0 || frac[k] > frac[best]) best = k;
+    }
+    LIMS_CHECK(best >= 0);
+    ++out[best];
+    frac[best] = -1.0;
+    ++assigned;
+  }
+}
+
+/// Fingerprint of everything that affects per-sample results: the design
+/// shape, the stimulus bytes, and the sampling parameters. Workers,
+/// journaling and timeouts are deliberately excluded.
+std::string campaign_key(const SeuRig& rig, const SitePlan& plan,
+                         const CampaignOptions& opt) {
+  std::ostringstream os;
+  os << "cfg=" << rig.design->config.name()
+     << ";ecc=" << rig.design->config.ecc
+     << ";spare=" << rig.design->config.spare_rows
+     << ";macro_bits=" << plan.macro_bits << ";flops=" << plan.flops.size()
+     << ";set_nets=" << plan.set_nets.size()
+     << ";samples=" << opt.samples << ";seed=" << opt.seed
+     << ";burst=" << opt.burst
+     << ";set_width=" << jsonl::format_g17(opt.set_width_s)
+     << ";set_lead=[" << jsonl::format_g17(opt.set_lead_min_s) << ","
+     << jsonl::format_g17(opt.set_lead_max_s) << ")"
+     << ";trace=";
+  std::ostringstream tr;
+  for (std::size_t c = 0; c < rig.trace->size(); ++c)
+    for (const auto& ch : rig.trace->cycles[c])
+      tr << c << ":" << ch.net << "=" << ch.value << ";";
+  os << jsonl::to_hex(jsonl::fnv1a(tr.str()));
+  return jsonl::to_hex(jsonl::fnv1a(os.str()));
+}
+
+void append_journal_line(std::ostream& os, const std::string& key,
+                         const SampleRecord& rec) {
+  os << "{\"campaign\":\"" << key << "\",\"sample\":" << rec.sample
+     << ",\"kind\":\"" << site_kind_name(rec.kind) << "\",\"site\":\""
+     << jsonl::json_escape(rec.site) << "\",\"cycle\":" << rec.cycle
+     << ",\"outcome\":\"" << outcome_name(rec.outcome)
+     << "\",\"latent\":" << (rec.latent ? "true" : "false")
+     << ",\"detail\":\"" << jsonl::json_escape(rec.detail) << "\"}\n";
+  os.flush();
+}
+
+bool parse_kind(const std::string& name, SiteKind* out) {
+  for (int k = 0; k < kSiteKinds; ++k) {
+    const auto kind = static_cast<SiteKind>(k);
+    if (name == site_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses one journal line. Returns false on any torn or malformed
+/// field; `stale` is set instead when the line belongs to a different
+/// campaign (well-formed, just not ours).
+bool parse_journal_line(const std::string& line, const std::string& key,
+                        int samples, SampleRecord* rec, bool* stale) {
+  *stale = false;
+  if (line.empty() || line.front() != '{' || line.back() != '}') return false;
+
+  std::size_t pos = jsonl::find_field(line, "campaign");
+  std::string line_key;
+  if (pos == std::string::npos || !jsonl::read_string(line, pos, &line_key))
+    return false;
+
+  pos = jsonl::find_field(line, "sample");
+  std::uint64_t sample = 0;
+  if (pos == std::string::npos || !jsonl::read_u64(line, pos, &sample))
+    return false;
+
+  pos = jsonl::find_field(line, "kind");
+  std::string kind_name;
+  if (pos == std::string::npos || !jsonl::read_string(line, pos, &kind_name))
+    return false;
+  if (!parse_kind(kind_name, &rec->kind)) return false;
+
+  pos = jsonl::find_field(line, "site");
+  if (pos == std::string::npos || !jsonl::read_string(line, pos, &rec->site))
+    return false;
+
+  pos = jsonl::find_field(line, "cycle");
+  if (pos == std::string::npos || !jsonl::read_u64(line, pos, &rec->cycle))
+    return false;
+
+  pos = jsonl::find_field(line, "outcome");
+  std::string outcome;
+  if (pos == std::string::npos || !jsonl::read_string(line, pos, &outcome))
+    return false;
+  if (!parse_outcome(outcome, &rec->outcome)) return false;
+
+  pos = jsonl::find_field(line, "latent");
+  if (pos == std::string::npos || !jsonl::read_bool(line, pos, &rec->latent))
+    return false;
+
+  pos = jsonl::find_field(line, "detail");
+  if (pos == std::string::npos || !jsonl::read_string(line, pos, &rec->detail))
+    return false;
+
+  if (line_key != key ||
+      sample >= static_cast<std::uint64_t>(samples)) {
+    *stale = true;
+    return false;
+  }
+  rec->sample = static_cast<int>(sample);
+  return true;
+}
+
+std::string fmt(const char* spec, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace
+
+double StratumStats::avf() const {
+  if (samples == 0) return 0.0;
+  const std::uint64_t visible = counts[static_cast<int>(Outcome::kSdc)] +
+                                counts[static_cast<int>(Outcome::kDetectedUncorrectable)] +
+                                counts[static_cast<int>(Outcome::kHang)];
+  return static_cast<double>(visible) / static_cast<double>(samples);
+}
+
+double StratumStats::rate(Outcome o) const {
+  if (samples == 0) return 0.0;
+  return static_cast<double>(counts[static_cast<int>(o)]) /
+         static_cast<double>(samples);
+}
+
+double CampaignResult::rate(Outcome o) const {
+  if (completed == 0) return 0.0;
+  return static_cast<double>(counts[static_cast<int>(o)]) /
+         static_cast<double>(completed);
+}
+
+WilsonInterval CampaignResult::interval(Outcome o) const {
+  return wilson_interval(counts[static_cast<int>(o)],
+                         static_cast<std::uint64_t>(completed));
+}
+
+double CampaignResult::mtbf_hours() const {
+  return fault::fit_to_mtbf_hours(fit_visible());
+}
+
+std::uint64_t SitePlan::sites(SiteKind kind) const {
+  switch (kind) {
+    case SiteKind::kMacroBit: return macro_bits;
+    case SiteKind::kFlop: return flops.size();
+    case SiteKind::kSetPulse: return set_nets.size();
+  }
+  return 0;
+}
+
+std::uint64_t SitePlan::total() const {
+  return macro_bits + flops.size() + set_nets.size();
+}
+
+SitePlan enumerate_sites(const SeuRig& rig) {
+  SitePlan plan;
+  const lim::SramConfig& cfg = rig.design->config;
+  plan.macro_bits = static_cast<std::uint64_t>(cfg.banks) *
+                    static_cast<std::uint64_t>(cfg.rows_per_bank()) *
+                    static_cast<std::uint64_t>(cfg.code_bits());
+  for (const auto& fi : rig.ann->flops) plan.flops.push_back(fi.inst);
+  for (const auto& gi : rig.ann->gates) plan.set_nets.push_back(gi.out);
+  return plan;
+}
+
+InjectionSpec plan_sample(const SeuRig& rig, const SitePlan& plan,
+                          const CampaignOptions& opt, int index) {
+  LIMS_CHECK_MSG(index >= 0 && index < opt.samples,
+                 "sample index " << index << " outside the campaign");
+  const std::uint64_t sites[kSiteKinds] = {
+      plan.macro_bits, plan.flops.size(), plan.set_nets.size()};
+  int alloc[kSiteKinds];
+  allocate_strata(opt.samples, sites, alloc);
+
+  SiteKind kind = SiteKind::kSetPulse;
+  int base = 0;
+  for (int k = 0; k < kSiteKinds; ++k) {
+    if (index < base + alloc[k]) {
+      kind = static_cast<SiteKind>(k);
+      break;
+    }
+    base += alloc[k];
+  }
+
+  Rng rng(mix64(opt.seed, static_cast<std::uint64_t>(index)));
+  InjectionSpec spec;
+  spec.cycle = rng.below(rig.trace->size());
+  spec.burst = opt.burst;
+  spec.site.kind = kind;
+  switch (kind) {
+    case SiteKind::kMacroBit: {
+      const lim::SramConfig& cfg = rig.design->config;
+      const std::uint64_t s = rng.below(plan.macro_bits);
+      const auto code_bits = static_cast<std::uint64_t>(cfg.code_bits());
+      const auto rows = static_cast<std::uint64_t>(cfg.rows_per_bank());
+      spec.site.bit = static_cast<int>(s % code_bits);
+      spec.site.row = static_cast<int>((s / code_bits) % rows);
+      spec.site.bank = static_cast<int>(s / (code_bits * rows));
+      break;
+    }
+    case SiteKind::kFlop:
+      spec.site.flop = plan.flops[rng.below(plan.flops.size())];
+      break;
+    case SiteKind::kSetPulse:
+      spec.site.net = plan.set_nets[rng.below(plan.set_nets.size())];
+      spec.set_width_fs = evsim::to_fs(opt.set_width_s);
+      spec.set_lead_fs = evsim::to_fs(
+          rng.uniform(opt.set_lead_min_s, opt.set_lead_max_s));
+      break;
+  }
+  return spec;
+}
+
+CampaignResult run_campaign(const SeuRig& rig, const tech::Process& process,
+                            const CampaignOptions& opt) {
+  DIAG_CONTEXT("seu campaign");
+  LIMS_CHECK_MSG(opt.samples > 0, "campaign needs at least one sample");
+  LIMS_CHECK_MSG(opt.workers > 0, "campaign needs at least one worker");
+  LIMS_CHECK_MSG(opt.burst > 0, "burst must flip at least one bit");
+  LIMS_CHECK_MSG(rig.trace != nullptr && rig.trace->size() > 0,
+                 "campaign needs a non-empty stimulus trace");
+  LIMS_CHECK_MSG(opt.set_lead_min_s > 0 &&
+                     opt.set_lead_max_s > opt.set_lead_min_s,
+                 "SET lead window must satisfy 0 < min < max");
+  LIMS_CHECK_MSG(opt.set_width_s > 0, "SET width must be positive");
+
+  CampaignResult res;
+  res.samples = opt.samples;
+  const SitePlan plan = enumerate_sites(rig);
+  LIMS_CHECK_MSG(plan.total() > 0, "design exposes no injectable sites");
+  res.key = campaign_key(rig, plan, opt);
+  res.records.assign(static_cast<std::size_t>(opt.samples), SampleRecord{});
+
+  // Resume: harvest completed samples from a previous journal.
+  if (opt.resume && !opt.journal_path.empty()) {
+    std::ifstream in(opt.journal_path);
+    if (in) {
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        SampleRecord rec;
+        bool stale = false;
+        if (parse_journal_line(line, res.key, opt.samples, &rec, &stale)) {
+          const auto i = static_cast<std::size_t>(rec.sample);
+          if (res.records[i].sample < 0) ++res.resumed;
+          res.records[i] = std::move(rec);  // last write wins
+        } else if (stale) {
+          ++res.stale;
+        } else {
+          ++res.malformed;
+        }
+      }
+    }
+  }
+
+  std::ofstream journal;
+  if (!opt.journal_path.empty()) {
+    journal.open(opt.journal_path,
+                 opt.resume ? std::ios::app : std::ios::trunc);
+    if (!journal)
+      LIMS_FAIL(ErrorCode::kIo,
+                "cannot open SEU journal: " << opt.journal_path);
+  }
+
+  const GoldenRun golden = run_golden(rig);
+
+  const Watchdog watchdog("SEU campaign", opt.timeout_seconds);
+  std::atomic<int> next{0};
+  std::atomic<bool> stop{false};
+  std::mutex mu;
+  std::exception_ptr worker_error;
+
+  auto work = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= opt.samples || stop.load()) return;
+      if (res.records[static_cast<std::size_t>(i)].sample >= 0) continue;
+      if (watchdog.expired()) {
+        // Stop cleanly between samples: the journal holds everything
+        // finished so far, so a --resume run completes the campaign.
+        res.timed_out = true;
+        stop.store(true);
+        return;
+      }
+      try {
+        const InjectionSpec spec = plan_sample(rig, plan, opt, i);
+        const InjectionResult run = run_injection(rig, golden, spec);
+        SampleRecord rec;
+        rec.sample = i;
+        rec.kind = spec.site.kind;
+        rec.site = spec.site.describe(rig.design->nl);
+        rec.cycle = spec.cycle;
+        rec.outcome = run.outcome;
+        rec.latent = run.latent;
+        rec.detail = run.detail;
+        const std::lock_guard<std::mutex> lock(mu);
+        if (journal.is_open()) append_journal_line(journal, res.key, rec);
+        res.records[static_cast<std::size_t>(i)] = std::move(rec);
+        ++res.computed;
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!worker_error) worker_error = std::current_exception();
+        stop.store(true);
+        return;
+      }
+    }
+  };
+
+  const int n_threads = std::min(opt.workers, opt.samples);
+  if (n_threads <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n_threads));
+    for (int t = 0; t < n_threads; ++t) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+  }
+  if (worker_error) std::rethrow_exception(worker_error);
+
+  // Aggregate from the ordered records alone (determinism contract).
+  for (int k = 0; k < kSiteKinds; ++k)
+    res.strata[k].sites = plan.sites(static_cast<SiteKind>(k));
+  for (const SampleRecord& rec : res.records) {
+    if (rec.sample < 0) continue;
+    ++res.completed;
+    ++res.counts[static_cast<int>(rec.outcome)];
+    StratumStats& st = res.strata[static_cast<int>(rec.kind)];
+    ++st.samples;
+    ++st.counts[static_cast<int>(rec.outcome)];
+    if (rec.latent) ++res.latent;
+  }
+
+  res.budget = fault::soft_error_budget(
+      process, static_cast<double>(plan.macro_bits),
+      static_cast<double>(plan.flops.size()),
+      static_cast<double>(plan.set_nets.size()));
+  const double raw[kSiteKinds] = {res.budget.fit_mem, res.budget.fit_flop,
+                                  res.budget.fit_set};
+  for (int k = 0; k < kSiteKinds; ++k) {
+    res.fit_sdc += raw[k] * res.strata[k].rate(Outcome::kSdc);
+    res.fit_due +=
+        raw[k] * res.strata[k].rate(Outcome::kDetectedUncorrectable);
+    res.fit_hang += raw[k] * res.strata[k].rate(Outcome::kHang);
+  }
+  return res;
+}
+
+std::string format_campaign_report(const CampaignResult& res,
+                                   const lim::SramConfig& cfg) {
+  std::ostringstream os;
+  os << "SEU/SET injection campaign\n"
+     << "  design    : " << cfg.name() << " (ecc "
+     << (cfg.ecc ? "on" : "off") << ")\n"
+     << "  campaign  : " << res.key << "\n"
+     << "  samples   : " << res.samples << " requested, " << res.completed
+     << " completed\n";
+  // Run provenance (computed/resumed split, journal skip counts) is
+  // deliberately absent: a killed-and-resumed campaign must render the
+  // byte-identical report an uninterrupted run renders. The CLI prints
+  // provenance separately.
+  if (res.timed_out)
+    os << "  TIMED OUT with " << (res.samples - res.completed)
+       << " sample(s) missing; rerun with --resume to finish\n";
+
+  os << "\n  outcome      count     rate    95% Wilson CI\n";
+  for (int o = 0; o < kOutcomes; ++o) {
+    const auto outcome = static_cast<Outcome>(o);
+    const WilsonInterval ci = res.interval(outcome);
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  "  %-10s %7llu   %.4f   [%.4f, %.4f]\n",
+                  outcome_name(outcome),
+                  static_cast<unsigned long long>(
+                      res.counts[o]),
+                  res.rate(outcome), ci.lo, ci.hi);
+    os << line;
+  }
+  os << "  latent     " << res.latent
+     << "  (masked runs leaving corrupted standing state)\n";
+
+  os << "\n  stratum      sites  samples  masked  corr   sdc   due  hang    AVF\n";
+  for (int k = 0; k < kSiteKinds; ++k) {
+    const StratumStats& st = res.strata[k];
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  %-10s %7llu  %7llu  %6llu %5llu %5llu %5llu %5llu  %.4f\n",
+                  site_kind_name(static_cast<SiteKind>(k)),
+                  static_cast<unsigned long long>(st.sites),
+                  static_cast<unsigned long long>(st.samples),
+                  static_cast<unsigned long long>(st.counts[0]),
+                  static_cast<unsigned long long>(st.counts[1]),
+                  static_cast<unsigned long long>(st.counts[2]),
+                  static_cast<unsigned long long>(st.counts[3]),
+                  static_cast<unsigned long long>(st.counts[4]),
+                  st.avf());
+    os << line;
+  }
+
+  os << "\n  raw upsets : mem " << fmt("%.4g", res.budget.fit_mem)
+     << " FIT, flops " << fmt("%.4g", res.budget.fit_flop) << " FIT, SET "
+     << fmt("%.4g", res.budget.fit_set) << " FIT\n"
+     << "  derated    : SDC " << fmt("%.4g", res.fit_sdc) << " FIT, DUE "
+     << fmt("%.4g", res.fit_due) << " FIT, hang "
+     << fmt("%.4g", res.fit_hang) << " FIT\n"
+     << "  visible    : " << fmt("%.4g", res.fit_visible()) << " FIT (MTBF "
+     << fmt("%.4g", res.mtbf_hours()) << " h)\n";
+  return os.str();
+}
+
+}  // namespace limsynth::seu

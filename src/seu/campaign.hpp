@@ -1,0 +1,134 @@
+// Stratified soft-error injection campaigns.
+//
+// A campaign draws N injection samples over the design's three site
+// strata — macro array bits, flops, SET-able gate outputs — allocated
+// proportionally to stratum size (largest-remainder rounding), runs each
+// against one shared golden replay, and aggregates the outcome taxonomy
+// into per-stratum AVFs, Wilson confidence intervals, and the derated
+// FIT/MTBF from the tech model's raw upset rates (fault/soft.hpp).
+//
+// Determinism contract: sample i's site, cycle and SET shape derive from
+// Rng(mix(seed, i)) alone, and the report is computed from the records
+// ordered by sample index — so the bytes of the report are identical for
+// any --workers value and any completed/resumed split.
+//
+// Journaling follows the DSE checkpoint idiom (lim/checkpoint.hpp): one
+// JSON line per completed sample, flushed as produced, keyed by a
+// campaign fingerprint covering everything that affects per-sample
+// results. Resuming tolerates torn trailing lines (a SIGKILL mid-write)
+// and skips entries from a different campaign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/soft.hpp"
+#include "seu/seu.hpp"
+#include "util/stats.hpp"
+
+namespace limsynth::seu {
+
+struct CampaignOptions {
+  int samples = 1000;
+  std::uint64_t seed = 1;
+  /// Worker threads; each owns a private EventSimulator per run.
+  int workers = 1;
+  /// Adjacent macro bits flipped per SEU (1 = single-bit, >1 = MCU burst).
+  int burst = 1;
+  /// SET pulse width (deposited-charge duration, seconds).
+  double set_width_s = 120e-12;
+  /// Strike-to-edge lead is drawn uniformly from [min, max) per sample.
+  double set_lead_min_s = 50e-12;
+  double set_lead_max_s = 600e-12;
+  /// Per-injection wall-clock budget; overruns classify as kHang.
+  double run_timeout_seconds = 60.0;
+  /// Whole-campaign budget; 0 = unlimited. Expiry stops cleanly between
+  /// samples with the journal intact, so --resume can finish the rest.
+  double timeout_seconds = 0.0;
+  /// JSONL journal path; empty disables journaling (and resume).
+  std::string journal_path;
+  /// Reuse completed samples from an existing journal instead of
+  /// truncating it.
+  bool resume = false;
+};
+
+struct SampleRecord {
+  int sample = -1;  // -1 = not yet computed (timed-out campaign)
+  SiteKind kind = SiteKind::kMacroBit;
+  std::string site;
+  std::uint64_t cycle = 0;
+  Outcome outcome = Outcome::kMasked;
+  bool latent = false;
+  std::string detail;
+};
+
+struct StratumStats {
+  std::uint64_t sites = 0;    // injectable locations in the design
+  std::uint64_t samples = 0;  // completed injections drawn here
+  std::uint64_t counts[kOutcomes] = {};
+
+  /// Architectural vulnerability factor: the fraction of raw upsets that
+  /// become architecturally visible (SDC, DUE or hang). Corrected and
+  /// masked upsets are invisible to the architecture.
+  double avf() const;
+  /// Per-outcome derating factor for this stratum.
+  double rate(Outcome o) const;
+};
+
+struct CampaignResult {
+  std::string key;        // campaign fingerprint (hex)
+  int samples = 0;        // requested
+  int completed = 0;      // records with sample >= 0
+  int computed = 0;       // run in this invocation
+  int resumed = 0;        // reused from the journal
+  int malformed = 0;      // torn/unparseable journal lines skipped
+  int stale = 0;          // journal lines from a different campaign
+  bool timed_out = false;
+
+  std::vector<SampleRecord> records;  // indexed by sample
+  StratumStats strata[kSiteKinds];
+  std::uint64_t counts[kOutcomes] = {};
+  std::uint64_t latent = 0;
+
+  fault::SoftErrorBudget budget;  // raw upset rates from the tech model
+  double fit_sdc = 0.0;           // per-stratum derated, summed
+  double fit_due = 0.0;
+  double fit_hang = 0.0;
+
+  bool complete() const { return completed == samples; }
+  double rate(Outcome o) const;
+  /// 95% Wilson score interval on an outcome's rate over all completed
+  /// samples.
+  WilsonInterval interval(Outcome o) const;
+  double fit_visible() const { return fit_sdc + fit_due + fit_hang; }
+  double mtbf_hours() const;
+};
+
+/// Enumerated injection sites, exposed for tests and the planner.
+struct SitePlan {
+  std::uint64_t macro_bits = 0;
+  std::vector<netlist::InstId> flops;
+  std::vector<netlist::NetId> set_nets;
+  std::uint64_t sites(SiteKind kind) const;
+  std::uint64_t total() const;
+};
+
+SitePlan enumerate_sites(const SeuRig& rig);
+
+/// The deterministic sample plan: spec for sample `index` of `samples`
+/// under `seed`. Exposed so tests can assert worker-independence.
+InjectionSpec plan_sample(const SeuRig& rig, const SitePlan& plan,
+                          const CampaignOptions& opt, int index);
+
+/// Runs (or resumes) a campaign. Throws kInvalidConfig for impossible
+/// options (no sites, zero samples, no trace); engine failures inside a
+/// run classify as kHang and never abort the campaign.
+CampaignResult run_campaign(const SeuRig& rig, const tech::Process& process,
+                            const CampaignOptions& opt);
+
+/// Deterministic human-readable report (see determinism contract above).
+std::string format_campaign_report(const CampaignResult& res,
+                                   const lim::SramConfig& cfg);
+
+}  // namespace limsynth::seu

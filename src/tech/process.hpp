@@ -67,6 +67,18 @@ struct Process {
   double defect_density_per_m2 = 0.2 * 1e4;  // D0: 0.2 / cm^2
   double defect_cluster_alpha = 2.0;         // clustering shape (mean-1 Gamma)
 
+  // Soft-error environment (terrestrial, sea level): raw single-event
+  // upset rates before any architectural derating. SRAM bitcells at 65nm
+  // sit around 1e3 FIT/Mbit; flip-flops are individually harder but each
+  // latch still collects ~1e-3 FIT; combinational SETs only matter when a
+  // pulse is wide enough to out-run inertial filtering AND lands inside a
+  // capture window, so the raw per-gate rate is small. An SEU campaign
+  // (src/seu) multiplies these by its measured per-class derating factors
+  // (AVF) to produce the effective FIT of a design.
+  double seu_fit_per_mbit = 1.0e3;   // FIT per Mbit of SRAM/CAM storage
+  double seu_fit_per_flop = 1.0e-3;  // FIT per sequential element
+  double set_fit_per_gate = 1.0e-4;  // FIT per combinational gate (capturable pulses)
+
   // Clock-network capacitance inside a brick control block (precharge
   // clocking, output latch clocks, pulse-generator internals): fixed part
   // plus per-column and per-row wire/gate load. This fixed per-brick cost

@@ -1,0 +1,48 @@
+// Minimal JSON-lines helpers for crash-tolerant journals.
+//
+// Both resumable subsystems (lim/checkpoint.hpp DSE sweeps, seu/campaign
+// injection campaigns) append one self-contained JSON object per line,
+// flushed as produced, and re-read their own output on --resume. These
+// helpers implement exactly that dialect: flat objects, string/number/
+// bool fields, no nesting. Readers return false instead of throwing on
+// malformed input, because a torn trailing line after SIGKILL is an
+// expected artifact, not an error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace limsynth::jsonl {
+
+/// FNV-1a 64-bit — journal fingerprints (stable across platforms).
+std::uint64_t fnv1a(const std::string& data);
+
+/// `v` as a 16-digit lowercase hex string (fingerprint formatting).
+std::string to_hex(std::uint64_t v);
+
+std::string json_escape(const std::string& s);
+
+/// Unescapes json_escape output. Returns false on a truncated escape
+/// (torn line).
+bool json_unescape(const std::string& s, std::string* out);
+
+/// Shortest round-trip decimal for a double (%.17g).
+std::string format_g17(double v);
+
+/// Finds `"name":` in `line` and returns the offset just past the colon,
+/// or npos.
+std::size_t find_field(const std::string& line, const std::string& name);
+
+/// Reads a quoted JSON string starting at `pos` (which must point at the
+/// opening quote). Returns false on malformed/truncated input.
+bool read_string(const std::string& line, std::size_t pos, std::string* out);
+
+bool read_double(const std::string& line, std::size_t pos, double* out);
+
+/// Non-negative integer field (rejects '-', fractions are truncated
+/// upstream by never being written).
+bool read_u64(const std::string& line, std::size_t pos, std::uint64_t* out);
+
+bool read_bool(const std::string& line, std::size_t pos, bool* out);
+
+}  // namespace limsynth::jsonl

@@ -38,6 +38,23 @@ double quantile(std::vector<double> values, double q) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z) {
+  LIMS_CHECK_MSG(successes <= trials,
+                 successes << " successes out of " << trials << " trials");
+  LIMS_CHECK_MSG(z > 0.0, "non-positive z quantile " << z);
+  if (trials == 0) return {};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, (center - spread) / denom),
+          std::min(1.0, (center + spread) / denom)};
+}
+
 double geomean(const std::vector<double>& values) {
   LIMS_CHECK(!values.empty());
   double log_sum = 0.0;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace limsynth {
@@ -31,6 +32,22 @@ class OnlineStats {
 /// Returns the q-quantile (0 <= q <= 1) of `values` by linear interpolation
 /// between order statistics. The input is copied and sorted.
 double quantile(std::vector<double> values, double q);
+
+/// Wilson score confidence interval for a binomial proportion — the
+/// interval of choice for fault-injection campaigns because it stays
+/// honest at rates near 0 and 1 where the normal approximation collapses.
+struct WilsonInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool overlaps(const WilsonInterval& other) const {
+    return lo <= other.hi && other.lo <= hi;
+  }
+};
+
+/// `z` is the two-sided normal quantile (1.96 for 95% confidence).
+/// Zero trials yield the vacuous [0, 1] interval.
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z = 1.96);
 
 /// Geometric mean; all values must be positive.
 double geomean(const std::vector<double>& values);

@@ -133,6 +133,13 @@ TEST(Chip, ModelsHaveSection5Shape) {
   EXPECT_LT(lim.power(), base.power());
   EXPECT_GT(lim.core_area, base.core_area);
   EXPECT_LT(lim.core_area, 1.6 * base.core_area);
+  // Both chips expose their storage for soft-error budgeting; the raw
+  // (undereated) SEU FIT follows the process upset rate linearly.
+  EXPECT_GT(lim.mem_bits, 0.0);
+  EXPECT_GT(base.mem_bits, 0.0);
+  EXPECT_GT(lim.raw_seu_fit(process), 0.0);
+  EXPECT_NEAR(lim.raw_seu_fit(process) / base.raw_seu_fit(process),
+              lim.mem_bits / base.mem_bits, 1e-9);
 }
 
 TEST(Chip, BenchmarkResultConsistency) {

@@ -10,6 +10,7 @@
 
 #include "evsim/crosscheck.hpp"
 #include "evsim/evsim.hpp"
+#include "evsim/stimulus.hpp"
 #include "liberty/characterize.hpp"
 #include "lim/cam_block.hpp"
 #include "lim/flow.hpp"
@@ -475,6 +476,98 @@ TEST(Vcd, DeterministicParseableWaveform) {
     ++stamps;
   }
   EXPECT_GT(stamps, 20);
+}
+
+// ------------------------------------------------- stimulus parser
+
+/// One elaborated netlist for name resolution, shared by the corpus.
+const netlist::Netlist& stimulus_netlist() {
+  static Ctx ctx;
+  static lim::SramDesign d =
+      lim::build_sram({16, 10, 1, 16}, ctx.process, ctx.cells);
+  return d.nl;
+}
+
+StimulusTrace parse_text(const std::string& text,
+                         const StimulusParseOptions& options = {}) {
+  std::istringstream in(text);
+  return parse_stimulus(in, stimulus_netlist(), options);
+}
+
+TEST(Stimulus, ValidFileRoundTrips) {
+  const StimulusTrace t = parse_text(
+      "# header comment\n"
+      "cycle 0\n"
+      "set wen 1        # write\n"
+      "bus wdata 0x2a\n"
+      "bus waddr 3\n"
+      "\n"
+      "cycle 5\n"
+      "set wen 0\n");
+  ASSERT_EQ(t.size(), 6u);
+  // Cycle 0 carries wen + 10 wdata bits + 4 waddr bits.
+  EXPECT_EQ(t.cycles[0].size(), 15u);
+  EXPECT_EQ(t.cycles[5].size(), 1u);
+  EXPECT_TRUE(t.cycles[1].empty());
+}
+
+/// Every corpus entry must throw kInvalidConfig naming its line number.
+void expect_rejected(const std::string& text, int bad_line,
+                     const std::string& why,
+                     const StimulusParseOptions& options = {}) {
+  try {
+    parse_text(text, options);
+    FAIL() << "accepted: " << why;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig) << why;
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line " + std::to_string(bad_line)),
+              std::string::npos)
+        << why << " — got: " << what;
+  }
+}
+
+TEST(Stimulus, RejectsMalformedInputCorpus) {
+  expect_rejected("bogus 1\n", 1, "unknown directive");
+  expect_rejected("set wen 1\n", 1, "set before first cycle");
+  expect_rejected("bus wdata 1\n", 1, "bus before first cycle");
+  expect_rejected("cycle 5\ncycle 3\n", 2, "non-monotone cycle");
+  expect_rejected("cycle 2\ncycle 2\n", 2, "repeated cycle");
+  expect_rejected("cycle x\n", 1, "non-numeric cycle");
+  expect_rejected("cycle 0 0\n", 1, "extra cycle operand");
+  expect_rejected("cycle 0\nset nosuchnet 1\n", 2, "unknown net");
+  expect_rejected("cycle 0\nset wen 2\n", 2, "non-boolean scalar");
+  expect_rejected("cycle 0\nset wen\n", 2, "missing scalar value");
+  expect_rejected("cycle 0\nbus nosuchbus 1\n", 2, "unknown bus");
+  expect_rejected("cycle 0\nbus wdata 0xZZ\n", 2, "bad bus number");
+  expect_rejected("cycle 0\nbus wdata 0x400\n", 2,
+                  "value wider than the 10-bit bus");
+  expect_rejected("cycle 0\nbus wdata 99999999999999999999999\n", 2,
+                  "u64 overflow");
+}
+
+TEST(Stimulus, BoundsHostileResourceClaims) {
+  // A huge cycle number must not allocate a trace entry per cycle.
+  expect_rejected("cycle 1048577\n", 1, "cycle beyond max_cycle");
+  StimulusParseOptions tight;
+  tight.max_cycle = 10;
+  expect_rejected("cycle 11\n", 1, "cycle beyond custom max_cycle", tight);
+  EXPECT_EQ(parse_text("cycle 10\nset wen 1\n", tight).size(), 11u);
+  // A line longer than the cap is rejected, never buffered or truncated.
+  tight.max_line_bytes = 32;
+  expect_rejected("cycle 0\n# " + std::string(64, 'x') + "\n", 2,
+                  "oversized line", tight);
+  tight.max_bus_bits = 4;
+  expect_rejected("cycle 0\nbus wdata 1\n", 2, "bus wider than cap", tight);
+}
+
+TEST(Stimulus, LoadReportsUnreadableFileAsIo) {
+  try {
+    load_stimulus("/nonexistent/stimulus.txt", stimulus_netlist());
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+  }
 }
 
 }  // namespace

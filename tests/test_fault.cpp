@@ -3,11 +3,13 @@
 // spare-row repair allocation.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "fault/defects.hpp"
 #include "fault/inject.hpp"
 #include "fault/repair.hpp"
+#include "fault/soft.hpp"
 #include "util/rng.hpp"
 
 namespace limsynth::fault {
@@ -276,6 +278,73 @@ TEST(Repair, MatchlineFaultsNeedSpares) {
   EXPECT_EQ(rr.spares_used, 1);
   map.apply_repair(rr);
   EXPECT_EQ(map.match_override_logical(0, 3), -1);  // steered to clean spare
+}
+
+TEST(Repair, ZeroSparesMakesAnyDeadRowFatal) {
+  const ArrayGeometry g = test_geometry(1, 32, 0, 8);
+  const FaultMap map(g, {{DefectKind::kWordlineDead, 0, 7, 0, 0}});
+  const RepairResult rr = allocate_repairs(map, /*ecc=*/false);
+  EXPECT_FALSE(rr.repairable);
+  EXPECT_EQ(rr.spares_used, 0);
+  EXPECT_EQ(rr.uncorrectable, 1);
+  EXPECT_TRUE(rr.repairs.empty());
+  // A clean zero-spare bank is still trivially repairable.
+  const FaultMap clean(g, {});
+  EXPECT_TRUE(allocate_repairs(clean, false).repairable);
+}
+
+TEST(Repair, AllRowsDefectiveOverwhelmsTheSpares) {
+  const ArrayGeometry g = test_geometry(1, 36, 4, 8);  // 32 logical + 4
+  std::vector<Defect> defects;
+  for (int r = 0; r < 32; ++r)
+    defects.push_back({DefectKind::kWordlineDead, 0, r, 0, 0});
+  const FaultMap map(g, defects);
+  const RepairResult rr = allocate_repairs(map, false);
+  EXPECT_FALSE(rr.repairable);
+  EXPECT_EQ(rr.spares_used, 4);  // every spare committed before giving up
+  EXPECT_EQ(rr.uncorrectable, 28);
+}
+
+TEST(Repair, EccAbsorbsFirstThenSparesTakeTheResidual) {
+  // Mixed damage: a single-bit row (ECC territory), a two-bit row and a
+  // dead wordline (spare territory). With ECC the spares cover exactly
+  // the residual; without it the third row has no spare left.
+  const ArrayGeometry g = test_geometry(1, 34, 2, 15);
+  const FaultMap map(g, {{DefectKind::kCellStuck1, 0, 4, 2, 0},
+                         {DefectKind::kCellStuck1, 0, 9, 0, 0},
+                         {DefectKind::kCellStuck0, 0, 9, 7, 0},
+                         {DefectKind::kWordlineDead, 0, 12, 0, 0}});
+  const RepairResult with_ecc = allocate_repairs(map, true);
+  EXPECT_TRUE(with_ecc.repairable);
+  EXPECT_EQ(with_ecc.spares_used, 2);
+  const RepairResult without = allocate_repairs(map, false);
+  EXPECT_FALSE(without.repairable);
+  EXPECT_EQ(without.spares_used, 2);
+  EXPECT_EQ(without.uncorrectable, 1);
+}
+
+// ------------------------------------------------------ soft-error FIT
+
+TEST(SoftError, BudgetScalesLinearlyWithSiteCounts) {
+  const tech::Process p = tech::default_process();
+  const SoftErrorBudget one = soft_error_budget(p, 1e6, 100.0, 1000.0);
+  const SoftErrorBudget two = soft_error_budget(p, 2e6, 200.0, 2000.0);
+  EXPECT_GT(one.fit_mem, 0.0);
+  EXPECT_GT(one.fit_flop, 0.0);
+  EXPECT_GT(one.fit_set, 0.0);
+  EXPECT_NEAR(two.fit_mem, 2.0 * one.fit_mem, 1e-12);
+  EXPECT_NEAR(two.fit_flop, 2.0 * one.fit_flop, 1e-12);
+  EXPECT_NEAR(two.fit_set, 2.0 * one.fit_set, 1e-12);
+  EXPECT_NEAR(one.fit_raw_total(), one.fit_mem + one.fit_flop + one.fit_set,
+              1e-12);
+}
+
+TEST(SoftError, DeratingAndMtbfArithmetic) {
+  EXPECT_NEAR(derated_fit(1000.0, 0.25), 250.0, 1e-9);
+  EXPECT_EQ(derated_fit(1000.0, 0.0), 0.0);
+  // 1 FIT = one failure per 1e9 device-hours.
+  EXPECT_NEAR(fit_to_mtbf_hours(1.0), 1e9, 1e-3);
+  EXPECT_TRUE(std::isinf(fit_to_mtbf_hours(0.0)));
 }
 
 }  // namespace

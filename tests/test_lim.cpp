@@ -17,6 +17,7 @@
 #include "lim/report.hpp"
 #include "lim/yield.hpp"
 #include "lim/macro_models.hpp"
+#include "util/error.hpp"
 #include "lim/smart_memory.hpp"
 #include "lim/sram_builder.hpp"
 #include "tech/process.hpp"
@@ -638,6 +639,64 @@ TEST(Interp, SeedTableBeatsDenseTableOnArea) {
                            ctx.process));  // 2x 32-entry seed banks
   EXPECT_LT(2.0 * seed.bank_area + 3000e-12 /* interp logic */,
             0.5 * dense.bank_area);
+}
+
+// ------------------------------------ macro-model state surface (SEU)
+
+TEST(MacroState, SramPeekPokeRoundTripsAndMasks) {
+  SramBankModel bank(8, 10);
+  EXPECT_EQ(bank.state_rows(), 8);
+  EXPECT_EQ(bank.state_bits(), 10);
+  bank.poke(3, 0x2AB);
+  EXPECT_EQ(bank.peek(3), 0x2ABu);
+  // Values are masked to the stored word width, never stored wider.
+  bank.poke(3, 0xFFFFF);
+  EXPECT_EQ(bank.peek(3), 0x3FFu);
+  EXPECT_EQ(bank.peek(0), 0u);
+}
+
+TEST(MacroState, FlipStateBitsXorsTheStoredWord) {
+  SramBankModel bank(8, 10);
+  bank.poke(5, 0x155);
+  bank.flip_state_bits(5, 0b11);  // adjacent double-bit burst
+  EXPECT_EQ(bank.peek(5), 0x156u);
+  bank.flip_state_bits(5, 0b11);  // flipping back restores
+  EXPECT_EQ(bank.peek(5), 0x155u);
+}
+
+TEST(MacroState, OutOfRangeAccessThrowsInvalidConfig) {
+  SramBankModel bank(8, 10);
+  for (int row : {-1, 8, 100}) {
+    EXPECT_THROW(bank.peek(row), Error) << row;
+    EXPECT_THROW(bank.poke(row, 0), Error) << row;
+  }
+  try {
+    bank.peek(8);
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+  }
+}
+
+TEST(MacroState, CamPokeCorruptsTheWordButNotValidity) {
+  CamBankModel cam(8, 6);
+  cam.set_word(2, 0x15, /*valid=*/true);
+  // An SEU in the index array flips stored bits; the validity flag is
+  // side-band state a storage upset cannot reach.
+  cam.flip_state_bits(2, 0x1);
+  EXPECT_EQ(cam.peek(2), 0x14u);
+  EXPECT_TRUE(cam.is_valid(2));
+  cam.poke(4, 0x3F);
+  EXPECT_FALSE(cam.is_valid(4));  // poke does not validate an entry
+}
+
+TEST(MacroState, DefaultMacroModelExposesNoState) {
+  struct Stateless : netlist::MacroModel {
+    void on_clock(netlist::Simulator&, netlist::InstId) override {}
+  } model;
+  EXPECT_EQ(model.state_rows(), 0);
+  EXPECT_EQ(model.state_bits(), 0);
+  EXPECT_THROW(model.peek(0), Error);
+  EXPECT_THROW(model.poke(0, 1), Error);
 }
 
 }  // namespace

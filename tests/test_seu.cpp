@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "evsim/annotate.hpp"
+#include "seu/campaign.hpp"
+#include "seu/seu.hpp"
+#include "synth/synth.hpp"
+#include "tech/process.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace limsynth::seu {
+namespace {
+
+std::uint64_t low_mask(std::size_t bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/// Everything one injection rig needs, with owned lifetimes: an
+/// elaborated + synthesized + annotated SRAM and a random stimulus trace
+/// of the same shape `limsynth seu` generates.
+struct RigBundle {
+  tech::Process process = tech::default_process();
+  tech::StdCellLib cells{process};
+  lim::SramDesign design;
+  evsim::TimingAnnotation ann;
+  evsim::StimulusTrace trace;
+  SeuRig rig;
+
+  RigBundle(const lim::SramConfig& cfg, int cycles,
+            std::uint64_t trace_seed = 3)
+      : design(lim::build_sram(cfg, process, cells)) {
+    synth::synthesize(design.nl, design.lib, cells);
+    ann = evsim::annotate_delays(design.nl, design.lib, cells);
+    Rng rng(trace_seed);
+    for (int c = 0; c < cycles; ++c) {
+      trace.set_bus(c, design.raddr, rng.next_u64() & low_mask(design.raddr.size()));
+      trace.set_bus(c, design.waddr, rng.next_u64() & low_mask(design.waddr.size()));
+      trace.set_bus(c, design.wdata, rng.next_u64() & low_mask(design.wdata.size()));
+      trace.set(c, design.wen, rng.chance(0.5));
+    }
+    rig.design = &design;
+    rig.cells = &cells;
+    rig.ann = &ann;
+    rig.trace = &trace;
+    rig.run_timeout_seconds = 30.0;
+  }
+
+  /// Replaces the random trace: write `value` to `row` at cycle 0, then
+  /// read `row` back every remaining cycle.
+  void write_then_reread(int row, std::uint64_t value, int cycles) {
+    trace.cycles.clear();
+    trace.set_bus(0, design.waddr, static_cast<std::uint64_t>(row));
+    trace.set_bus(0, design.wdata, value & low_mask(design.wdata.size()));
+    trace.set(0, design.wen, true);
+    trace.set_bus(0, design.raddr, static_cast<std::uint64_t>(row));
+    trace.set(1, design.wen, false);
+    trace.set(cycles - 1, design.wen, false);  // pad the trace length
+  }
+
+  /// Replaces the random trace with one that fills every row with a
+  /// distinct word, then reads rows in sequence. With all rows distinct,
+  /// any upset that redirects or corrupts a read is architecturally
+  /// visible instead of hitting identical (zero) words.
+  void fill_then_read(int cycles) {
+    trace.cycles.clear();
+    const int rows = design.config.words;
+    for (int c = 0; c < cycles; ++c) {
+      const int row = c % rows;
+      const bool writing = c < rows;
+      trace.set(c, design.wen, writing);
+      trace.set_bus(c, design.waddr, static_cast<std::uint64_t>(row));
+      trace.set_bus(c, design.wdata,
+                    (0x155u + 37u * static_cast<std::uint64_t>(row)) &
+                        low_mask(design.wdata.size()));
+      trace.set_bus(c, design.raddr, static_cast<std::uint64_t>(row));
+    }
+  }
+};
+
+lim::SramConfig config_a(bool ecc = false) {
+  lim::SramConfig cfg;
+  cfg.words = 16;
+  cfg.bits = 10;
+  cfg.banks = 1;
+  cfg.brick_words = 16;
+  cfg.ecc = ecc;
+  return cfg;
+}
+
+lim::SramConfig config_c(bool ecc) {
+  lim::SramConfig cfg;
+  cfg.words = 64;
+  cfg.bits = 10;
+  cfg.banks = 1;
+  cfg.brick_words = 16;
+  cfg.ecc = ecc;
+  return cfg;
+}
+
+TEST(SeuSites, EnumerationMatchesDesignShape) {
+  RigBundle b(config_a(), 12);
+  const SitePlan plan = enumerate_sites(b.rig);
+  const lim::SramConfig& cfg = b.design.config;
+  EXPECT_EQ(plan.macro_bits,
+            static_cast<std::uint64_t>(cfg.banks) * cfg.rows_per_bank() *
+                cfg.code_bits());
+  EXPECT_EQ(plan.flops.size(), b.ann.flops.size());
+  EXPECT_EQ(plan.set_nets.size(), b.ann.gates.size());
+  EXPECT_GT(plan.flops.size(), 0u);
+  EXPECT_GT(plan.set_nets.size(), 0u);
+  EXPECT_EQ(plan.total(),
+            plan.macro_bits + plan.flops.size() + plan.set_nets.size());
+}
+
+TEST(SeuSites, EccWidensTheMacroStratum) {
+  RigBundle plain(config_a(false), 8);
+  RigBundle ecc(config_a(true), 8);
+  const SitePlan p0 = enumerate_sites(plain.rig);
+  const SitePlan p1 = enumerate_sites(ecc.rig);
+  // SECDED stores check bits alongside the data, so the ECC array exposes
+  // strictly more upsettable bits.
+  EXPECT_GT(p1.macro_bits, p0.macro_bits);
+}
+
+TEST(SeuInjection, StandingBitFlipWithoutEccIsSdc) {
+  RigBundle b(config_a(false), 16);
+  b.write_then_reread(/*row=*/5, /*value=*/0x2AB, /*cycles=*/16);
+  const GoldenRun golden = run_golden(b.rig);
+  ASSERT_NE(golden.mem[0][5], 0u);
+
+  InjectionSpec spec;
+  spec.site.kind = SiteKind::kMacroBit;
+  spec.site.bank = 0;
+  spec.site.row = 5;
+  spec.site.bit = 0;
+  spec.cycle = 6;  // after the write has landed, while re-reads continue
+  const InjectionResult r = run_injection(b.rig, golden, spec);
+  EXPECT_EQ(r.outcome, Outcome::kSdc);
+  EXPECT_GE(r.first_mismatch_cycle, spec.cycle);
+}
+
+TEST(SeuInjection, SecdedCorrectsASingleBitUpset) {
+  RigBundle b(config_a(true), 16);
+  b.write_then_reread(5, 0x2AB, 16);
+  const GoldenRun golden = run_golden(b.rig);
+
+  InjectionSpec spec;
+  spec.site.kind = SiteKind::kMacroBit;
+  spec.site.row = 5;
+  spec.site.bit = 0;
+  spec.cycle = 6;
+  const InjectionResult r = run_injection(b.rig, golden, spec);
+  // The decoder repairs the read on the fly: outputs clean, correction
+  // observed live, and the flipped cell still standing in the array.
+  EXPECT_EQ(r.outcome, Outcome::kCorrectedSecded);
+  EXPECT_TRUE(r.latent);
+}
+
+TEST(SeuInjection, SecdedDetectsButCannotCorrectADoubleBitBurst) {
+  RigBundle b(config_a(true), 16);
+  b.write_then_reread(5, 0x2AB, 16);
+  const GoldenRun golden = run_golden(b.rig);
+
+  InjectionSpec spec;
+  spec.site.kind = SiteKind::kMacroBit;
+  spec.site.row = 5;
+  spec.site.bit = 0;
+  spec.burst = 2;  // adjacent multi-cell upset
+  spec.cycle = 6;
+  const InjectionResult r = run_injection(b.rig, golden, spec);
+  EXPECT_EQ(r.outcome, Outcome::kDetectedUncorrectable);
+}
+
+TEST(SeuInjection, UpsetInAnUnreadRowStaysLatent) {
+  RigBundle b(config_a(false), 16);
+  b.write_then_reread(5, 0x2AB, 16);
+  const GoldenRun golden = run_golden(b.rig);
+
+  InjectionSpec spec;
+  spec.site.kind = SiteKind::kMacroBit;
+  spec.site.row = 11;  // never addressed by the trace
+  spec.site.bit = 3;
+  spec.cycle = 6;
+  const InjectionResult r = run_injection(b.rig, golden, spec);
+  EXPECT_EQ(r.outcome, Outcome::kMasked);
+  EXPECT_TRUE(r.latent);
+}
+
+TEST(SeuInjection, FlopSweepPerturbsTheDatapath) {
+  RigBundle b(config_a(false), 28);
+  b.fill_then_read(28);
+  const GoldenRun golden = run_golden(b.rig);
+  int sdc = 0, hang = 0;
+  for (const evsim::FlopInfo& fi : b.ann.flops) {
+    InjectionSpec spec;
+    spec.site.kind = SiteKind::kFlop;
+    spec.site.flop = fi.inst;
+    spec.cycle = 20;  // mid-readback, all rows holding distinct words
+    const InjectionResult r = run_injection(b.rig, golden, spec);
+    sdc += r.outcome == Outcome::kSdc;
+    hang += r.outcome == Outcome::kHang;
+  }
+  // Address/pipeline flops must be able to corrupt reads, and no flip may
+  // wedge the engine.
+  EXPECT_GT(sdc, 0);
+  EXPECT_EQ(hang, 0);
+}
+
+TEST(SeuInjection, WideSetPulseIsCapturedSomewhere) {
+  RigBundle b(config_a(false), 20);
+  const GoldenRun golden = run_golden(b.rig);
+  int sdc = 0, hang = 0, captured = 0;
+  for (const evsim::GateInfo& gi : b.ann.gates) {
+    InjectionSpec spec;
+    spec.site.kind = SiteKind::kSetPulse;
+    spec.site.net = gi.out;
+    spec.cycle = 8;
+    // Wider than the lead: the corrupted front spans the capture edge for
+    // every downstream path shorter than the lead, so strikes on live
+    // logic must latch.
+    spec.set_width_fs = 400'000;
+    spec.set_lead_fs = 200'000;
+    const InjectionResult r = run_injection(b.rig, golden, spec);
+    sdc += r.outcome == Outcome::kSdc;
+    hang += r.outcome == Outcome::kHang;
+    captured += r.outcome != Outcome::kMasked;
+  }
+  EXPECT_GT(sdc, 0);
+  EXPECT_GT(captured, 5);
+  EXPECT_EQ(hang, 0);  // multi-hot wordlines must degrade, not throw
+}
+
+TEST(SeuInjection, NarrowLateSetPulseReconverges) {
+  RigBundle b(config_a(false), 20);
+  const GoldenRun golden = run_golden(b.rig);
+  InjectionSpec spec;
+  spec.site.kind = SiteKind::kSetPulse;
+  spec.site.net = b.ann.gates.front().out;
+  spec.cycle = 8;
+  // The pulse dies ~1.5 ns before the edge — far beyond any path delay in
+  // this netlist — so the functional values must reconverge.
+  spec.set_width_fs = 100'000;
+  spec.set_lead_fs = 1'600'000;
+  const InjectionResult r = run_injection(b.rig, golden, spec);
+  EXPECT_EQ(r.outcome, Outcome::kMasked);
+  EXPECT_FALSE(r.latent);
+}
+
+TEST(SeuPlanner, SamplePlanIsAPureFunctionOfSeedAndIndex) {
+  RigBundle b(config_a(false), 12);
+  const SitePlan plan = enumerate_sites(b.rig);
+  CampaignOptions opt;
+  opt.samples = 64;
+  opt.seed = 9;
+  for (int i = 0; i < opt.samples; i += 7) {
+    const InjectionSpec a = plan_sample(b.rig, plan, opt, i);
+    const InjectionSpec c = plan_sample(b.rig, plan, opt, i);
+    EXPECT_EQ(a.site.kind, c.site.kind);
+    EXPECT_EQ(a.site.describe(b.design.nl), c.site.describe(b.design.nl));
+    EXPECT_EQ(a.cycle, c.cycle);
+    EXPECT_EQ(a.set_lead_fs, c.set_lead_fs);
+    EXPECT_LT(a.cycle, b.trace.size());
+  }
+}
+
+TEST(SeuCampaign, ReportIsByteIdenticalAcrossWorkerCounts) {
+  RigBundle b(config_a(false), 16);
+  CampaignOptions opt;
+  opt.samples = 96;
+  opt.seed = 11;
+  opt.workers = 1;
+  const CampaignResult serial = run_campaign(b.rig, b.process, opt);
+  opt.workers = 4;
+  const CampaignResult parallel = run_campaign(b.rig, b.process, opt);
+  EXPECT_EQ(format_campaign_report(serial, b.design.config),
+            format_campaign_report(parallel, b.design.config));
+  EXPECT_TRUE(serial.complete());
+  EXPECT_TRUE(parallel.complete());
+}
+
+TEST(SeuCampaign, ResumeAfterTruncationReproducesTheFullReport) {
+  RigBundle b(config_a(false), 16);
+  const std::string journal =
+      testing::TempDir() + "seu_resume_journal.jsonl";
+  std::remove(journal.c_str());
+
+  CampaignOptions opt;
+  opt.samples = 60;
+  opt.seed = 13;
+  opt.workers = 2;
+  opt.journal_path = journal;
+  const CampaignResult full = run_campaign(b.rig, b.process, opt);
+  const std::string want = format_campaign_report(full, b.design.config);
+
+  // Simulate a mid-campaign SIGKILL: keep the first 20 journal lines,
+  // then a torn partial write, then a line from some other campaign.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 60u);
+  {
+    std::ofstream out(journal, std::ios::trunc);
+    for (std::size_t i = 0; i < 20; ++i) out << lines[i] << "\n";
+    out << "{\"campaign\":\"dead";  // torn trailing write
+    out << "\n{\"campaign\":\"0000000000000000\",\"sample\":0,"
+           "\"kind\":\"flop\",\"site\":\"x\",\"cycle\":1,"
+           "\"outcome\":\"masked\",\"latent\":false,\"detail\":\"\"}\n";
+  }
+
+  opt.resume = true;
+  const CampaignResult resumed = run_campaign(b.rig, b.process, opt);
+  EXPECT_EQ(resumed.resumed, 20);
+  EXPECT_EQ(resumed.computed, 40);
+  EXPECT_EQ(resumed.malformed, 1);
+  EXPECT_EQ(resumed.stale, 1);
+  EXPECT_EQ(format_campaign_report(resumed, b.design.config), want);
+}
+
+TEST(SeuCampaign, RejectsImpossibleOptions) {
+  RigBundle b(config_a(false), 8);
+  CampaignOptions opt;
+  opt.samples = 0;
+  try {
+    run_campaign(b.rig, b.process, opt);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidConfig);
+  }
+}
+
+TEST(SeuCampaign, SecdedShiftsSdcToCorrectedWithConfidence) {
+  // The ISSUE's Fig. 4b acceptance check, scaled to test runtime: on
+  // configuration C the SECDED build must show strictly lower SDC than
+  // the ECC-off build with non-overlapping 95% Wilson intervals.
+  RigBundle plain(config_c(false), 30);
+  RigBundle ecc(config_c(true), 30);
+  CampaignOptions opt;
+  opt.samples = 300;
+  opt.seed = 7;
+  opt.workers = 4;
+  const CampaignResult r0 = run_campaign(plain.rig, plain.process, opt);
+  const CampaignResult r1 = run_campaign(ecc.rig, ecc.process, opt);
+  ASSERT_TRUE(r0.complete());
+  ASSERT_TRUE(r1.complete());
+  EXPECT_GT(r0.rate(Outcome::kSdc), r1.rate(Outcome::kSdc));
+  EXPECT_FALSE(
+      r0.interval(Outcome::kSdc).overlaps(r1.interval(Outcome::kSdc)));
+  // The corrections SECDED claims must actually be observed live.
+  EXPECT_GT(r1.counts[static_cast<int>(Outcome::kCorrectedSecded)], 0u);
+  EXPECT_EQ(r0.counts[static_cast<int>(Outcome::kCorrectedSecded)], 0u);
+  // Visible failure rate (and hence derated FIT) drops with ECC.
+  EXPECT_LT(r1.fit_visible(), r0.fit_visible());
+}
+
+TEST(SeuOutcomes, NamesRoundTrip) {
+  for (int i = 0; i < kOutcomes; ++i) {
+    const auto o = static_cast<Outcome>(i);
+    Outcome parsed;
+    ASSERT_TRUE(parse_outcome(outcome_name(o), &parsed));
+    EXPECT_EQ(parsed, o);
+  }
+  Outcome parsed;
+  EXPECT_FALSE(parse_outcome("garbled", &parsed));
+}
+
+}  // namespace
+}  // namespace limsynth::seu

@@ -246,5 +246,38 @@ TEST(Csv, NumericRow) {
   EXPECT_EQ(os.str(), "lbl,1.5,2\n");
 }
 
+TEST(Stats, WilsonIntervalMatchesKnownValues) {
+  // 50/100 at 95%: the classic textbook interval.
+  const WilsonInterval w = wilson_interval(50, 100);
+  EXPECT_NEAR(w.lo, 0.4038, 5e-4);
+  EXPECT_NEAR(w.hi, 0.5962, 5e-4);
+}
+
+TEST(Stats, WilsonStaysHonestAtTheBoundaries) {
+  const WilsonInterval none = wilson_interval(0, 100);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_GT(none.hi, 0.0);   // zero observed is not zero rate
+  EXPECT_LT(none.hi, 0.05);
+  const WilsonInterval all = wilson_interval(100, 100);
+  EXPECT_NEAR(all.hi, 1.0, 1e-12);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_GT(all.lo, 0.95);
+  // Zero trials: the vacuous interval.
+  const WilsonInterval vac = wilson_interval(0, 0);
+  EXPECT_EQ(vac.lo, 0.0);
+  EXPECT_EQ(vac.hi, 1.0);
+}
+
+TEST(Stats, WilsonTightensWithSampleSizeAndOverlapIsSymmetric) {
+  const WilsonInterval small = wilson_interval(5, 20);
+  const WilsonInterval big = wilson_interval(250, 1000);
+  EXPECT_LT(big.hi - big.lo, small.hi - small.lo);
+  EXPECT_TRUE(small.overlaps(big));
+  EXPECT_TRUE(big.overlaps(small));
+  const WilsonInterval high = wilson_interval(900, 1000);
+  EXPECT_FALSE(big.overlaps(high));
+  EXPECT_FALSE(high.overlaps(big));
+}
+
 }  // namespace
 }  // namespace limsynth

@@ -7,8 +7,11 @@
 //       [--timeout SEC] ...                           checkpointed DSE
 //   limsynth sram <words> <bits> <banks> <brick_words> [--verilog]
 //   limsynth simulate <words> <bits> <banks> <brick_words>
-//       [--cycles N] [--seed S] [--period NS] [--vcd FILE]
+//       [--cycles N] [--seed S] [--period NS] [--vcd FILE] [--stim FILE]
 //       [--glitch-report] [--cross-check] [--check-sta]  event-driven sim
+//   limsynth seu <words> <bits> <banks> <brick_words> [--ecc]
+//       [--campaign N] [--workers N] [--burst N] [--journal F] [--resume F]
+//       [--report F] [--timeout SEC]          SEU/SET injection campaign
 //   limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]
 //   limsynth spgemm <rmat_scale> <avg_degree>         both chips, one run
 //   limsynth yield <words> <bits> <banks> <brick_words>  CSV yield curve
@@ -36,8 +39,11 @@
 #include "lim/dse.hpp"
 #include "lim/report.hpp"
 #include "lim/yield.hpp"
+#include "evsim/stimulus.hpp"
 #include "netlist/verilog.hpp"
+#include "seu/campaign.hpp"
 #include "spgemm/generate.hpp"
+#include "synth/synth.hpp"
 #include "spgemm/reference.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -58,7 +64,13 @@ int usage() {
                " [--verilog|--report|--svg]\n"
                "  limsynth simulate <words> <bits> <banks> <brick_words>\n"
                "      [--cycles N] [--seed S] [--period NS] [--vcd FILE]\n"
-               "      [--glitch-report] [--cross-check] [--check-sta]\n"
+               "      [--stim FILE] [--glitch-report] [--cross-check]"
+               " [--check-sta]\n"
+               "  limsynth seu <words> <bits> <banks> <brick_words> [--ecc]\n"
+               "      [--spares N] [--campaign N] [--cycles N] [--seed S]\n"
+               "      [--workers N] [--burst N] [--journal FILE]"
+               " [--resume FILE]\n"
+               "      [--report FILE] [--timeout SEC] [--run-timeout SEC]\n"
                "  limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]\n"
                "  limsynth spgemm <rmat_scale> <avg_degree>\n"
                "  limsynth yield <words> <bits> <banks> <brick_words>\n"
@@ -302,12 +314,19 @@ int cmd_simulate(int argc, char** argv) {
     return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
   };
   evsim::StimulusTrace trace;
-  Rng rng(seed);
-  for (int c = 0; c < cycles; ++c) {
-    trace.set_bus(c, d.raddr, rng.next_u64() & mask(d.raddr.size()));
-    trace.set_bus(c, d.waddr, rng.next_u64() & mask(d.waddr.size()));
-    trace.set_bus(c, d.wdata, rng.next_u64() & mask(d.wdata.size()));
-    trace.set(c, d.wen, rng.chance(0.5));
+  const std::string stim_path = flag_string(argc, argv, "--stim");
+  if (!stim_path.empty()) {
+    // Replay a user trace instead of the generated random workload. The
+    // parser validates every line against the built netlist.
+    trace = evsim::load_stimulus(stim_path, d.nl);
+  } else {
+    Rng rng(seed);
+    for (int c = 0; c < cycles; ++c) {
+      trace.set_bus(c, d.raddr, rng.next_u64() & mask(d.raddr.size()));
+      trace.set_bus(c, d.waddr, rng.next_u64() & mask(d.waddr.size()));
+      trace.set_bus(c, d.wdata, rng.next_u64() & mask(d.wdata.size()));
+      trace.set(c, d.wen, rng.chance(0.5));
+    }
   }
   auto attach_settle = [&](netlist::Simulator& sim) {
     for (netlist::InstId bank : d.banks)
@@ -431,6 +450,83 @@ int cmd_simulate(int argc, char** argv) {
   return 0;
 }
 
+// Runtime soft-error resilience: a stratified SEU/SET injection campaign
+// on the event-driven engine with live SECDED verification, reported as
+// the outcome taxonomy with Wilson intervals plus AVF-derated FIT/MTBF.
+int cmd_seu(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  lim::SramConfig cfg{std::atoi(argv[1]), std::atoi(argv[2]),
+                      std::atoi(argv[3]), std::atoi(argv[4])};
+  cfg.ecc = has_flag(argc, argv, "--ecc");
+  cfg.spare_rows =
+      static_cast<int>(flag_value(argc, argv, "--spares", 0.0));
+  lim::SramDesign d = lim::build_sram(cfg, process, cells);
+  synth::synthesize(d.nl, d.lib, cells);
+  const evsim::TimingAnnotation ann =
+      evsim::annotate_delays(d.nl, d.lib, cells);
+
+  const auto cycles =
+      static_cast<int>(flag_value(argc, argv, "--cycles", 200.0));
+  const auto seed =
+      static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1.0));
+  auto mask = [](std::size_t bits) {
+    return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+  };
+  evsim::StimulusTrace trace;
+  Rng rng(seed);
+  for (int c = 0; c < cycles; ++c) {
+    trace.set_bus(c, d.raddr, rng.next_u64() & mask(d.raddr.size()));
+    trace.set_bus(c, d.waddr, rng.next_u64() & mask(d.waddr.size()));
+    trace.set_bus(c, d.wdata, rng.next_u64() & mask(d.wdata.size()));
+    trace.set(c, d.wen, rng.chance(0.5));
+  }
+
+  seu::SeuRig rig;
+  rig.design = &d;
+  rig.cells = &cells;
+  rig.ann = &ann;
+  rig.trace = &trace;
+  rig.run_timeout_seconds = flag_value(argc, argv, "--run-timeout", 60.0);
+
+  seu::CampaignOptions copt;
+  copt.samples =
+      static_cast<int>(flag_value(argc, argv, "--campaign", 1000.0));
+  copt.seed = seed;
+  copt.workers = static_cast<int>(flag_value(argc, argv, "--workers", 1.0));
+  copt.burst = static_cast<int>(flag_value(argc, argv, "--burst", 1.0));
+  copt.timeout_seconds = flag_value(argc, argv, "--timeout", 0.0);
+  copt.journal_path = flag_string(argc, argv, "--journal");
+  const std::string resume_path = flag_string(argc, argv, "--resume");
+  if (!resume_path.empty()) {
+    copt.resume = true;
+    if (copt.journal_path.empty()) copt.journal_path = resume_path;
+  }
+
+  const seu::CampaignResult res = seu::run_campaign(rig, process, copt);
+  // Provenance goes to stderr so the report itself stays byte-identical
+  // between an uninterrupted run and a kill-and-resume.
+  std::fprintf(stderr, "# seu campaign %s: %d computed, %d resumed",
+               res.key.c_str(), res.computed, res.resumed);
+  if (res.malformed || res.stale)
+    std::fprintf(stderr, "; journal: %d torn, %d stale line(s) skipped",
+                 res.malformed, res.stale);
+  std::fputc('\n', stderr);
+  const std::string report = seu::format_campaign_report(res, cfg);
+  const std::string report_path = flag_string(argc, argv, "--report");
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    if (!out)
+      throw Error(ErrorCode::kIo, "cannot write report: " + report_path);
+    out << report;
+  }
+  std::fputs(report.c_str(), stdout);
+  if (!res.complete())
+    return exit_code_for(ErrorCode::kResourceExhausted);
+  return 0;
+}
+
 int cmd_optimize(int argc, char** argv) {
   if (argc < 4) return usage();
   const tech::Process process = tech::default_process();
@@ -533,6 +629,7 @@ int main(int argc, char** argv) {
     if (cmd == "dse") return cmd_dse(argc - 1, argv + 1);
     if (cmd == "sram") return cmd_sram(argc - 1, argv + 1);
     if (cmd == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (cmd == "seu") return cmd_seu(argc - 1, argv + 1);
     if (cmd == "optimize") return cmd_optimize(argc - 1, argv + 1);
     if (cmd == "spgemm") return cmd_spgemm(argc - 1, argv + 1);
     if (cmd == "yield") return cmd_yield(argc - 1, argv + 1);
