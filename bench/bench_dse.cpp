@@ -1,0 +1,191 @@
+// DSE executor benchmark (Fig. 4c-style sweep): serial vs --jobs N, and
+// brick-cache cold vs warm.
+//
+// Two sweeps over the same partition list:
+//  A. Parallel scaling — yield sampling makes every point expensive, and
+//     the sweep runs once with jobs=1 and once with jobs=8. Journals and
+//     Pareto fronts must be byte-/element-identical (the executor's
+//     determinism contract); wall-clock speedup depends on the machine's
+//     core count and is reported, not asserted.
+//  B. Cache cold vs warm — with the yield axis off, brick compilation +
+//     characterization dominates, so a second pass over the same shapes
+//     should be served almost entirely from the BrickCache.
+//
+// Writes BENCH_dse.json. With --check, exits nonzero when determinism or
+// cache effectiveness regresses (thresholds are conservative so the check
+// is meaningful on a single-core CI runner).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "brick/cache.hpp"
+#include "lim/checkpoint.hpp"
+#include "lim/dse.hpp"
+#include "util/jsonl.hpp"
+
+using namespace limsynth;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// The sweep: every viable brick shape for a grid of array sizes, plus a
+/// few deliberately broken shapes so failed-point error records are part
+/// of the determinism check.
+std::vector<lim::PartitionChoice> make_choices() {
+  std::vector<lim::PartitionChoice> choices;
+  for (int words : {256, 512, 1024, 2048}) {
+    for (int bits : {8, 16, 32}) {
+      for (int bw : {8, 16, 32, 64})
+        if (words % bw == 0 && words / bw <= 64)
+          choices.push_back({words, bits, bw});
+    }
+  }
+  choices.push_back({96, 8, 7});    // words not divisible by brick_words
+  choices.push_back({128, 80, 16});  // word width out of range
+  return choices;
+}
+
+struct SweepRun {
+  double seconds = 0.0;
+  std::string journal;
+  std::vector<std::size_t> pareto;
+  lim::CheckpointedSweep sweep;
+};
+
+SweepRun run_sweep(const std::vector<lim::PartitionChoice>& choices,
+                   const lim::SweepOptions& sopt, int jobs,
+                   const std::string& journal_path, bool clear_cache) {
+  if (clear_cache) brick::BrickCache::global().clear();
+  std::remove(journal_path.c_str());
+  lim::CheckpointOptions copt;
+  copt.journal_path = journal_path;
+  copt.jobs = jobs;
+  SweepRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  run.sweep = lim::sweep_partitions_checkpointed(choices,
+                                                 tech::default_process(),
+                                                 sopt, copt);
+  run.seconds = seconds_since(t0);
+  run.journal = slurp(journal_path);
+  run.pareto = lim::pareto_front(run.sweep.points);
+  std::remove(journal_path.c_str());
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+  const std::vector<lim::PartitionChoice> choices = make_choices();
+  const int kJobs = 8;
+
+  // --- Sweep A: parallel scaling + determinism ------------------------
+  lim::SweepOptions scaling;
+  scaling.yield_chips = 400;  // makes each point worth parallelizing
+  scaling.yield_seed = 7;
+  const SweepRun serial =
+      run_sweep(choices, scaling, 1, "bench_dse_serial.jsonl", true);
+  const SweepRun parallel =
+      run_sweep(choices, scaling, kJobs, "bench_dse_parallel.jsonl", true);
+
+  const bool journals_identical = serial.journal == parallel.journal &&
+                                  !serial.journal.empty();
+  const bool pareto_identical = serial.pareto == parallel.pareto;
+  const double parallel_speedup =
+      parallel.seconds > 0.0 ? serial.seconds / parallel.seconds : 0.0;
+
+  // --- Sweep B: brick-cache cold vs warm ------------------------------
+  lim::SweepOptions light;  // no yield axis: brick compilation dominates
+  const SweepRun cold =
+      run_sweep(choices, light, 1, "bench_dse_cold.jsonl", true);
+  const std::uint64_t cold_misses = brick::BrickCache::global().misses();
+  const SweepRun warm =
+      run_sweep(choices, light, 1, "bench_dse_warm.jsonl", false);
+  const std::uint64_t warm_hits =
+      brick::BrickCache::global().hits();
+  const double warm_speedup =
+      warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  const bool cache_identical = cold.journal == warm.journal;
+
+  using jsonl::format_g17;
+  std::ofstream json("BENCH_dse.json");
+  json << "{\n"
+       << "  \"points\": " << choices.size() << ",\n"
+       << "  \"yield_chips\": " << scaling.yield_chips << ",\n"
+       << "  \"jobs\": " << kJobs << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"serial_seconds\": " << format_g17(serial.seconds) << ",\n"
+       << "  \"parallel_seconds\": " << format_g17(parallel.seconds) << ",\n"
+       << "  \"parallel_speedup\": " << format_g17(parallel_speedup) << ",\n"
+       << "  \"journals_identical\": "
+       << (journals_identical ? "true" : "false") << ",\n"
+       << "  \"pareto_identical\": " << (pareto_identical ? "true" : "false")
+       << ",\n"
+       << "  \"pareto_size\": " << serial.pareto.size() << ",\n"
+       << "  \"cold_seconds\": " << format_g17(cold.seconds) << ",\n"
+       << "  \"warm_seconds\": " << format_g17(warm.seconds) << ",\n"
+       << "  \"warm_speedup\": " << format_g17(warm_speedup) << ",\n"
+       << "  \"cache_misses_cold\": " << cold_misses << ",\n"
+       << "  \"cache_hits_warm\": " << warm_hits << "\n"
+       << "}\n";
+  json.close();
+
+  std::printf("points=%zu jobs=%d (%u hw threads)\n", choices.size(), kJobs,
+              std::thread::hardware_concurrency());
+  std::printf("scaling: serial %.3fs, jobs=%d %.3fs, speedup %.2fx,"
+              " journals %s, pareto %s (%zu points)\n",
+              serial.seconds, kJobs, parallel.seconds, parallel_speedup,
+              journals_identical ? "identical" : "DIFFER",
+              pareto_identical ? "identical" : "DIFFER",
+              serial.pareto.size());
+  std::printf("cache: cold %.4fs (%llu compiles), warm %.4fs (%llu hits),"
+              " speedup %.1fx, journals %s\n",
+              cold.seconds, static_cast<unsigned long long>(cold_misses),
+              warm.seconds, static_cast<unsigned long long>(warm_hits),
+              warm_speedup, cache_identical ? "identical" : "DIFFER");
+
+  if (check) {
+    bool ok = true;
+    if (!journals_identical) {
+      std::fprintf(stderr, "FAIL: serial vs parallel journals differ\n");
+      ok = false;
+    }
+    if (!pareto_identical) {
+      std::fprintf(stderr, "FAIL: serial vs parallel Pareto fronts differ\n");
+      ok = false;
+    }
+    if (!cache_identical) {
+      std::fprintf(stderr, "FAIL: cold vs warm journals differ\n");
+      ok = false;
+    }
+    if (warm_hits == 0) {
+      std::fprintf(stderr, "FAIL: warm sweep produced zero cache hits\n");
+      ok = false;
+    }
+    if (warm_speedup < 2.0) {
+      std::fprintf(stderr, "FAIL: warm cache speedup %.2fx below 2x\n",
+                   warm_speedup);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("check: OK\n");
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fingerprint-keyed memo cache for compiled bricks.
+//
+// A DSE sweep evaluates hundreds of partitions that keep recompiling the
+// same handful of brick shapes (the same brick_words x bits brick appears
+// in every stack count, and repeated sweeps re-visit identical specs).
+// Compilation + characterization of one shape is pure — the result is a
+// function of (BrickSpec, Process) only — so the cache keys a canonical
+// fingerprint of both and shares one immutable CompiledBrick across all
+// consumers. Thread-safe: parallel DSE workers hit the same cache, and a
+// shape is compiled outside the lock (first insert wins on a race).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "brick/brick.hpp"
+#include "brick/estimator.hpp"
+#include "liberty/library.hpp"
+
+namespace limsynth::brick {
+
+/// Everything downstream stages ever derive from one brick shape: the
+/// compiled brick, its analytic estimate (at kReferenceLoad), and the
+/// generated macro LibCell. Immutable once cached.
+struct CompiledBrick {
+  Brick brick;
+  BrickEstimate estimate;
+  liberty::LibCell libcell;
+};
+
+/// Canonical cache key: every BrickSpec field plus every Process constant
+/// that feeds the compiler/estimator, doubles in %.17g so two processes
+/// collide only when they are bit-identical.
+std::string brick_fingerprint(const BrickSpec& spec,
+                              const tech::Process& process);
+
+class BrickCache {
+ public:
+  /// Returns the compiled brick for (spec, process), compiling it on the
+  /// first request. Throws whatever compile_brick throws on unbuildable
+  /// specs (failures are not cached).
+  std::shared_ptr<const CompiledBrick> get(const BrickSpec& spec,
+                                           const tech::Process& process);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t size() const;
+  /// Drops every entry and resets the hit/miss counters (benchmarks use
+  /// this to measure cold-vs-warm sweeps).
+  void clear();
+
+  /// The process-wide cache every flow entry point shares.
+  static BrickCache& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledBrick>> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace limsynth::brick

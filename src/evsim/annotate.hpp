@@ -15,6 +15,7 @@
 
 #include "evsim/wheel.hpp"
 #include "liberty/library.hpp"
+#include "netlist/bound.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/sta.hpp"
 #include "tech/stdcell.hpp"
@@ -88,8 +89,15 @@ inline TimeFs to_fs(double seconds) {
   return seconds <= 0.0 ? 0 : static_cast<TimeFs>(seconds * 1e15 + 0.5);
 }
 
-/// Builds the annotation. Throws when the netlist references cells
-/// missing from `lib` or when a cell lacks its expected timing arcs.
+/// Builds the annotation from a bound design (arc/pin resolution is
+/// slot-indexed, no per-instance string scans). Throws Error(kStaleBinding)
+/// on an out-of-date binding or when a cell lacks its expected timing arcs.
+TimingAnnotation annotate_delays(const netlist::BoundDesign& bound,
+                                 const tech::StdCellLib& cells,
+                                 const AnnotateOptions& options = {});
+
+/// Convenience: binds and annotates. Throws when the netlist references
+/// cells missing from `lib` or when a cell lacks its expected timing arcs.
 TimingAnnotation annotate_delays(const netlist::Netlist& nl,
                                  const liberty::Library& lib,
                                  const tech::StdCellLib& cells,

@@ -116,12 +116,11 @@ void EventSimulator::attach(InstId inst,
                             std::shared_ptr<netlist::MacroModel> model) {
   LIMS_CHECK_MSG(macro_index_.count(inst) != 0,
                  "attach on non-macro instance " << nl_.instance(inst).name);
-  models_[inst] = std::move(model);
+  macros_.attach(inst, std::move(model));
 }
 
 netlist::MacroModel* EventSimulator::model(InstId inst) const {
-  const auto it = models_.find(inst);
-  return it == models_.end() ? nullptr : it->second.get();
+  return macros_.model(inst);
 }
 
 std::vector<InstId> EventSimulator::flop_instances() const {
@@ -323,7 +322,8 @@ void EventSimulator::edge(TimeFs t_edge) {
   }
   // Macro models fire on pre-edge pin values; their drives land at the
   // annotated CK->pin delay.
-  for (auto& [inst, model] : models_) model->on_clock(*adapter_, inst);
+  for (const auto& [inst, model] : macros_.models())
+    model->on_clock(*adapter_, inst);
   // Commit: Q transitions launch at the annotated CK->Q delay.
   for (std::size_t f = 0; f < ann_.flops.size(); ++f) {
     const FlopInfo& fi = ann_.flops[f];
@@ -423,7 +423,7 @@ netlist::Activity EventSimulator::activity() const {
   act.cycles = cycles_;
   act.toggles = toggle_counts_;
   act.glitch_toggles = glitch_counts_;
-  act.macro_accesses = macro_access_counts_;
+  act.macro_accesses = macros_.access_counts();
   return act;
 }
 
@@ -439,10 +439,13 @@ void EventSimulator::finish_vcd() {
 }
 
 Logic EventSimulator::pin_logic(InstId inst, const std::string& pin) const {
-  const NetId* net = nl_.instance(inst).find_pin(pin);
-  LIMS_CHECK_MSG(net != nullptr, "instance " << nl_.instance(inst).name
-                                             << " has no pin " << pin);
-  return value(*net);
+  // Cached per-instance pin resolution (one hash lookup per model call,
+  // no linear pin scan).
+  const NetId net = macros_.pin_net(nl_, inst, pin);
+  LIMS_CHECK_MSG(net != netlist::kNoNet,
+                 "instance " << nl_.instance(inst).name << " has no pin "
+                             << pin);
+  return value(net);
 }
 
 void EventSimulator::macro_drive(InstId inst, const std::string& pin,
@@ -459,7 +462,7 @@ void EventSimulator::macro_drive(InstId inst, const std::string& pin,
 }
 
 void EventSimulator::note_macro_access(InstId inst) {
-  ++macro_access_counts_[inst];
+  macros_.note_access(inst);
 }
 
 }  // namespace limsynth::evsim

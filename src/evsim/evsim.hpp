@@ -25,6 +25,7 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "evsim/annotate.hpp"
@@ -32,6 +33,7 @@
 #include "evsim/vcd.hpp"
 #include "evsim/wheel.hpp"
 #include "netlist/activity.hpp"
+#include "netlist/bound.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/sim.hpp"
 
@@ -189,9 +191,10 @@ class EventSimulator {
   std::vector<Logic> flop_state_;            // parallel to ann_.flops
   std::map<netlist::InstId, std::size_t> flop_index_;
   std::map<netlist::InstId, std::size_t> macro_index_;
-  std::map<netlist::InstId, std::shared_ptr<netlist::MacroModel>> models_;
+  /// Shared macro binding table (same machinery as netlist::Simulator).
+  netlist::MacroBindings macros_;
   std::unique_ptr<netlist::Simulator> adapter_;
-  std::vector<std::map<std::string, std::size_t>> macro_pin_index_;
+  std::vector<std::unordered_map<std::string, std::size_t>> macro_pin_index_;
 
   std::vector<std::vector<std::size_t>> endpoints_on_net_;
   std::vector<std::uint64_t> endpoint_violations_;
@@ -203,7 +206,6 @@ class EventSimulator {
   std::vector<Logic> cycle_start_value_;
   std::vector<netlist::NetId> touched_;
   std::vector<TimeFs> last_change_;
-  std::map<netlist::InstId, std::uint64_t> macro_access_counts_;
 
   // Armed single-event transient (applied by the next cycle()).
   bool set_armed_ = false;

@@ -48,7 +48,14 @@ const LibCell* Library::find(const std::string& name) const {
   return it == index_.end() ? nullptr : &cells_[it->second];
 }
 
+std::size_t Library::index_of(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? npos : it->second;
+}
+
 void Library::merge(const Library& other) {
+  cells_.reserve(cells_.size() + other.cells().size());
+  index_.reserve(index_.size() + other.cells().size());
   for (const auto& c : other.cells()) add(c);
 }
 

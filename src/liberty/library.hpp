@@ -4,9 +4,10 @@
 // integrated ... by library files at the gate netlist").
 #pragma once
 
-#include <map>
+#include <cstddef>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "liberty/lut.hpp"
@@ -74,13 +75,18 @@ class Library {
   const LibCell* find(const std::string& name) const;
   const std::vector<LibCell>& cells() const { return cells_; }
 
+  /// Dense position of `name` in cells(), or npos when absent. BoundDesign
+  /// uses these positions as LibCellIds.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of(const std::string& name) const;
+
   /// Merges all cells of `other` into this library.
   void merge(const Library& other);
 
  private:
   std::string name_;
   std::vector<LibCell> cells_;
-  std::map<std::string, std::size_t> index_;
+  std::unordered_map<std::string, std::size_t> index_;
 };
 
 /// Default characterization grid axes.

@@ -1,9 +1,14 @@
 #include "lim/checkpoint.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/jsonl.hpp"
 #include "util/watchdog.hpp"
@@ -133,31 +138,102 @@ CheckpointedSweep sweep_partitions_checkpointed(
                 "cannot open DSE journal for append: " << ckpt.journal_path);
   }
 
-  const Watchdog watchdog("DSE sweep", ckpt.timeout_seconds);
+  // One slot per choice in sweep order. Workers (or the serial loop)
+  // claim indices atomically and deposit results into their slot; journal
+  // lines are appended strictly in slot order behind `flush_cursor`, so a
+  // parallel run's journal is byte-identical to a serial run's.
+  struct Slot {
+    std::uint64_t key = 0;
+    DsePoint point;
+    bool done = false;
+    bool from_journal = false;  // already journaled by a previous run
+  };
+  std::vector<Slot> slots(choices.size());
   std::size_t matched = 0;
-  for (const auto& choice : choices) {
-    const std::uint64_t key = dse_point_key(choice, options);
-    const auto hit = journal.points.find(key);
-    if (hit != journal.points.end()) {
-      DsePoint p = hit->second;
-      p.choice = choice;  // the journal stores metrics, not the shape
-      result.points.push_back(std::move(p));
-      ++result.resumed;
-      ++matched;
-      continue;
-    }
-    if (watchdog.expired()) {
-      // Stop cleanly between points: everything finished so far is in the
-      // journal, so a --resume run completes the sweep.
-      result.timed_out = true;
-      break;
-    }
-    DsePoint p = evaluate_partition_caught(choice, process, options);
-    if (out.is_open()) append_journal_entry(out, key, p);
-    result.points.push_back(std::move(p));
-    ++result.computed;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    slots[i].key = dse_point_key(choices[i], options);
+    const auto hit = journal.points.find(slots[i].key);
+    if (hit == journal.points.end()) continue;
+    slots[i].point = hit->second;
+    slots[i].point.choice = choices[i];  // journal stores metrics, not shape
+    slots[i].done = true;
+    slots[i].from_journal = true;
+    ++matched;
   }
   result.stale = static_cast<int>(journal.points.size() - matched);
+
+  const Watchdog watchdog("DSE sweep", ckpt.timeout_seconds);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> timed_out{false};
+  std::mutex mu;
+  std::size_t flush_cursor = 0;  // guarded by mu
+  std::exception_ptr worker_error;
+
+  // Appends every done slot at the cursor, in order. Caller holds `mu`.
+  const auto flush_ready = [&] {
+    while (flush_cursor < slots.size() && slots[flush_cursor].done) {
+      Slot& s = slots[flush_cursor];
+      if (!s.from_journal && out.is_open())
+        append_journal_entry(out, s.key, s.point);
+      ++flush_cursor;
+    }
+  };
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    flush_ready();  // a resumed prefix needs no evaluation to flush past
+  }
+
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= slots.size() || stop.load()) return;
+      if (slots[i].done) continue;  // satisfied from the journal
+      if (watchdog.expired()) {
+        // Stop cleanly between points: everything flushed so far is in
+        // the journal, so a --resume run completes the sweep.
+        timed_out.store(true);
+        stop.store(true);
+        return;
+      }
+      try {
+        DsePoint p = evaluate_partition_caught(choices[i], process, options);
+        const std::lock_guard<std::mutex> lock(mu);
+        slots[i].point = std::move(p);
+        slots[i].done = true;
+        flush_ready();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!worker_error) worker_error = std::current_exception();
+        stop.store(true);
+        return;
+      }
+    }
+  };
+
+  // Evaluation always runs on spawned workers — even with jobs=1 — so the
+  // thread-local diagnostic context is identical (empty) in serial and
+  // parallel runs and failed points journal byte-identical error records.
+  const int n_threads = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(ckpt.jobs, 1)),
+      std::max<std::size_t>(choices.size(), 1)));
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n_threads));
+    for (int t = 0; t < n_threads; ++t) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+  }
+  if (worker_error) std::rethrow_exception(worker_error);
+  result.timed_out = timed_out.load();
+
+  // The result is the contiguous done prefix (the same truncation a serial
+  // timeout produces); completed islands beyond a gap stay unjournaled and
+  // are recomputed by a resume.
+  for (const Slot& s : slots) {
+    if (!s.done) break;
+    result.points.push_back(s.point);
+    ++(s.from_journal ? result.resumed : result.computed);
+  }
   return result;
 }
 

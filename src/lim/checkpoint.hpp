@@ -50,6 +50,12 @@ struct CheckpointOptions {
   /// unlimited. On expiry the sweep stops cleanly with timed_out set (the
   /// journal holds everything finished so far).
   double timeout_seconds = 0.0;
+  /// Worker threads evaluating points (<=1 = serial). Points are claimed
+  /// by atomic index and deposited into their sweep slot, and journal
+  /// lines are flushed strictly in sweep order behind a cursor — a
+  /// parallel run's journal, CSV, and Pareto front are byte-identical to
+  /// the serial run's for the same choices, options, and seed.
+  int jobs = 1;
 };
 
 struct CheckpointedSweep {

@@ -1,5 +1,6 @@
 #include "lim/dse.hpp"
 
+#include "brick/cache.hpp"
 #include "fault/inject.hpp"
 #include "fault/repair.hpp"
 #include "util/error.hpp"
@@ -70,10 +71,14 @@ DsePoint evaluate_partition(const PartitionChoice& choice,
       options.ecc ? fault::secded_total_bits(choice.bits) : choice.bits;
   const brick::BrickSpec spec{choice.bitcell, choice.brick_words, width,
                               choice.stack()};
-  const brick::Brick b = brick::compile_brick(spec, process);
+  // Shared memo cache: the same brick shape recurs across stack counts
+  // and repeated sweeps, and compilation is a pure function of
+  // (spec, process). Parallel sweep workers share this too.
+  const std::shared_ptr<const brick::CompiledBrick> b =
+      brick::BrickCache::global().get(spec, process);
   DsePoint p;
   p.choice = choice;
-  p.estimate = brick::estimate_brick(b);
+  p.estimate = b->estimate;
   p.read_delay = p.estimate.read_delay;
   p.read_energy = p.estimate.read_energy;
   p.area = p.estimate.bank_area;

@@ -5,33 +5,18 @@
 
 namespace limsynth::lim {
 
-FlowReport run_flow(
-    netlist::Netlist& nl, liberty::Library& lib,
-    const tech::StdCellLib& cells, const tech::Process& process,
+FlowReport run_analyses(
+    const netlist::BoundDesign& bound, const tech::StdCellLib& cells,
+    const tech::Process& process,
     const std::function<void(netlist::Simulator&)>& attach_models,
     const std::function<void(netlist::Simulator&, Rng&)>& stimulus,
     const FlowOptions& opt) {
-  DIAG_CONTEXT("flow for design " + nl.name());
+  bound.check_fresh();
   FlowReport rep;
-
-  {
-    DIAG_CONTEXT("logic synthesis");
-    rep.synthesis = synth::synthesize(nl, lib, cells, opt.synth);
-  }
 
   if (opt.run_placement) {
     DIAG_CONTEXT("placement + parasitics");
-    rep.floorplan = place::place_design(nl, lib, process);
-    // Post-placement timing recovery: resize against extracted wire caps,
-    // then re-place/re-extract (the ICC optimize loop).
-    std::vector<double> wire_caps(nl.nets().size(), 0.0);
-    for (std::size_t n = 0; n < wire_caps.size(); ++n)
-      wire_caps[n] = rep.floorplan.parasitics[n].wire_cap;
-    synth::SynthOptions resize_opt = opt.synth;
-    resize_opt.net_wire_caps = &wire_caps;
-    rep.synthesis.resized +=
-        synth::resize_gates(nl, lib, cells, resize_opt);
-    rep.floorplan = place::place_design(nl, lib, process);
+    rep.floorplan = place::place_design(bound, process);
     rep.area = rep.floorplan.area;
     rep.wirelength = rep.floorplan.total_wirelength;
   }
@@ -40,13 +25,13 @@ FlowReport run_flow(
     DIAG_CONTEXT("static timing analysis");
     sta::StaOptions sta_opt = opt.sta;
     if (opt.run_placement) sta_opt.floorplan = &rep.floorplan;
-    rep.timing = sta::run_sta(nl, lib, sta_opt);
+    rep.timing = sta::run_sta(bound, sta_opt);
     rep.fmax = rep.timing.fmax();
   }
 
   if (stimulus) {
     DIAG_CONTEXT("activity simulation + power analysis");
-    netlist::Simulator sim(nl, cells);
+    netlist::Simulator sim(bound.netlist(), cells);
     if (attach_models) attach_models(sim);
     Rng rng(opt.stimulus_seed);
     sim.settle();
@@ -59,9 +44,49 @@ FlowReport run_flow(
         opt.power_frequency > 0.0 ? opt.power_frequency : rep.fmax;
     popt.floorplan = opt.run_placement ? &rep.floorplan : nullptr;
     popt.sta = &rep.timing;  // per-net slews for the energy LUT lookups
-    rep.power = power::analyze_power(nl, lib, sim, popt);
+    rep.power = power::analyze_power(bound, sim, popt);
     rep.analysis_frequency = popt.frequency;
   }
+  return rep;
+}
+
+FlowReport run_flow(
+    netlist::Netlist& nl, liberty::Library& lib,
+    const tech::StdCellLib& cells, const tech::Process& process,
+    const std::function<void(netlist::Simulator&)>& attach_models,
+    const std::function<void(netlist::Simulator&, Rng&)>& stimulus,
+    const FlowOptions& opt) {
+  DIAG_CONTEXT("flow for design " + nl.name());
+
+  // --- mutating stage: synthesis + post-placement timing recovery ------
+  synth::SynthStats synthesis;
+  {
+    DIAG_CONTEXT("logic synthesis");
+    synthesis = synth::synthesize(nl, lib, cells, opt.synth);
+  }
+
+  if (opt.run_placement) {
+    DIAG_CONTEXT("post-placement timing recovery");
+    // Resize against extracted wire caps, then re-place/re-extract in the
+    // analysis stage (the ICC optimize loop). The trial binding dies with
+    // this scope — resize_gates invalidates it.
+    std::vector<double> wire_caps(nl.nets().size(), 0.0);
+    {
+      const netlist::BoundDesign trial(nl, lib);
+      const place::Floorplan fp = place::place_design(trial, process);
+      for (std::size_t n = 0; n < wire_caps.size(); ++n)
+        wire_caps[n] = fp.parasitics[n].wire_cap;
+    }
+    synth::SynthOptions resize_opt = opt.synth;
+    resize_opt.net_wire_caps = &wire_caps;
+    synthesis.resized += synth::resize_gates(nl, lib, cells, resize_opt);
+  }
+
+  // --- analysis stage: bind the final netlist once, never mutate -------
+  const netlist::BoundDesign bound(nl, lib);
+  FlowReport rep =
+      run_analyses(bound, cells, process, attach_models, stimulus, opt);
+  rep.synthesis = synthesis;
   return rep;
 }
 

@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "lim/sram_builder.hpp"
+#include "netlist/bound.hpp"
 #include "netlist/sim.hpp"
 #include "place/place.hpp"
 #include "power/power.hpp"
@@ -41,10 +42,26 @@ struct FlowReport {
   double wirelength = 0.0;    // m
 };
 
+/// Pure analysis stage over an immutable bound design: placement +
+/// parasitics, STA, and (when `stimulus` is non-empty) activity simulation
+/// + power. Never mutates the netlist — every structural decision was made
+/// by the synthesis stage that produced the binding. The returned report's
+/// `synthesis` field is left default (the caller owns that stage).
+FlowReport run_analyses(
+    const netlist::BoundDesign& bound, const tech::StdCellLib& cells,
+    const tech::Process& process,
+    const std::function<void(netlist::Simulator&)>& attach_models,
+    const std::function<void(netlist::Simulator&, Rng&)>& stimulus,
+    const FlowOptions& options = {});
+
 /// Generic flow: synthesize + place + time + (optionally) simulate for
 /// activity and compute power. `attach_models` installs behavioral macro
 /// models on the simulator; `stimulus` drives it for activity capture.
 /// Either may be empty (power is skipped when stimulus is empty).
+///
+/// Internally staged: (1) mutating synthesis + post-placement timing
+/// recovery, then (2) a single bind of the final netlist feeding
+/// run_analyses.
 FlowReport run_flow(
     netlist::Netlist& nl, liberty::Library& lib,
     const tech::StdCellLib& cells, const tech::Process& process,

@@ -1,5 +1,6 @@
 #include "lim/sram_builder.hpp"
 
+#include "brick/cache.hpp"
 #include "brick/library_gen.hpp"
 #include "liberty/characterize.hpp"
 #include "netlist/generators.hpp"
@@ -134,9 +135,13 @@ SramDesign build_sram(const SramConfig& cfg, const tech::Process& process,
   d.lib = liberty::characterize_stdcell_library(cells);
   const brick::BrickSpec brick_spec{cfg.bitcell, cfg.brick_words, width,
                                     cfg.bricks_per_bank()};
-  const brick::Brick bank_brick = brick::compile_brick(brick_spec, process);
-  d.bricks.push_back(bank_brick);
-  d.lib.add(brick::make_brick_libcell(bank_brick));
+  // Brick compilation + characterization is memoized process-wide: a DSE
+  // sweep elaborating many designs over the same few shapes compiles each
+  // shape once.
+  const std::shared_ptr<const brick::CompiledBrick> bank_brick =
+      brick::BrickCache::global().get(brick_spec, process);
+  d.bricks.push_back(bank_brick->brick);
+  d.lib.add(bank_brick->libcell);
   const std::string macro_name = brick_spec.name();
 
   // ----------------------------------------------------------- interface

@@ -1,5 +1,7 @@
 #include "netlist/netlist.hpp"
 
+#include <cstdio>
+
 namespace limsynth::netlist {
 
 NetId Netlist::add_net(const std::string& name) {
@@ -7,21 +9,35 @@ NetId Netlist::add_net(const std::string& name) {
                  "duplicate net " << name);
   const NetId id = static_cast<NetId>(nets_.size());
   nets_.push_back(Net{name});
-  net_index_[name] = id;
+  net_index_.emplace(nets_.back().name, id);
   index_valid_ = false;
+  ++revision_;
   return id;
 }
 
 NetId Netlist::make_net() {
-  return add_net("n" + std::to_string(auto_net_counter_++));
+  // Build "n<k>" once into a preallocated buffer instead of concatenating
+  // temporaries per call.
+  char buf[24];
+  const int len = std::snprintf(buf, sizeof buf, "n%d", auto_net_counter_++);
+  return add_net(std::string(buf, static_cast<std::size_t>(len)));
 }
 
 std::vector<NetId> Netlist::make_bus(const std::string& base, int width) {
   LIMS_CHECK(width >= 1);
   std::vector<NetId> bus;
   bus.reserve(static_cast<std::size_t>(width));
-  for (int i = 0; i < width; ++i)
-    bus.push_back(add_net(base + "[" + std::to_string(i) + "]"));
+  net_index_.reserve(net_index_.size() + static_cast<std::size_t>(width));
+  // Reuse one name buffer: keep "base[" and rewrite only the index suffix.
+  std::string name = base;
+  name += '[';
+  const std::size_t stem = name.size();
+  for (int i = 0; i < width; ++i) {
+    name.resize(stem);
+    name += std::to_string(i);
+    name += ']';
+    bus.push_back(add_net(name));
+  }
   return bus;
 }
 
@@ -34,6 +50,7 @@ InstId Netlist::add_instance(const std::string& name, const std::string& cell,
   instances_.push_back(Instance{name, cell, std::move(conns)});
   dead_.push_back(false);
   index_valid_ = false;
+  ++revision_;
   return id;
 }
 
@@ -41,11 +58,13 @@ void Netlist::remove_instance(InstId inst) {
   LIMS_CHECK(inst >= 0 && inst < static_cast<InstId>(instances_.size()));
   dead_[static_cast<std::size_t>(inst)] = true;
   index_valid_ = false;
+  ++revision_;
 }
 
 void Netlist::add_port(const std::string& name, PortDir dir, NetId net) {
   ports_.push_back(Port{name, dir, net});
   index_valid_ = false;
+  ++revision_;
 }
 
 std::size_t Netlist::live_instance_count() const {
@@ -62,7 +81,10 @@ const Instance& Netlist::instance(InstId id) const {
 
 Instance& Netlist::instance(InstId id) {
   LIMS_CHECK(id >= 0 && id < static_cast<InstId>(instances_.size()));
+  // Handing out a mutable reference may change connectivity, so both the
+  // lazy index and any outstanding BoundDesign become suspect.
   index_valid_ = false;
+  ++revision_;
   return instances_[static_cast<std::size_t>(id)];
 }
 

@@ -3,8 +3,9 @@
 // cells and all of it is handed to physical synthesis together.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/error.hpp"
@@ -99,7 +100,21 @@ class Netlist {
   static bool is_output_pin(const std::string& pin);
 
   /// Invalidate the connectivity index after manual edits.
-  void touch() { index_valid_ = false; }
+  void touch() {
+    index_valid_ = false;
+    ++revision_;
+  }
+
+  /// Monotonic edit counter: bumped by every structural mutation (add/remove
+  /// of nets, instances, ports, touch(), and mutable instance() access).
+  /// BoundDesign captures it at bind time to detect stale bindings.
+  std::uint64_t revision() const { return revision_; }
+
+  /// Pre-sizes the net storage and name index for `nets` nets.
+  void reserve_nets(std::size_t nets) {
+    nets_.reserve(nets);
+    net_index_.reserve(nets);
+  }
 
  private:
   void rebuild_index() const;
@@ -110,8 +125,9 @@ class Netlist {
   std::vector<bool> dead_;
   std::vector<Port> ports_;
   NetId clock_ = kNoNet;
-  std::map<std::string, NetId> net_index_;
+  std::unordered_map<std::string, NetId> net_index_;
   int auto_net_counter_ = 0;
+  std::uint64_t revision_ = 0;
 
   mutable bool index_valid_ = false;
   mutable std::vector<PinRef> drivers_;

@@ -7,6 +7,13 @@
 
 namespace limsynth::netlist {
 
+namespace {
+
+// Input pin order shared with evsim::annotate and eval_gate.
+constexpr const char* kInputPins[4] = {"A", "B", "C", "D"};
+
+}  // namespace
+
 std::string cell_stem(const std::string& cell) {
   const auto pos = cell.rfind("_X");
   return pos == std::string::npos ? cell : cell.substr(0, pos);
@@ -27,15 +34,50 @@ void MacroModel::poke(int row, std::uint64_t value) {
 
 Simulator::Simulator(const Netlist& nl, const tech::StdCellLib& cells)
     : nl_(nl) {
-  for (const auto& c : cells.cells())
-    func_by_cell_[cell_stem(c.name)] = c.func;
   values_.assign(nl.nets().size(), false);
   toggle_counts_.assign(nl.nets().size(), 0);
   ff_state_.assign(nl.instance_storage_size(), false);
+
+  // Bind once: resolve each live instance's cell function and pin nets so
+  // the settle/clock hot loops never touch a string again. Unknown cells
+  // (macros awaiting attach) and missing pins are recorded, not thrown —
+  // the error surfaces at first evaluation, preserving the lazy contract.
+  std::unordered_map<std::string, tech::CellFunc> func_by_stem;
+  func_by_stem.reserve(cells.cells().size());
+  for (const auto& c : cells.cells())
+    func_by_stem[cell_stem(c.name)] = c.func;
+
+  gates_.assign(nl.instance_storage_size(), GateBinding{});
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (!nl.is_live(id)) continue;
+    const Instance& inst = nl.instance(id);
+    const auto fit = func_by_stem.find(cell_stem(inst.cell));
+    if (fit == func_by_stem.end()) continue;  // known=false: macro or error
+    GateBinding& gb = gates_[i];
+    gb.known = true;
+    gb.func = fit->second;
+    gb.sequential = tech::cell_func_sequential(gb.func);
+    if (gb.sequential) {
+      if (const NetId* d = inst.find_pin("D")) gb.d = *d;
+      if (const NetId* q = inst.find_pin("Q")) gb.q = *q;
+      if (const NetId* en = inst.find_pin("EN")) gb.en = *en;
+      continue;
+    }
+    gb.nin = tech::cell_func_inputs(gb.func);
+    for (int k = 0; k < gb.nin; ++k) {
+      if (const NetId* in = inst.find_pin(kInputPins[k])) {
+        gb.in[k] = *in;
+      } else if (gb.missing_input < 0) {
+        gb.missing_input = static_cast<std::int8_t>(k);
+      }
+    }
+    if (const NetId* out = inst.find_pin("Y")) gb.out = *out;
+  }
 }
 
 void Simulator::attach(InstId inst, std::shared_ptr<MacroModel> model) {
-  macros_[inst] = std::move(model);
+  macros_.attach(inst, std::move(model));
 }
 
 void Simulator::set_input(NetId net, bool value) {
@@ -83,45 +125,40 @@ std::uint64_t Simulator::bus_value(const std::vector<NetId>& bus) const {
 }
 
 bool Simulator::pin_value(InstId inst, const std::string& pin) const {
-  const NetId* net = nl_.instance(inst).find_pin(pin);
-  LIMS_CHECK_MSG(net != nullptr, "instance " << nl_.instance(inst).name
-                                             << " has no pin " << pin);
-  return value(*net);
+  const NetId net = macros_.pin_net(nl_, inst, pin);
+  LIMS_CHECK_MSG(net != kNoNet, "instance " << nl_.instance(inst).name
+                                            << " has no pin " << pin);
+  return value(net);
 }
 
 void Simulator::drive_pin(InstId inst, const std::string& pin, bool v) {
-  const NetId* net = nl_.instance(inst).find_pin(pin);
-  LIMS_CHECK_MSG(net != nullptr, "instance " << nl_.instance(inst).name
-                                             << " has no pin " << pin);
-  set_net(*net, v, true);
+  const NetId net = macros_.pin_net(nl_, inst, pin);
+  LIMS_CHECK_MSG(net != kNoNet, "instance " << nl_.instance(inst).name
+                                            << " has no pin " << pin);
+  set_net(net, v, true);
 }
 
-bool Simulator::eval_cell(const Instance& inst) const {
-  const auto it = func_by_cell_.find(cell_stem(inst.cell));
-  LIMS_CHECK_MSG(it != func_by_cell_.end(),
-                 "unknown cell " << inst.cell << " in simulation");
-  auto in = [&](const char* pin) {
-    const NetId* net = inst.find_pin(pin);
-    LIMS_CHECK_MSG(net != nullptr,
-                   "cell " << inst.name << " missing pin " << pin);
-    return value(*net);
-  };
+bool Simulator::eval_gate(InstId id, const GateBinding& gb) const {
+  LIMS_CHECK_MSG(gb.missing_input < 0,
+                 "cell " << nl_.instance(id).name << " missing pin "
+                         << kInputPins[static_cast<int>(gb.missing_input)]);
+  auto in = [&](int k) { return values_[static_cast<std::size_t>(gb.in[k])]; };
   using tech::CellFunc;
-  switch (it->second) {
-    case CellFunc::kInv: return !in("A");
-    case CellFunc::kBuf: return in("A");
-    case CellFunc::kNand2: return !(in("A") && in("B"));
-    case CellFunc::kNand3: return !(in("A") && in("B") && in("C"));
-    case CellFunc::kNand4: return !(in("A") && in("B") && in("C") && in("D"));
-    case CellFunc::kNor2: return !(in("A") || in("B"));
-    case CellFunc::kNor3: return !(in("A") || in("B") || in("C"));
-    case CellFunc::kAnd2: return in("A") && in("B");
-    case CellFunc::kOr2: return in("A") || in("B");
-    case CellFunc::kXor2: return in("A") != in("B");
-    case CellFunc::kXnor2: return in("A") == in("B");
-    case CellFunc::kMux2: return in("C") ? in("B") : in("A");
-    case CellFunc::kAoi21: return !((in("A") && in("B")) || in("C"));
-    case CellFunc::kOai21: return !((in("A") || in("B")) && in("C"));
+  switch (gb.func) {
+    case CellFunc::kInv: return !in(0);
+    case CellFunc::kBuf: return in(0);
+    case CellFunc::kNand2: return !(in(0) && in(1));
+    case CellFunc::kNand3: return !(in(0) && in(1) && in(2));
+    case CellFunc::kNand4: return !(in(0) && in(1) && in(2) && in(3));
+    case CellFunc::kNor2: return !(in(0) || in(1));
+    case CellFunc::kNor3: return !(in(0) || in(1) || in(2));
+    case CellFunc::kAnd2: return in(0) && in(1);
+    case CellFunc::kOr2: return in(0) || in(1);
+    case CellFunc::kXor2: return in(0) != in(1);
+    case CellFunc::kXnor2: return in(0) == in(1);
+    case CellFunc::kMux2: return in(2) ? in(1) : in(0);
+    case CellFunc::kAoi21: return !((in(0) && in(1)) || in(2));
+    case CellFunc::kOai21: return !((in(0) || in(1)) && in(2));
     case CellFunc::kTie0: return false;
     case CellFunc::kTie1: return true;
     default:
@@ -147,25 +184,23 @@ void Simulator::settle() {
     for (std::size_t i = 0; i < n_inst; ++i) {
       const auto id = static_cast<InstId>(i);
       if (!nl_.is_live(id)) continue;
-      const Instance& inst = nl_.instance(id);
-      if (macros_.count(id)) continue;
-      const auto fit = func_by_cell_.find(cell_stem(inst.cell));
-      LIMS_CHECK_MSG(fit != func_by_cell_.end(),
-                     "unknown cell " << inst.cell);
-      if (tech::cell_func_sequential(fit->second)) continue;
-      bool v = eval_cell(inst);
-      const NetId* out = inst.find_pin("Y");
-      LIMS_CHECK(out != nullptr);
+      if (macros_.attached(id)) continue;
+      const GateBinding& gb = gates_[i];
+      LIMS_CHECK_MSG(gb.known, "unknown cell " << nl_.instance(id).cell);
+      if (gb.sequential) continue;
+      bool v = eval_gate(id, gb);
+      LIMS_CHECK_MSG(gb.out != kNoNet,
+                     "cell " << nl_.instance(id).name << " missing pin Y");
       if (!forced_.empty()) {
         // A stuck net never follows its driver; compare against the forced
         // value so the fixpoint still converges.
-        const auto it = forced_.find(*out);
+        const auto it = forced_.find(gb.out);
         if (it != forced_.end()) v = it->second;
       }
-      if (value(*out) != v) {
-        set_net(*out, v, true);
+      if (value(gb.out) != v) {
+        set_net(gb.out, v, true);
         changed = true;
-        last_changed.push_back(*out);
+        last_changed.push_back(gb.out);
       }
     }
     if (!changed) return;
@@ -192,27 +227,32 @@ void Simulator::clock_edge() {
   const std::size_t n_inst = nl_.instance_storage_size();
   for (std::size_t i = 0; i < n_inst; ++i) {
     const auto id = static_cast<InstId>(i);
-    if (!nl_.is_live(id) || macros_.count(id)) continue;
-    const Instance& inst = nl_.instance(id);
-    const auto fit = func_by_cell_.find(cell_stem(inst.cell));
-    if (fit == func_by_cell_.end() ||
-        !tech::cell_func_sequential(fit->second))
-      continue;
+    if (!nl_.is_live(id) || macros_.attached(id)) continue;
+    const GateBinding& gb = gates_[i];
+    if (!gb.known || !gb.sequential) continue;
     bool d = ff_state_[i];
-    if (fit->second == tech::CellFunc::kDff) {
-      d = value(*inst.find_pin("D"));
-    } else if (fit->second == tech::CellFunc::kDffEn) {
-      if (value(*inst.find_pin("EN"))) d = value(*inst.find_pin("D"));
+    if (gb.func == tech::CellFunc::kDff) {
+      LIMS_CHECK_MSG(gb.d != kNoNet,
+                     "flop " << nl_.instance(id).name << " missing pin D");
+      d = values_[static_cast<std::size_t>(gb.d)];
+    } else if (gb.func == tech::CellFunc::kDffEn) {
+      LIMS_CHECK_MSG(gb.d != kNoNet && gb.en != kNoNet,
+                     "DFFE " << nl_.instance(id).name << " missing D/EN pins");
+      if (values_[static_cast<std::size_t>(gb.en)])
+        d = values_[static_cast<std::size_t>(gb.d)];
     }
     captures.push_back({id, d});
   }
   // Macro models fire on pre-edge pin values (like the flop D sampling
   // above), then flop outputs commit, then logic resettles.
-  for (auto& [inst, model] : macros_) model->on_clock(*this, inst);
+  for (const auto& [inst, model] : macros_.models())
+    model->on_clock(*this, inst);
   for (const auto& c : captures) {
     ff_state_[static_cast<std::size_t>(c.inst)] = c.d;
-    const Instance& inst = nl_.instance(c.inst);
-    set_net(*inst.find_pin("Q"), c.d, true);
+    const GateBinding& gb = gates_[static_cast<std::size_t>(c.inst)];
+    LIMS_CHECK_MSG(gb.q != kNoNet,
+                   "flop " << nl_.instance(c.inst).name << " missing pin Q");
+    set_net(gb.q, c.d, true);
   }
   settle();
 }
@@ -227,12 +267,11 @@ double Simulator::activity(NetId net) const {
 }
 
 std::uint64_t Simulator::macro_accesses(InstId inst) const {
-  const auto it = macro_access_counts_.find(inst);
-  return it == macro_access_counts_.end() ? 0 : it->second;
+  return macros_.accesses(inst);
 }
 
 void Simulator::note_macro_access(InstId inst) {
-  ++macro_access_counts_[inst];
+  macros_.note_access(inst);
 }
 
 }  // namespace limsynth::netlist

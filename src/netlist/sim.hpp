@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "netlist/bound.hpp"
 #include "netlist/netlist.hpp"
 #include "tech/stdcell.hpp"
 
@@ -117,19 +118,34 @@ class Simulator {
   virtual void note_macro_access(InstId inst);
 
   const Netlist& netlist() const { return nl_; }
+  /// The shared macro-model binding table (attach/access accounting).
+  const MacroBindings& macro_bindings() const { return macros_; }
 
  private:
+  /// Per-instance resolution of cell function and pin nets, computed once
+  /// at construction so settle()/clock_edge() run index-only (no string
+  /// lookups on the hot path).
+  struct GateBinding {
+    tech::CellFunc func = tech::CellFunc::kInv;
+    bool known = false;       // cell stem found in the StdCellLib
+    bool sequential = false;
+    int nin = 0;
+    NetId out = kNoNet;                          // Y
+    NetId in[4] = {kNoNet, kNoNet, kNoNet, kNoNet};  // A, B, C, D
+    NetId d = kNoNet, q = kNoNet, en = kNoNet;   // DFF/DFFE pins
+    std::int8_t missing_input = -1;  // first unresolved input position
+  };
+
   void set_net(NetId net, bool value, bool count_toggle);
-  bool eval_cell(const Instance& inst) const;
+  bool eval_gate(InstId id, const GateBinding& gb) const;
 
   const Netlist& nl_;
-  std::map<std::string, tech::CellFunc> func_by_cell_;
+  std::vector<GateBinding> gates_;  // parallel to instance storage
   std::vector<bool> values_;
   std::vector<bool> ff_state_;  // per instance (DFF/DFFE)
   std::vector<std::uint64_t> toggle_counts_;
   std::map<NetId, bool> forced_;  // stuck-at net faults
-  std::map<InstId, std::shared_ptr<MacroModel>> macros_;
-  std::map<InstId, std::uint64_t> macro_access_counts_;
+  MacroBindings macros_;
   std::uint64_t cycles_ = 0;
   SettleBudget budget_;
 };

@@ -79,9 +79,11 @@ class MacroPins {
 
 }  // namespace
 
-Floorplan place_design(const Netlist& nl, const liberty::Library& lib,
+Floorplan place_design(const netlist::BoundDesign& bd,
                        const tech::Process& process,
                        const PlaceOptions& opt) {
+  bd.check_fresh();
+  const Netlist& nl = bd.netlist();
   Floorplan fp;
   const std::size_t n_inst = nl.instance_storage_size();
   fp.positions.assign(n_inst, {0.0, 0.0});
@@ -95,7 +97,7 @@ Floorplan place_design(const Netlist& nl, const liberty::Library& lib,
   for (std::size_t i = 0; i < n_inst; ++i) {
     const auto id = static_cast<InstId>(i);
     if (!nl.is_live(id)) continue;
-    const liberty::LibCell& cell = lib.cell(nl.instance(id).cell);
+    const liberty::LibCell& cell = bd.cell(id);
     if (cell.is_macro) {
       macro_ids.push_back(id);
       fp.macro_area += cell.area;
@@ -147,8 +149,7 @@ Floorplan place_design(const Netlist& nl, const liberty::Library& lib,
   for (std::size_t i = 0; i < n_inst; ++i) {
     const auto id = static_cast<InstId>(i);
     if (!nl.is_live(id)) continue;
-    if (!lib.cell(nl.instance(id).cell).is_macro)
-      fp.positions[i] = {cx, cy};
+    if (!bd.cell(id).is_macro) fp.positions[i] = {cx, cy};
   }
 
   // Port anchor positions.
@@ -183,7 +184,7 @@ Floorplan place_design(const Netlist& nl, const liberty::Library& lib,
     for (std::size_t i = 0; i < n_inst; ++i) {
       const auto id = static_cast<InstId>(i);
       if (!nl.is_live(id)) continue;
-      if (lib.cell(nl.instance(id).cell).is_macro) continue;  // fixed
+      if (bd.cell(id).is_macro) continue;  // fixed
       double sx = 0.0, sy = 0.0;
       int n = 0;
       for (const auto& conn : nl.instance(id).conns) {
@@ -254,6 +255,12 @@ Floorplan place_design(const Netlist& nl, const liberty::Library& lib,
     }
   }
   return fp;
+}
+
+Floorplan place_design(const Netlist& nl, const liberty::Library& lib,
+                       const tech::Process& process,
+                       const PlaceOptions& opt) {
+  return place_design(netlist::BoundDesign(nl, lib), process, opt);
 }
 
 }  // namespace limsynth::place

@@ -14,6 +14,7 @@
 
 #include "layout/geometry.hpp"
 #include "liberty/library.hpp"
+#include "netlist/bound.hpp"
 #include "netlist/netlist.hpp"
 #include "tech/process.hpp"
 
@@ -58,7 +59,15 @@ struct Floorplan {
   }
 };
 
-/// Floorplans and places the netlist; extracts wire parasitics.
+/// Floorplans and places the bound design; extracts wire parasitics.
+/// Cell identity (macro vs logic, area, dimensions) is read through the
+/// binding's dense tables. Throws Error(kStaleBinding) if the netlist
+/// changed since binding.
+Floorplan place_design(const netlist::BoundDesign& bound,
+                       const tech::Process& process,
+                       const PlaceOptions& options = {});
+
+/// Convenience: binds and places.
 Floorplan place_design(const netlist::Netlist& nl,
                        const liberty::Library& lib,
                        const tech::Process& process,

@@ -1,17 +1,18 @@
 #include "power/power.hpp"
 
 #include "sta/loads.hpp"
-#include "synth/synth.hpp"
 #include "util/error.hpp"
 
 namespace limsynth::power {
 
 namespace {
 
+using netlist::BoundConn;
+using netlist::BoundDesign;
 using netlist::InstId;
+using netlist::LibCellId;
 using netlist::Netlist;
 using netlist::NetId;
-using synth::pin_base;
 
 /// Slew for an arc lookup: the STA-propagated slew of the arc's input net
 /// when available (the clock net carries sta::kClockSlew there), else the
@@ -27,9 +28,10 @@ double arc_slew(const PowerOptions& opt, NetId from_net) {
 
 }  // namespace
 
-PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
-                          const netlist::Activity& act,
+PowerReport analyze_power(const BoundDesign& bd, const netlist::Activity& act,
                           const PowerOptions& opt) {
+  bd.check_fresh();
+  const Netlist& nl = bd.netlist();
   LIMS_CHECK_MSG(act.cycles > 0, "run the simulator before power analysis");
   LIMS_CHECK_MSG(act.toggles.size() == nl.nets().size() &&
                      act.glitch_toggles.size() == nl.nets().size(),
@@ -41,14 +43,15 @@ PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
   sta::NetLoadOptions load_opt;
   load_opt.floorplan = opt.floorplan;
   load_opt.prelayout_cap_per_sink = opt.prelayout_cap_per_sink;
-  const sta::NetLoads loads = compute_net_loads(nl, lib, load_opt);
+  const sta::NetLoads loads = compute_net_loads(bd, load_opt);
 
   const double cycles = static_cast<double>(act.cycles);
-  for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
+  for (std::size_t i = 0; i < bd.instance_count(); ++i) {
     const auto id = static_cast<InstId>(i);
-    if (!nl.is_live(id)) continue;
-    const auto& inst = nl.instance(id);
-    const liberty::LibCell& cell = lib.cell(inst.cell);
+    if (!bd.is_live(id)) continue;
+    const LibCellId cid = bd.cell_id(id);
+    const liberty::LibCell& cell = bd.lib_cell(cid);
+    const auto conns = bd.conns(id);
     rep.leakage += cell.leakage;
 
     if (cell.is_macro) {
@@ -65,21 +68,34 @@ PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
       rep.clock_tree += pin.cap * opt.vdd * opt.vdd * f;
     }
 
+    const bool launch_from_clock = cell.sequential || cell.is_macro;
+    // Clock input net of this instance (for the arc-slew lookup).
+    NetId clock_net = netlist::kNoNet;
+    if (launch_from_clock) {
+      for (const BoundConn& c : conns) {
+        if (c.is_clock) {
+          clock_net = c.net;
+          break;
+        }
+      }
+    }
+
     // Output switching: activity * per-transition arc energy.
-    for (const auto& c : inst.conns) {
-      if (!Netlist::is_output_pin(c.pin)) continue;
+    for (const BoundConn& c : conns) {
+      if (!c.is_output) continue;
       const double total_rate = act.rate(c.net);  // toggles per cycle
       if (total_rate <= 0.0) continue;
       const liberty::TimingArc* arc = nullptr;
       NetId from_net = netlist::kNoNet;
-      if (cell.sequential || cell.is_macro) {
-        const std::string& ck = cell.clock_pin.empty() ? "CK" : cell.clock_pin;
-        arc = cell.find_arc(ck, pin_base(c.pin));
-        if (const NetId* n = inst.find_pin(ck)) from_net = *n;
+      if (launch_from_clock) {
+        arc = bd.clock_arc(cid, c.slot);
+        from_net = clock_net;
       } else {
-        for (const auto& in : inst.conns) {
-          if (Netlist::is_output_pin(in.pin)) continue;
-          arc = cell.find_arc(pin_base(in.pin), pin_base(c.pin));
+        // Representative arc: the first input (in conn order) with a
+        // timing arc to this output.
+        for (const BoundConn& in : conns) {
+          if (in.is_output) continue;
+          arc = bd.arc(cid, in.slot, c.slot);
           if (arc != nullptr) {
             from_net = in.net;
             break;
@@ -104,9 +120,20 @@ PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
 }
 
 PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
+                          const netlist::Activity& act,
+                          const PowerOptions& opt) {
+  return analyze_power(BoundDesign(nl, lib), act, opt);
+}
+
+PowerReport analyze_power(const Netlist& nl, const liberty::Library& lib,
                           const netlist::Simulator& sim,
                           const PowerOptions& opt) {
   return analyze_power(nl, lib, netlist::Activity::from_simulator(sim), opt);
+}
+
+PowerReport analyze_power(const BoundDesign& bd, const netlist::Simulator& sim,
+                          const PowerOptions& opt) {
+  return analyze_power(bd, netlist::Activity::from_simulator(sim), opt);
 }
 
 }  // namespace limsynth::power

@@ -10,6 +10,7 @@
 
 #include "liberty/library.hpp"
 #include "netlist/activity.hpp"
+#include "netlist/bound.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/sim.hpp"
 #include "place/place.hpp"
@@ -46,11 +47,18 @@ struct PowerReport {
   double energy_per_cycle = 0.0;
 };
 
-/// Computes power from an engine-independent activity record. The record
-/// must cover at least one cycle over the same netlist. Hazard toggles
-/// (activity.glitch_toggles, produced by the event-driven engine) are
-/// priced with the same NLDM arc energies as functional toggles and land
-/// in PowerReport::glitch.
+/// Computes power from an engine-independent activity record over a bound
+/// design (arc/pin lookups are slot-indexed, no string resolution). The
+/// record must cover at least one cycle over the same netlist. Hazard
+/// toggles (activity.glitch_toggles, produced by the event-driven engine)
+/// are priced with the same NLDM arc energies as functional toggles and
+/// land in PowerReport::glitch.
+PowerReport analyze_power(const netlist::BoundDesign& bound,
+                          const netlist::Activity& activity,
+                          const PowerOptions& options = {});
+
+/// Convenience: binds and analyzes. Callers running several analyses
+/// should bind once and use the overload above.
 PowerReport analyze_power(const netlist::Netlist& nl,
                           const liberty::Library& lib,
                           const netlist::Activity& activity,
@@ -60,6 +68,9 @@ PowerReport analyze_power(const netlist::Netlist& nl,
 /// (glitch component is necessarily zero).
 PowerReport analyze_power(const netlist::Netlist& nl,
                           const liberty::Library& lib,
+                          const netlist::Simulator& sim,
+                          const PowerOptions& options = {});
+PowerReport analyze_power(const netlist::BoundDesign& bound,
                           const netlist::Simulator& sim,
                           const PowerOptions& options = {});
 

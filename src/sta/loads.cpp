@@ -1,34 +1,28 @@
 #include "sta/loads.hpp"
 
-#include "synth/synth.hpp"
 #include "util/error.hpp"
 
 namespace limsynth::sta {
 
-NetLoads compute_net_loads(const netlist::Netlist& nl,
-                           const liberty::Library& lib,
+NetLoads compute_net_loads(const netlist::BoundDesign& bd,
                            const NetLoadOptions& opt) {
+  bd.check_fresh();
+  const netlist::Netlist& nl = bd.netlist();
   const std::size_t n_nets = nl.nets().size();
   NetLoads out;
   out.load.assign(n_nets, 0.0);
   out.wire_delay.assign(n_nets, 0.0);
   for (netlist::NetId net = 0; net < static_cast<netlist::NetId>(n_nets);
        ++net) {
-    double pins = 0.0;
-    for (const auto& sink : nl.sinks_of(net)) {
-      const liberty::LibCell& cell = lib.cell(nl.instance(sink.inst).cell);
-      const liberty::PinModel* pin = cell.find_input(synth::pin_base(sink.pin));
-      LIMS_CHECK_MSG(pin != nullptr,
-                     "no pin " << sink.pin << " on " << cell.name);
-      pins += pin->cap;
-    }
+    // Sink pin capacitances were resolved and summed at bind time.
+    const double pins = bd.sink_cap(net);
     double wire_cap = 0.0, wire_res = 0.0;
     if (opt.floorplan != nullptr) {
       wire_cap = opt.floorplan->net(net).wire_cap;
       wire_res = opt.floorplan->net(net).wire_res;
     } else {
       wire_cap = opt.prelayout_cap_per_sink *
-                 static_cast<double>(nl.sinks_of(net).size());
+                 static_cast<double>(bd.sinks(net).size());
     }
     const auto n = static_cast<std::size_t>(net);
     out.load[n] = pins + wire_cap +
@@ -36,6 +30,12 @@ NetLoads compute_net_loads(const netlist::Netlist& nl,
     out.wire_delay[n] = 0.69 * wire_res * (wire_cap / 2.0 + pins);
   }
   return out;
+}
+
+NetLoads compute_net_loads(const netlist::Netlist& nl,
+                           const liberty::Library& lib,
+                           const NetLoadOptions& opt) {
+  return compute_net_loads(netlist::BoundDesign(nl, lib), opt);
 }
 
 }  // namespace limsynth::sta

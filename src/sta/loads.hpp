@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "liberty/library.hpp"
+#include "netlist/bound.hpp"
 #include "netlist/netlist.hpp"
 #include "place/place.hpp"
 
@@ -33,8 +34,15 @@ struct NetLoads {
   std::vector<double> wire_delay;
 };
 
-/// Computes per-net loads and wire delays. Throws when a sink pin is
-/// missing from its cell's library model.
+/// Computes per-net loads and wire delays from a bound design: sink pin
+/// capacitances come from the bind-time tables, no string resolution.
+/// Throws Error(kStaleBinding) when the binding is out of date.
+NetLoads compute_net_loads(const netlist::BoundDesign& bound,
+                           const NetLoadOptions& options);
+
+/// Convenience: binds `nl` against `lib` and computes loads. Throws when a
+/// sink pin is missing from its cell's library model. Callers running
+/// several analyses should bind once and use the overload above.
 NetLoads compute_net_loads(const netlist::Netlist& nl,
                            const liberty::Library& lib,
                            const NetLoadOptions& options);

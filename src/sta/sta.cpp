@@ -4,24 +4,26 @@
 #include <deque>
 
 #include "sta/loads.hpp"
-#include "synth/synth.hpp"
 #include "util/error.hpp"
 
 namespace limsynth::sta {
 
 namespace {
 
+using netlist::BoundConn;
+using netlist::BoundDesign;
 using netlist::InstId;
+using netlist::LibCellId;
 using netlist::Netlist;
 using netlist::NetId;
-using synth::pin_base;
 
 }  // namespace
 
-StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
-                  const StaOptions& opt) {
+StaResult run_sta(const BoundDesign& bd, const StaOptions& opt) {
+  bd.check_fresh();
+  const Netlist& nl = bd.netlist();
   const std::size_t n_nets = nl.nets().size();
-  const std::size_t n_inst = nl.instance_storage_size();
+  const std::size_t n_inst = bd.instance_count();
 
   StaResult res;
   res.net_arrival.assign(n_nets, -1.0);  // -1 = not yet computed
@@ -34,7 +36,7 @@ StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
   load_opt.floorplan = opt.floorplan;
   load_opt.prelayout_cap_per_sink = opt.prelayout_cap_per_sink;
   load_opt.output_load = opt.output_load;
-  const NetLoads loads = compute_net_loads(nl, lib, load_opt);
+  const NetLoads loads = compute_net_loads(bd, load_opt);
   const std::vector<double>& net_load = loads.load;
   const std::vector<double>& net_wire_delay = loads.wire_delay;
 
@@ -62,30 +64,28 @@ StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
   std::vector<bool> is_seq(n_inst, false);
   for (std::size_t i = 0; i < n_inst; ++i) {
     const auto id = static_cast<InstId>(i);
-    if (!nl.is_live(id)) continue;
-    const auto& inst = nl.instance(id);
-    const liberty::LibCell& cell = lib.cell(inst.cell);
+    if (!bd.is_live(id)) continue;
+    const LibCellId cid = bd.cell_id(id);
+    const liberty::LibCell& cell = bd.lib_cell(cid);
+    const auto conns = bd.conns(id);
     if (cell.sequential || cell.is_macro) {
       is_seq[i] = true;
       // Launch: CK -> each output via its arc at the output net's load.
-      for (const auto& c : inst.conns) {
-        if (!Netlist::is_output_pin(c.pin)) continue;
-        const liberty::TimingArc* arc =
-            cell.find_arc(cell.clock_pin.empty() ? "CK" : cell.clock_pin,
-                          pin_base(c.pin));
-        LIMS_CHECK_MSG(arc != nullptr, "no clock arc to " << c.pin << " on "
+      for (const BoundConn& c : conns) {
+        if (!c.is_output) continue;
+        const liberty::TimingArc* arc = bd.clock_arc(cid, c.slot);
+        LIMS_CHECK_MSG(arc != nullptr, "no clock arc to " << bd.pin_name(c.pin)
+                                                          << " on "
                                                           << cell.name);
         const double load = net_load[static_cast<std::size_t>(c.net)];
         set_arrival(c.net, arc->delay.lookup(kClockSlew, load),
                     arc->out_slew.lookup(kClockSlew, load));
         net_pred[static_cast<std::size_t>(c.net)] = {id, netlist::kNoNet};
       }
-    } else if (inst.conns.size() == 1 &&
-               Netlist::is_output_pin(inst.conns[0].pin)) {
+    } else if (conns.size() == 1 && conns[0].is_output) {
       // Tie cell: constant.
-      set_arrival(inst.conns[0].net, 0.0, opt.input_slew);
-      net_pred[static_cast<std::size_t>(inst.conns[0].net)] = {id,
-                                                               netlist::kNoNet};
+      set_arrival(conns[0].net, 0.0, opt.input_slew);
+      net_pred[static_cast<std::size_t>(conns[0].net)] = {id, netlist::kNoNet};
     }
   }
 
@@ -97,10 +97,10 @@ StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
   std::deque<InstId> ready;
   for (std::size_t i = 0; i < n_inst; ++i) {
     const auto id = static_cast<InstId>(i);
-    if (!nl.is_live(id) || is_seq[i]) continue;
+    if (!bd.is_live(id) || is_seq[i]) continue;
     int pending = 0;
-    for (const auto& c : nl.instance(id).conns) {
-      if (Netlist::is_output_pin(c.pin)) continue;
+    for (const BoundConn& c : bd.conns(id)) {
+      if (c.is_output) continue;
       if (res.net_arrival[static_cast<std::size_t>(c.net)] < 0.0) {
         ++pending;
         waiters[static_cast<std::size_t>(c.net)].push_back(id);
@@ -118,21 +118,20 @@ StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
     if (done[static_cast<std::size_t>(id)]) continue;
     done[static_cast<std::size_t>(id)] = true;
     ++processed;
-    const auto& inst = nl.instance(id);
-    const liberty::LibCell& cell = lib.cell(inst.cell);
+    const LibCellId cid = bd.cell_id(id);
+    const auto conns = bd.conns(id);
 
-    for (const auto& out : inst.conns) {
-      if (!Netlist::is_output_pin(out.pin)) continue;
+    for (const BoundConn& out : conns) {
+      if (!out.is_output) continue;
       const double load = net_load[static_cast<std::size_t>(out.net)];
       double worst_arr = 0.0, worst_slew = opt.input_slew;
       double best_arr = 1e30;
       NetId worst_in = netlist::kNoNet;
       bool any_input = false;
-      for (const auto& in : inst.conns) {
-        if (Netlist::is_output_pin(in.pin)) continue;
+      for (const BoundConn& in : conns) {
+        if (in.is_output) continue;
         any_input = true;
-        const liberty::TimingArc* arc =
-            cell.find_arc(pin_base(in.pin), pin_base(out.pin));
+        const liberty::TimingArc* arc = bd.arc(cid, in.slot, out.slot);
         if (arc == nullptr) continue;  // non-timing pin
         const auto in_net = static_cast<std::size_t>(in.net);
         const double arr_in =
@@ -165,7 +164,7 @@ StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
 
   std::size_t comb_total = 0;
   for (std::size_t i = 0; i < n_inst; ++i)
-    if (nl.is_live(static_cast<InstId>(i)) && !is_seq[i]) ++comb_total;
+    if (bd.is_live(static_cast<InstId>(i)) && !is_seq[i]) ++comb_total;
   LIMS_CHECK_MSG(processed == comb_total,
                  "STA: combinational cycle ("
                      << processed << " of " << comb_total
@@ -187,24 +186,23 @@ StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
   double worst_hold = 1e30;
   for (std::size_t i = 0; i < n_inst; ++i) {
     const auto id = static_cast<InstId>(i);
-    if (!nl.is_live(id) || !is_seq[i]) continue;
-    const auto& inst = nl.instance(id);
-    const liberty::LibCell& cell = lib.cell(inst.cell);
-    for (const auto& c : inst.conns) {
-      if (Netlist::is_output_pin(c.pin)) continue;
-      const liberty::Constraint* con = cell.find_constraint(pin_base(c.pin));
+    if (!bd.is_live(id) || !is_seq[i]) continue;
+    const LibCellId cid = bd.cell_id(id);
+    for (const BoundConn& c : bd.conns(id)) {
+      if (c.is_output) continue;
+      const liberty::Constraint* con = bd.constraint(cid, c.slot);
       if (con == nullptr) continue;
       const auto net = static_cast<std::size_t>(c.net);
       if (res.net_arrival[net] < 0.0) continue;  // unreached (constant)
       const double t = res.net_arrival[net] + net_wire_delay[net] +
                        con->setup + opt.clock_uncertainty;
-      consider(t, inst.name + "/" + c.pin, c.net);
+      consider(t, nl.instance(id).name + "/" + bd.pin_name(c.pin), c.net);
       // Hold: earliest same-edge arrival must exceed the hold window.
       const double hold_slack =
           min_arrival[net] - (con->hold + 0.5 * opt.clock_uncertainty);
       if (hold_slack < worst_hold) {
         worst_hold = hold_slack;
-        res.hold_endpoint = inst.name + "/" + c.pin;
+        res.hold_endpoint = nl.instance(id).name + "/" + bd.pin_name(c.pin);
       }
     }
   }
@@ -238,6 +236,11 @@ StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
   }
   std::reverse(res.critical_path.begin(), res.critical_path.end());
   return res;
+}
+
+StaResult run_sta(const Netlist& nl, const liberty::Library& lib,
+                  const StaOptions& opt) {
+  return run_sta(BoundDesign(nl, lib), opt);
 }
 
 }  // namespace limsynth::sta

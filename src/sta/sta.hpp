@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "liberty/library.hpp"
+#include "netlist/bound.hpp"
 #include "netlist/netlist.hpp"
 #include "place/place.hpp"
 
@@ -56,8 +57,16 @@ struct StaResult {
   std::vector<double> net_slew;
 };
 
-/// Runs STA. Throws when the netlist references cells missing from `lib`
-/// or contains a combinational cycle.
+/// Runs STA over a bound design: every arc/constraint lookup is a
+/// slot-indexed table read, no string resolution on the propagation path.
+/// Throws Error(kStaleBinding) on an out-of-date binding or when the
+/// netlist contains a combinational cycle.
+StaResult run_sta(const netlist::BoundDesign& bound,
+                  const StaOptions& options = {});
+
+/// Convenience: binds and runs. Throws when the netlist references cells
+/// missing from `lib` or contains a combinational cycle. Callers running
+/// several analyses should bind once and use the overload above.
 StaResult run_sta(const netlist::Netlist& nl, const liberty::Library& lib,
                   const StaOptions& options = {});
 

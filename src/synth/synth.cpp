@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "netlist/bound.hpp"
 #include "util/log.hpp"
 
 namespace limsynth::synth {
@@ -23,27 +24,36 @@ using netlist::InstId;
 using netlist::Netlist;
 using netlist::NetId;
 
-/// Input pin capacitance of a sink pin, resolved through the library.
-double pin_cap(const liberty::Library& lib, const Netlist& nl,
+/// Input pin capacitance of a sink pin against a pre-resolved cell.
+double pin_cap(const liberty::LibCell& cell, const Netlist& nl,
                const Netlist::PinRef& sink) {
-  const auto& inst = nl.instance(sink.inst);
-  const liberty::LibCell& cell = lib.cell(inst.cell);
   const liberty::PinModel* pin = cell.find_input(pin_base(sink.pin));
-  LIMS_CHECK_MSG(pin != nullptr, "cell " << inst.cell << " has no input pin "
-                                         << sink.pin);
+  LIMS_CHECK_MSG(pin != nullptr, "cell " << nl.instance(sink.inst).cell
+                                         << " has no input pin " << sink.pin);
   return pin->cap;
 }
 
 int sweep_dead(Netlist& nl, const liberty::Library& lib) {
   int removed = 0;
+  // Read through a const view (the non-const instance() accessor would
+  // invalidate the connectivity index on every touch). Cell identities
+  // never change during dead sweeping, so resolve the macro flag once
+  // instead of a library map lookup per instance per pass.
+  const Netlist& cnl = nl;
+  std::vector<char> is_macro(nl.instance_storage_size(), 0);
+  for (std::size_t i = 0; i < is_macro.size(); ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (nl.is_live(id))
+      is_macro[i] = lib.cell(cnl.instance(id).cell).is_macro ? 1 : 0;
+  }
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
       const auto id = static_cast<InstId>(i);
       if (!nl.is_live(id)) continue;
-      const auto& inst = nl.instance(id);
-      if (lib.cell(inst.cell).is_macro) continue;
+      const auto& inst = cnl.instance(id);
+      if (is_macro[i]) continue;
       bool all_outputs_dead = true;
       bool has_output = false;
       for (const auto& c : inst.conns) {
@@ -112,24 +122,45 @@ int size_gates(Netlist& nl, const liberty::Library& lib,
   std::map<std::string, tech::CellFunc> func_by_stem;
   for (const auto& c : cells.cells()) func_by_stem[cell_stem(c.name)] = c.func;
 
+  // Resolve each instance's library cell and std-cell template once; the
+  // arrays are updated in place when a gate is resized, so no pass ever
+  // re-pays a name lookup. Topology is frozen during sizing (buffering ran
+  // already), only drive strengths change.
+  // Read through a const view: the non-const instance() accessor
+  // invalidates the connectivity index (and bumps the revision), which
+  // would force a sinks_of rebuild per instance per pass.
+  const Netlist& cnl = nl;
+  const std::size_t n_inst = nl.instance_storage_size();
+  std::vector<const liberty::LibCell*> lib_of(n_inst, nullptr);
+  std::vector<const tech::StdCell*> std_of(n_inst, nullptr);
+  std::vector<int> func_of(n_inst, -1);
+  for (std::size_t i = 0; i < n_inst; ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (!nl.is_live(id)) continue;
+    const std::string& cell_name = cnl.instance(id).cell;
+    lib_of[i] = &lib.cell(cell_name);
+    const auto fit = func_by_stem.find(cell_stem(cell_name));
+    if (fit == func_by_stem.end()) continue;  // macro: leave alone
+    func_of[i] = static_cast<int>(fit->second);
+    std_of[i] = &cells.by_name(cell_name);
+  }
+
   for (int pass = 0; pass < opt.sizing_passes; ++pass) {
     int pass_resized = 0;
-    for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
+    for (std::size_t i = 0; i < n_inst; ++i) {
       const auto id = static_cast<InstId>(i);
-      if (!nl.is_live(id)) continue;
-      auto& inst = nl.instance(id);
-      const auto fit = func_by_stem.find(cell_stem(inst.cell));
-      if (fit == func_by_stem.end()) continue;  // macro: leave alone
-      const tech::StdCell& current = cells.by_name(inst.cell);
+      if (!nl.is_live(id) || func_of[i] < 0) continue;
+      const tech::StdCell& current = *std_of[i];
 
       // Output load: sink pin caps + wire (extracted post-placement, or a
       // per-sink estimate before).
       double load = 0.0;
       int fanout = 0;
-      for (const auto& c : inst.conns) {
+      for (const auto& c : cnl.instance(id).conns) {
         if (!Netlist::is_output_pin(c.pin)) continue;
         for (const auto& sink : nl.sinks_of(c.net)) {
-          load += pin_cap(lib, nl, sink);
+          load += pin_cap(*lib_of[static_cast<std::size_t>(sink.inst)], nl,
+                          sink);
           ++fanout;
         }
         if (nl.is_primary_output(c.net)) load += 10e-15;  // pad driver
@@ -146,9 +177,12 @@ int size_gates(Netlist& nl, const liberty::Library& lib,
       const double drive_needed =
           cin_needed / (std::max(current.logical_effort, 0.5) *
                         cells.process().c_unit());
-      const tech::StdCell& chosen = cells.pick(fit->second, drive_needed);
-      if (chosen.name != inst.cell) {
-        inst.cell = chosen.name;
+      const tech::StdCell& chosen =
+          cells.pick(static_cast<tech::CellFunc>(func_of[i]), drive_needed);
+      if (chosen.name != cnl.instance(id).cell) {
+        nl.instance(id).cell = chosen.name;
+        lib_of[i] = &lib.cell(chosen.name);
+        std_of[i] = &chosen;
         ++pass_resized;
       }
     }
@@ -174,10 +208,13 @@ SynthStats synthesize(netlist::Netlist& nl, const liberty::Library& lib,
   stats.buffers_added = buffer_fanout(nl, lib, options.max_fanout);
   stats.resized = size_gates(nl, lib, cells, options);
 
-  for (std::size_t i = 0; i < nl.instance_storage_size(); ++i) {
+  // Bind the synthesized result once for the area roll-up (and as a
+  // sanity check that every final cell choice resolves).
+  const netlist::BoundDesign bound(nl, lib);
+  for (std::size_t i = 0; i < bound.instance_count(); ++i) {
     const auto id = static_cast<InstId>(i);
-    if (!nl.is_live(id)) continue;
-    const liberty::LibCell& cell = lib.cell(nl.instance(id).cell);
+    if (!bound.is_live(id)) continue;
+    const liberty::LibCell& cell = bound.cell(id);
     if (cell.is_macro) {
       stats.macro_area += cell.area;
     } else {

@@ -12,6 +12,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kNumericalFault: return "numerical_fault";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kIo: return "io";
+    case ErrorCode::kStaleBinding: return "stale_binding";
   }
   return "internal";
 }
@@ -19,7 +20,8 @@ const char* error_code_name(ErrorCode code) {
 bool error_code_from_name(const std::string& name, ErrorCode* out) {
   for (ErrorCode code : {ErrorCode::kInternal, ErrorCode::kInvalidConfig,
                          ErrorCode::kNonConvergence, ErrorCode::kNumericalFault,
-                         ErrorCode::kResourceExhausted, ErrorCode::kIo}) {
+                         ErrorCode::kResourceExhausted, ErrorCode::kIo,
+                         ErrorCode::kStaleBinding}) {
     if (name == error_code_name(code)) {
       if (out) *out = code;
       return true;
@@ -36,6 +38,7 @@ int exit_code_for(ErrorCode code) {
     case ErrorCode::kNumericalFault: return 4;
     case ErrorCode::kResourceExhausted: return 5;
     case ErrorCode::kIo: return 6;
+    case ErrorCode::kStaleBinding: return 7;
   }
   return 1;
 }

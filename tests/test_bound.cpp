@@ -1,0 +1,228 @@
+// Tests for the bound-design layer: bind-once resolution correctness
+// against the netlist's own connectivity index, analysis equivalence
+// through the legacy and bound entry points, and the stale-binding guard.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "liberty/characterize.hpp"
+#include "netlist/bound.hpp"
+#include "netlist/generators.hpp"
+#include "netlist/sim.hpp"
+#include "place/place.hpp"
+#include "power/power.hpp"
+#include "sta/loads.hpp"
+#include "sta/sta.hpp"
+#include "synth/synth.hpp"
+#include "tech/process.hpp"
+#include "util/error.hpp"
+
+namespace limsynth {
+namespace {
+
+using netlist::BoundConn;
+using netlist::BoundDesign;
+using netlist::Builder;
+using netlist::InstId;
+using netlist::Netlist;
+using netlist::NetId;
+
+struct Ctx {
+  tech::Process process = tech::default_process();
+  tech::StdCellLib cells{process};
+  liberty::Library lib = liberty::characterize_stdcell_library(cells);
+};
+
+// Registered pipeline: regs -> adder -> regs (every cell class: flops,
+// gates, ties via the generators).
+Netlist make_pipeline(int width = 6) {
+  Netlist nl("pipe");
+  const NetId clk = nl.add_net("clk");
+  nl.set_clock(clk);
+  nl.add_port("clk", netlist::PortDir::kInput, clk);
+  const auto a = nl.make_bus("a", width);
+  const auto b = nl.make_bus("b", width);
+  for (int i = 0; i < width; ++i) {
+    nl.add_port("a" + std::to_string(i), netlist::PortDir::kInput,
+                a[static_cast<std::size_t>(i)]);
+    nl.add_port("b" + std::to_string(i), netlist::PortDir::kInput,
+                b[static_cast<std::size_t>(i)]);
+  }
+  Builder bld(nl, "dp");
+  const auto ar = bld.registers(a, clk);
+  const auto br = bld.registers(b, clk);
+  const auto sum = bld.add(ar, br, netlist::kNoNet);
+  const auto q = bld.registers(sum, clk);
+  for (std::size_t i = 0; i < q.size(); ++i)
+    nl.add_port("q" + std::to_string(i), netlist::PortDir::kOutput, q[i]);
+  return nl;
+}
+
+TEST(Bound, ResolvesCellsAndConnsOnce) {
+  Ctx ctx;
+  const Netlist nl = make_pipeline();
+  const BoundDesign bd(nl, ctx.lib);
+
+  EXPECT_EQ(bd.instance_count(), nl.instance_storage_size());
+  for (std::size_t i = 0; i < bd.instance_count(); ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (!nl.is_live(id)) continue;
+    const auto& inst = nl.instance(id);
+    // Dense cell deref matches the name-keyed library lookup.
+    EXPECT_EQ(&bd.cell(id), &ctx.lib.cell(inst.cell)) << inst.name;
+    // Every connection resolved, in declaration order, with its pin name
+    // interned reversibly and output-ness matching the convention.
+    const auto conns = bd.conns(id);
+    ASSERT_EQ(conns.size(), inst.conns.size());
+    for (std::size_t k = 0; k < conns.size(); ++k) {
+      const BoundConn& c = conns[k];
+      EXPECT_EQ(c.net, inst.conns[k].net);
+      EXPECT_EQ(bd.pin_name(c.pin), inst.conns[k].pin);
+      EXPECT_EQ(c.is_output, Netlist::is_output_pin(inst.conns[k].pin));
+      if (const NetId* via_find = inst.find_pin(inst.conns[k].pin))
+        EXPECT_EQ(bd.pin_net(id, c.pin), *via_find);
+    }
+  }
+}
+
+TEST(Bound, ConnectivityMatchesNetlistIndex) {
+  Ctx ctx;
+  const Netlist nl = make_pipeline();
+  const BoundDesign bd(nl, ctx.lib);
+
+  for (NetId net = 0; net < static_cast<NetId>(nl.nets().size()); ++net) {
+    EXPECT_EQ(bd.driver_inst(net), nl.driver_of(net).inst) << "net " << net;
+    const auto& sinks = nl.sinks_of(net);
+    const auto bsinks = bd.sinks(net);
+    ASSERT_EQ(bsinks.size(), sinks.size()) << "net " << net;
+    double cap = 0.0;
+    for (std::size_t s = 0; s < bsinks.size(); ++s) {
+      EXPECT_EQ(bsinks[s].inst, sinks[s].inst);
+      const BoundConn& c = bd.conn_at(bsinks[s].conn);
+      EXPECT_EQ(bd.pin_name(c.pin), sinks[s].pin);
+      cap += c.cap;
+    }
+    EXPECT_DOUBLE_EQ(bd.sink_cap(net), cap);
+  }
+}
+
+TEST(Bound, InstancesOfGroupsByCell) {
+  Ctx ctx;
+  const Netlist nl = make_pipeline();
+  const BoundDesign bd(nl, ctx.lib);
+  std::size_t grouped = 0;
+  for (std::size_t ci = 0; ci < bd.cell_count(); ++ci) {
+    const auto cid = static_cast<netlist::LibCellId>(ci);
+    for (const InstId id : bd.instances_of(cid)) {
+      EXPECT_EQ(bd.cell_id(id), cid);
+      ++grouped;
+    }
+  }
+  EXPECT_EQ(grouped, nl.live_instance_count());
+}
+
+TEST(Bound, AnalysesMatchLegacyEntryPoints) {
+  Ctx ctx;
+  Netlist nl = make_pipeline();
+  synth::synthesize(nl, ctx.lib, ctx.cells);
+  const Netlist& cnl = nl;
+  const BoundDesign bd(cnl, ctx.lib);
+
+  // Net loads, STA, and placement agree exactly between the string-keyed
+  // wrappers and the slot-indexed bound paths.
+  const sta::NetLoads loads_legacy =
+      sta::compute_net_loads(cnl, ctx.lib, sta::NetLoadOptions{});
+  const sta::NetLoads loads_bound =
+      sta::compute_net_loads(bd, sta::NetLoadOptions{});
+  ASSERT_EQ(loads_legacy.load.size(), loads_bound.load.size());
+  for (std::size_t n = 0; n < loads_legacy.load.size(); ++n)
+    EXPECT_DOUBLE_EQ(loads_legacy.load[n], loads_bound.load[n]);
+
+  const sta::StaResult sta_legacy = sta::run_sta(cnl, ctx.lib);
+  const sta::StaResult sta_bound = sta::run_sta(bd);
+  EXPECT_DOUBLE_EQ(sta_legacy.min_period, sta_bound.min_period);
+  EXPECT_EQ(sta_legacy.critical_endpoint, sta_bound.critical_endpoint);
+
+  const place::Floorplan fp_legacy =
+      place::place_design(cnl, ctx.lib, ctx.process);
+  const place::Floorplan fp_bound = place::place_design(bd, ctx.process);
+  EXPECT_DOUBLE_EQ(fp_legacy.area, fp_bound.area);
+  EXPECT_DOUBLE_EQ(fp_legacy.total_wirelength, fp_bound.total_wirelength);
+}
+
+TEST(Bound, PowerMatchesLegacyEntryPoint) {
+  Ctx ctx;
+  Netlist nl = make_pipeline();
+  synth::synthesize(nl, ctx.lib, ctx.cells);
+  const Netlist& cnl = nl;
+
+  netlist::Simulator sim(cnl, ctx.cells);
+  sim.settle();
+  for (int c = 0; c < 16; ++c) {
+    sim.set_input(cnl.find_net("a[0]"), c & 1);
+    sim.set_input(cnl.find_net("b[1]"), (c >> 1) & 1);
+    sim.settle();
+    sim.clock_edge();
+  }
+  power::PowerOptions popt;
+  popt.frequency = 500e6;
+  const power::PowerReport legacy =
+      power::analyze_power(cnl, ctx.lib, sim, popt);
+  const BoundDesign bd(cnl, ctx.lib);
+  const power::PowerReport bound = power::analyze_power(bd, sim, popt);
+  EXPECT_DOUBLE_EQ(legacy.total(), bound.total());
+  EXPECT_DOUBLE_EQ(legacy.combinational, bound.combinational);
+  EXPECT_DOUBLE_EQ(legacy.sequential, bound.sequential);
+  EXPECT_DOUBLE_EQ(legacy.clock_tree, bound.clock_tree);
+  EXPECT_DOUBLE_EQ(legacy.leakage, bound.leakage);
+}
+
+TEST(Bound, StaleAfterRemoveInstanceThrowsTyped) {
+  Ctx ctx;
+  Netlist nl = make_pipeline();
+  const BoundDesign bd(nl, ctx.lib);
+  ASSERT_NO_THROW(bd.check_fresh());
+
+  // Find a live instance and remove it: the binding must refuse queries.
+  InstId victim = -1;
+  for (std::size_t i = 0; i < nl.instance_storage_size(); ++i)
+    if (nl.is_live(static_cast<InstId>(i))) victim = static_cast<InstId>(i);
+  ASSERT_GE(victim, 0);
+  nl.remove_instance(victim);
+
+  try {
+    bd.check_fresh();
+    FAIL() << "stale binding not detected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kStaleBinding);
+  }
+  EXPECT_THROW(sta::run_sta(bd), Error);
+
+  // Rebinding the edited netlist restores service.
+  const BoundDesign fresh(nl, ctx.lib);
+  ASSERT_NO_THROW(fresh.check_fresh());
+  EXPECT_GT(sta::run_sta(fresh).min_period, 0.0);
+}
+
+TEST(Bound, MutableInstanceAccessInvalidatesBinding) {
+  Ctx ctx;
+  Netlist nl = make_pipeline();
+  const BoundDesign bd(nl, ctx.lib);
+  // Even a non-const read is a potential structural edit: the netlist
+  // can't tell, so it bumps the revision and the binding goes stale.
+  (void)nl.instance(static_cast<InstId>(0));
+  EXPECT_THROW(bd.check_fresh(), Error);
+}
+
+TEST(Bound, UnknownCellRejectedAtBind) {
+  Ctx ctx;
+  Netlist nl("bad");
+  const NetId a = nl.add_net("a");
+  const NetId y = nl.add_net("y");
+  nl.add_instance("u0", "NO_SUCH_CELL", {{"A", a}, {"Y", y}});
+  EXPECT_THROW(BoundDesign(nl, ctx.lib), Error);
+}
+
+}  // namespace
+}  // namespace limsynth

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "brick/brick.hpp"
+#include "brick/cache.hpp"
 #include "brick/estimator.hpp"
 #include "brick/golden.hpp"
 #include "brick/library_gen.hpp"
@@ -323,6 +324,43 @@ TEST(LibraryGen, LibraryOfSpecsBuilds) {
       },
       proc());
   EXPECT_EQ(lib.cells().size(), 3u);
+}
+
+TEST(BrickCache, MemoizesByShapeAndProcess) {
+  BrickCache cache;
+  const BrickSpec spec{BitcellKind::kSram8T, 16, 8, 2};
+  const auto a = cache.get(spec, proc());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const auto b = cache.get(spec, proc());
+  EXPECT_EQ(a.get(), b.get());  // one shared immutable entry
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Cached results are the uncached results.
+  const Brick direct = compile_brick(spec, proc());
+  const BrickEstimate est = estimate_brick(direct);
+  EXPECT_DOUBLE_EQ(a->estimate.read_delay, est.read_delay);
+  EXPECT_DOUBLE_EQ(a->estimate.read_energy, est.read_energy);
+  EXPECT_DOUBLE_EQ(a->estimate.bank_area, est.bank_area);
+  EXPECT_EQ(a->libcell.name, make_brick_libcell(direct).name);
+
+  // A different corner fingerprint is a different entry.
+  const auto c = cache.get(spec, proc().at_corner(tech::Corner::kFast));
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_LT(c->estimate.read_delay, a->estimate.read_delay);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(BrickCache, UnbuildableSpecThrowsAndIsNotCached) {
+  BrickCache cache;
+  const BrickSpec bad{BitcellKind::kSram8T, 0, 8, 1};
+  EXPECT_THROW(cache.get(bad, proc()), Error);
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 }  // namespace

@@ -41,6 +41,47 @@ TEST(Netlist, BusAndPorts) {
   EXPECT_FALSE(nl.is_primary_output(bus[2]));
 }
 
+TEST(Netlist, RevisionTracksStructuralEdits) {
+  Netlist nl("t");
+  const std::uint64_t r0 = nl.revision();
+  const NetId a = nl.add_net("a");
+  EXPECT_GT(nl.revision(), r0);
+  const NetId y = nl.add_net("y");
+  const InstId g = nl.add_instance("g0", "INV_X1", {{"A", a}, {"Y", y}});
+  const std::uint64_t r1 = nl.revision();
+
+  // Const reads never advance the revision...
+  const Netlist& cnl = nl;
+  (void)cnl.instance(g);
+  (void)cnl.sinks_of(a);
+  EXPECT_EQ(nl.revision(), r1);
+  // ...but a mutable instance() access is a potential structural edit.
+  (void)nl.instance(g);
+  EXPECT_GT(nl.revision(), r1);
+
+  const std::uint64_t r2 = nl.revision();
+  nl.remove_instance(g);
+  EXPECT_GT(nl.revision(), r2);
+}
+
+TEST(Netlist, BusAndAutoNetNamingIndexed) {
+  Netlist nl("t");
+  nl.reserve_nets(64);
+  const auto bus = nl.make_bus("data", 12);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(nl.net_name(bus[static_cast<std::size_t>(i)]),
+              "data[" + std::to_string(i) + "]");
+    EXPECT_EQ(nl.find_net(nl.net_name(bus[static_cast<std::size_t>(i)])),
+              bus[static_cast<std::size_t>(i)]);
+  }
+  // Auto-generated names stay unique and land in the name index too.
+  const NetId n0 = nl.make_net();
+  const NetId n1 = nl.make_net();
+  EXPECT_NE(nl.net_name(n0), nl.net_name(n1));
+  EXPECT_EQ(nl.find_net(nl.net_name(n0)), n0);
+  EXPECT_EQ(nl.find_net(nl.net_name(n1)), n1);
+}
+
 TEST(Netlist, OutputPinConvention) {
   EXPECT_TRUE(Netlist::is_output_pin("Y"));
   EXPECT_TRUE(Netlist::is_output_pin("Q"));

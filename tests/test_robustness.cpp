@@ -193,6 +193,64 @@ TEST(CheckpointResume, TimeoutStopsBetweenPointsAndResumeFinishes) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointParallel, JournalCsvAndFrontMatchSerial) {
+  auto choices = small_sweep();
+  PartitionChoice sick;
+  sick.words = 128;
+  sick.bits = 8;
+  sick.brick_words = 24;  // invalid: its error record must match too
+  choices.push_back(sick);
+
+  SweepOptions sopt;
+  sopt.yield_chips = 50;
+  sopt.yield_seed = 3;
+
+  CheckpointOptions serial;
+  serial.journal_path = temp_path("dse_det_serial.jsonl");
+  std::remove(serial.journal_path.c_str());
+  CheckpointOptions parallel = serial;
+  parallel.journal_path = temp_path("dse_det_parallel.jsonl");
+  parallel.jobs = 8;
+  std::remove(parallel.journal_path.c_str());
+
+  const CheckpointedSweep a = sweep_partitions_checkpointed(
+      choices, tech::default_process(), sopt, serial);
+  const CheckpointedSweep b = sweep_partitions_checkpointed(
+      choices, tech::default_process(), sopt, parallel);
+
+  ASSERT_EQ(a.points.size(), choices.size());
+  ASSERT_EQ(b.points.size(), choices.size());
+  // Byte-identical journals and CSVs, identical Pareto fronts.
+  const std::string ja = read_file(serial.journal_path);
+  EXPECT_FALSE(ja.empty());
+  EXPECT_EQ(ja, read_file(parallel.journal_path));
+  EXPECT_EQ(csv_of(a.points), csv_of(b.points));
+  EXPECT_EQ(pareto_front(a.points), pareto_front(b.points));
+  // The failed point degrades identically in both modes.
+  EXPECT_FALSE(a.points.back().ok);
+  EXPECT_EQ(a.points.back().error, b.points.back().error);
+  EXPECT_EQ(a.points.back().error_code, b.points.back().error_code);
+}
+
+TEST(CheckpointParallel, ResumesFromSerialJournal) {
+  const auto choices = small_sweep();
+  CheckpointOptions first;
+  first.journal_path = temp_path("dse_cross_resume.jsonl");
+  std::remove(first.journal_path.c_str());
+  const CheckpointedSweep serial = sweep_partitions_checkpointed(
+      choices, tech::default_process(), {}, first);
+  EXPECT_EQ(serial.computed, static_cast<int>(choices.size()));
+
+  CheckpointOptions again = first;
+  again.resume = true;
+  again.jobs = 8;
+  const CheckpointedSweep resumed = sweep_partitions_checkpointed(
+      choices, tech::default_process(), {}, again);
+  EXPECT_EQ(resumed.computed, 0);
+  EXPECT_EQ(resumed.resumed, static_cast<int>(choices.size()));
+  EXPECT_EQ(csv_of(serial.points), csv_of(resumed.points));
+}
+
 TEST(CheckpointResume, ThrowsIoWhenJournalUnwritable) {
   CheckpointOptions ckpt;
   ckpt.journal_path = temp_path("no_such_dir/journal.jsonl");

@@ -4,7 +4,7 @@
 //   limsynth brick ... --lib                          also dump the .lib
 //   limsynth sweep <words> <bits>                     DSE + Pareto front
 //   limsynth dse <words> <bits> [--csv F] [--journal F] [--resume F]
-//       [--timeout SEC] ...                           checkpointed DSE
+//       [--timeout SEC] [--jobs N] ...                checkpointed DSE
 //   limsynth sram <words> <bits> <banks> <brick_words> [--verilog]
 //   limsynth simulate <words> <bits> <banks> <brick_words>
 //       [--cycles N] [--seed S] [--period NS] [--vcd FILE] [--stim FILE]
@@ -58,7 +58,8 @@ int usage() {
                "  limsynth brick <kind> <words> <bits> [stack] [--lib] [--golden]\n"
                "  limsynth sweep <words> <bits>\n"
                "  limsynth dse <words> <bits> [--csv FILE] [--journal FILE]\n"
-               "      [--resume FILE] [--timeout SEC] [--chips N] [--seed S]\n"
+               "      [--resume FILE] [--timeout SEC] [--jobs N] [--chips N]\n"
+               "      [--seed S]\n"
                "      [--ecc] [--spares N] [--d0 defects_per_cm2]\n"
                "  limsynth sram <words> <bits> <banks> <brick_words>"
                " [--verilog|--report|--svg]\n"
@@ -210,6 +211,7 @@ int cmd_dse(int argc, char** argv) {
     if (copt.journal_path.empty()) copt.journal_path = resume_path;
   }
   copt.timeout_seconds = flag_value(argc, argv, "--timeout", 0.0);
+  copt.jobs = static_cast<int>(flag_value(argc, argv, "--jobs", 1.0));
 
   std::vector<lim::PartitionChoice> choices;
   for (int bw : {8, 16, 32, 64, 128})
