@@ -1,7 +1,8 @@
-// DSE executor benchmark (Fig. 4c-style sweep): serial vs --jobs N, and
-// brick-cache cold vs warm.
+// DSE executor benchmark (Fig. 4c-style sweep): serial vs --jobs N,
+// brick-cache cold vs warm, and the on-disk brick store across a
+// simulated process restart.
 //
-// Two sweeps over the same partition list:
+// Three sweeps over the same partition list:
 //  A. Parallel scaling — yield sampling makes every point expensive, and
 //     the sweep runs once with jobs=1 and once with jobs=8. Journals and
 //     Pareto fronts must be byte-/element-identical (the executor's
@@ -10,6 +11,10 @@
 //  B. Cache cold vs warm — with the yield axis off, brick compilation +
 //     characterization dominates, so a second pass over the same shapes
 //     should be served almost entirely from the BrickCache.
+//  C. Disk store cold vs warm — a BrickStore is attached, the first pass
+//     populates it, then the in-memory cache is cleared (clear() keeps
+//     the store: a process restart on a warm disk). The second pass must
+//     avoid nearly every brick compile by deserializing from disk.
 //
 // Writes BENCH_dse.json. With --check, exits nonzero when determinism or
 // cache effectiveness regresses (thresholds are conservative so the check
@@ -18,14 +23,17 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "brick/cache.hpp"
+#include "brick/store.hpp"
 #include "lim/checkpoint.hpp"
 #include "lim/dse.hpp"
+#include "util/fs.hpp"
 #include "util/jsonl.hpp"
 
 using namespace limsynth;
@@ -123,6 +131,33 @@ int main(int argc, char** argv) {
       warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
   const bool cache_identical = cold.journal == warm.journal;
 
+  // --- Sweep C: disk store, cold process vs warm disk -----------------
+  brick::BrickCache& cache = brick::BrickCache::global();
+  const std::string store_dir = "bench_dse_store";
+  fs::remove_tree(fs::Fs::real(), store_dir);  // start from an empty store
+  brick::StoreOptions store_opt;
+  store_opt.dir = store_dir;
+  cache.attach_store(std::make_shared<brick::BrickStore>(store_opt));
+  const SweepRun disk_cold =
+      run_sweep(choices, light, 1, "bench_dse_disk_cold.jsonl", true);
+  const std::uint64_t disk_entries = cache.store()->stats().saves;
+  // clear() drops the in-memory tier but keeps the attached store: this
+  // pass is a fresh process starting against yesterday's cache directory.
+  const SweepRun disk_warm =
+      run_sweep(choices, light, 1, "bench_dse_disk_warm.jsonl", true);
+  const std::uint64_t disk_hits_warm = cache.disk_hits();
+  const std::uint64_t disk_lookups_warm = cache.misses();
+  const double disk_compile_avoidance =
+      disk_lookups_warm > 0
+          ? static_cast<double>(disk_hits_warm) / disk_lookups_warm
+          : 0.0;
+  const double disk_warm_speedup =
+      disk_warm.seconds > 0.0 ? disk_cold.seconds / disk_warm.seconds : 0.0;
+  const bool disk_identical = disk_cold.journal == disk_warm.journal;
+  cache.attach_store(nullptr);
+  cache.clear();
+  fs::remove_tree(fs::Fs::real(), store_dir);
+
   using jsonl::format_g17;
   std::ofstream json("BENCH_dse.json");
   json << "{\n"
@@ -143,7 +178,16 @@ int main(int argc, char** argv) {
        << "  \"warm_seconds\": " << format_g17(warm.seconds) << ",\n"
        << "  \"warm_speedup\": " << format_g17(warm_speedup) << ",\n"
        << "  \"cache_misses_cold\": " << cold_misses << ",\n"
-       << "  \"cache_hits_warm\": " << warm_hits << "\n"
+       << "  \"cache_hits_warm\": " << warm_hits << ",\n"
+       << "  \"disk_cold_seconds\": " << format_g17(disk_cold.seconds) << ",\n"
+       << "  \"disk_warm_seconds\": " << format_g17(disk_warm.seconds) << ",\n"
+       << "  \"disk_warm_speedup\": " << format_g17(disk_warm_speedup) << ",\n"
+       << "  \"disk_entries\": " << disk_entries << ",\n"
+       << "  \"disk_hits_warm\": " << disk_hits_warm << ",\n"
+       << "  \"disk_compile_avoidance\": " << format_g17(disk_compile_avoidance)
+       << ",\n"
+       << "  \"disk_journals_identical\": "
+       << (disk_identical ? "true" : "false") << "\n"
        << "}\n";
   json.close();
 
@@ -160,6 +204,16 @@ int main(int argc, char** argv) {
               cold.seconds, static_cast<unsigned long long>(cold_misses),
               warm.seconds, static_cast<unsigned long long>(warm_hits),
               warm_speedup, cache_identical ? "identical" : "DIFFER");
+  std::printf("disk: cold %.4fs (%llu entries written), warm %.4fs"
+              " (%llu/%llu from disk, %.0f%% compile avoidance),"
+              " speedup %.1fx, journals %s\n",
+              disk_cold.seconds,
+              static_cast<unsigned long long>(disk_entries),
+              disk_warm.seconds,
+              static_cast<unsigned long long>(disk_hits_warm),
+              static_cast<unsigned long long>(disk_lookups_warm),
+              disk_compile_avoidance * 100.0, disk_warm_speedup,
+              disk_identical ? "identical" : "DIFFER");
 
   if (check) {
     bool ok = true;
@@ -182,6 +236,23 @@ int main(int argc, char** argv) {
     if (warm_speedup < 2.0) {
       std::fprintf(stderr, "FAIL: warm cache speedup %.2fx below 2x\n",
                    warm_speedup);
+      ok = false;
+    }
+    if (!disk_identical) {
+      std::fprintf(stderr, "FAIL: disk-cold vs disk-warm journals differ\n");
+      ok = false;
+    }
+    if (disk_entries == 0) {
+      std::fprintf(stderr, "FAIL: cold pass wrote zero store entries\n");
+      ok = false;
+    }
+    if (disk_compile_avoidance < 0.9) {
+      std::fprintf(stderr,
+                   "FAIL: disk compile avoidance %.0f%% below 90%%"
+                   " (%llu of %llu lookups served from disk)\n",
+                   disk_compile_avoidance * 100.0,
+                   static_cast<unsigned long long>(disk_hits_warm),
+                   static_cast<unsigned long long>(disk_lookups_warm));
       ok = false;
     }
     if (!ok) return 1;

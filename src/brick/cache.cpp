@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "brick/library_gen.hpp"
+#include "brick/store.hpp"
 #include "util/jsonl.hpp"
 
 namespace limsynth::brick {
@@ -32,6 +33,7 @@ std::string brick_fingerprint(const BrickSpec& spec,
 std::shared_ptr<const CompiledBrick> BrickCache::get(
     const BrickSpec& spec, const tech::Process& process) {
   const std::string key = brick_fingerprint(spec, process);
+  std::shared_ptr<BrickStore> store;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = map_.find(key);
@@ -40,6 +42,17 @@ std::shared_ptr<const CompiledBrick> BrickCache::get(
       return it->second;
     }
     ++misses_;
+    store = store_;
+  }
+  // Disk tier: a warm store turns a cross-process cold start into a
+  // deserialize. load() never throws — any corrupt or unreadable entry
+  // quarantines inside the store and reads as a miss here.
+  if (store) {
+    if (std::shared_ptr<const CompiledBrick> loaded = store->load(key)) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++disk_hits_;
+      return map_.emplace(key, std::move(loaded)).first->second;
+    }
   }
   // Compile outside the lock: shapes are independent, and a throwing
   // compile must not poison the cache. Two racing workers may both
@@ -49,8 +62,24 @@ std::shared_ptr<const CompiledBrick> BrickCache::get(
   compiled->brick = compile_brick(spec, process);
   compiled->estimate = estimate_brick(compiled->brick);
   compiled->libcell = make_brick_libcell(compiled->brick);
+  if (store) store->save(key, *compiled);  // best-effort, never throws
   const std::lock_guard<std::mutex> lock(mu_);
   return map_.emplace(key, std::move(compiled)).first->second;
+}
+
+std::uint64_t BrickCache::disk_hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return disk_hits_;
+}
+
+void BrickCache::attach_store(std::shared_ptr<BrickStore> store) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<BrickStore> BrickCache::store() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return store_;
 }
 
 std::uint64_t BrickCache::hits() const {
@@ -73,6 +102,7 @@ void BrickCache::clear() {
   map_.clear();
   hits_ = 0;
   misses_ = 0;
+  disk_hits_ = 0;
 }
 
 BrickCache& BrickCache::global() {

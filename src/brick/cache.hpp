@@ -8,6 +8,12 @@
 // fingerprint of both and shares one immutable CompiledBrick across all
 // consumers. Thread-safe: parallel DSE workers hit the same cache, and a
 // shape is compiled outside the lock (first insert wins on a race).
+//
+// Optionally two-tier: attach_store() backs the in-memory map with a
+// crash-safe on-disk BrickStore (brick/store.hpp) shared across processes
+// and CI runs, so a cold process on a warm disk skips compilation the way
+// a warm process skips it. The disk tier is strictly best-effort — any
+// store failure degrades to compiling in memory.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +27,8 @@
 #include "liberty/library.hpp"
 
 namespace limsynth::brick {
+
+class BrickStore;
 
 /// Everything downstream stages ever derive from one brick shape: the
 /// compiled brick, its analytic estimate (at kReferenceLoad), and the
@@ -47,10 +55,21 @@ class BrickCache {
 
   std::uint64_t hits() const;
   std::uint64_t misses() const;
+  /// Memory misses that were served from the attached disk store (a
+  /// subset of misses(): no compilation happened for these).
+  std::uint64_t disk_hits() const;
   std::size_t size() const;
-  /// Drops every entry and resets the hit/miss counters (benchmarks use
-  /// this to measure cold-vs-warm sweeps).
+  /// Drops every in-memory entry and resets the hit/miss counters
+  /// (benchmarks use this to measure cold-vs-warm sweeps). An attached
+  /// disk store stays attached and keeps its entries — clearing emulates
+  /// a process restart on a warm disk.
   void clear();
+
+  /// Attaches (or, with nullptr, detaches) the persistent tier. A miss
+  /// consults the store before compiling; a compile publishes to it,
+  /// best-effort.
+  void attach_store(std::shared_ptr<BrickStore> store);
+  std::shared_ptr<BrickStore> store() const;
 
   /// The process-wide cache every flow entry point shares.
   static BrickCache& global();
@@ -58,8 +77,10 @@ class BrickCache {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const CompiledBrick>> map_;
+  std::shared_ptr<BrickStore> store_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t disk_hits_ = 0;
 };
 
 }  // namespace limsynth::brick

@@ -1,0 +1,37 @@
+// Versioned binary serialization of CompiledBrick for the on-disk store.
+//
+// The codec is a flat, explicitly-ordered field dump: fixed-width
+// little-host integers, doubles as raw IEEE-754 bits (so a reloaded
+// estimate is bit-identical to the computed one), length-prefixed strings.
+// There is no in-band schema — the schema IS the code — which is why
+// kBrickSchemaVersion must be bumped on ANY change to the field list or
+// to the structs it mirrors (Brick, BrickEstimate, LibCell, Lut2D,
+// Process, Bitcell, BrickLayout). The store folds this constant into the
+// content-addressed entry name, so a bump makes every stale entry simply
+// miss (recompile) instead of misparse; the version in the entry header
+// is a second, belt-and-braces guard for entries reached another way.
+//
+// decode never throws and never reads out of bounds: any truncated,
+// corrupt, or oversized field makes it return false, and the store
+// quarantines the entry.
+#pragma once
+
+#include <string>
+
+#include "brick/cache.hpp"
+
+namespace limsynth::brick {
+
+/// Bump on any serialized-layout change (see header comment).
+inline constexpr std::uint32_t kBrickSchemaVersion = 1;
+
+/// Appends the canonical encoding of `cb` to `out`. Deterministic: equal
+/// inputs produce equal bytes (two racing writers publish identical
+/// entries).
+void encode_compiled_brick(const CompiledBrick& cb, std::string* out);
+
+/// Decodes an encode_compiled_brick payload. Returns false on any
+/// malformed, truncated, or trailing-garbage input.
+bool decode_compiled_brick(const std::string& payload, CompiledBrick* out);
+
+}  // namespace limsynth::brick

@@ -1,0 +1,260 @@
+#include "brick/store.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "brick/serialize.hpp"
+#include "util/jsonl.hpp"
+#include "util/log.hpp"
+
+namespace limsynth::brick {
+
+namespace {
+
+// Entry file layout (all integers host-endian; a foreign-endian reader
+// sees a version mismatch and quarantines, which is the safe outcome):
+//   [0..7]    magic "LIMBRKS\n"
+//   [8..11]   u32 schema version (== kBrickSchemaVersion)
+//   [12..19]  u64 payload size
+//   [20..27]  u64 CRC-64/XZ of the payload
+//   [28.. ]   payload: u32 fp_len, fingerprint bytes, encoded CompiledBrick
+constexpr char kMagic[8] = {'L', 'I', 'M', 'B', 'R', 'K', 'S', '\n'};
+constexpr std::size_t kHeaderSize = 28;
+
+void put_u32_at(std::string* out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void put_u64_at(std::string* out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+}  // namespace
+
+BrickStore::BrickStore(const StoreOptions& opt, fs::Fs& io)
+    : opt_(opt), io_(io) {
+  if (opt_.dir.empty()) {
+    stats_.disabled = true;
+    return;
+  }
+  const fs::IoStatus st = io_.make_dirs(opt_.dir + "/quarantine");
+  if (st.ok()) {
+    // Dirs exist (possibly from a previous run) but may sit on a
+    // read-only mount: degrade to read-only up front, not on the first
+    // failed save.
+    if (!io_.writable(opt_.dir)) {
+      stats_.writes_disabled = true;
+      LIMS_LOG(kWarn) << "brick store " << opt_.dir
+                      << " is not writable; continuing read-only";
+    }
+  } else {
+    if (io_.exists(opt_.dir)) {
+      // Directory exists but cannot be written (read-only mount, EACCES):
+      // keep serving reads, silently drop writes.
+      stats_.writes_disabled = true;
+      LIMS_LOG(kWarn) << "brick store " << opt_.dir
+                      << " is not writable (" << st.message
+                      << "); continuing read-only";
+    } else {
+      stats_.disabled = true;
+      LIMS_LOG(kWarn) << "brick store " << opt_.dir << " unusable ("
+                      << st.message << "); falling back to memory-only cache";
+    }
+  }
+}
+
+std::string BrickStore::entry_name(const std::string& fingerprint) {
+  // Folding the schema version into the content address means a codec
+  // change makes every old entry miss by name — stale bytes are never
+  // even opened, let alone misparsed.
+  const std::string keyed =
+      fingerprint + ";schema=" + std::to_string(kBrickSchemaVersion);
+  return jsonl::to_hex(jsonl::fnv1a(keyed)) + ".brick";
+}
+
+std::string BrickStore::entry_path(const std::string& name) const {
+  return opt_.dir + "/" + name;
+}
+
+bool BrickStore::usable() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return !stats_.disabled;
+}
+
+StoreStats BrickStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BrickStore::quarantine(const std::string& name, const char* reason) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.quarantined;
+  }
+  const std::string from = entry_path(name);
+  const std::string to =
+      opt_.dir + "/quarantine/" + name + "." + reason;
+  fs::IoStatus st = io_.rename_file(from, to);
+  if (!st.ok()) {
+    // Rename can fail on a read-only dir or if a racer already moved the
+    // entry; deleting is the next-best containment, and failing that the
+    // entry simply keeps missing (CRC rejects it every load).
+    st = io_.remove_file(from);
+  }
+  LIMS_LOG(kWarn) << "brick store: quarantined " << name << " (" << reason
+                  << (st.ok() ? ")" : ") — could not move entry aside");
+}
+
+std::shared_ptr<const CompiledBrick> BrickStore::load(
+    const std::string& fingerprint) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stats_.disabled) return nullptr;
+  }
+  const auto miss = [this] {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_misses;
+    return nullptr;
+  };
+
+  const std::string name = entry_name(fingerprint);
+  std::string blob;
+  const fs::IoStatus read = io_.read_file(entry_path(name), &blob);
+  if (!read.ok()) return miss();  // kNotFound is the common cold-miss path
+
+  if (blob.size() < kHeaderSize ||
+      std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0) {
+    quarantine(name, blob.size() < kHeaderSize ? "truncated" : "bad-magic");
+    return miss();
+  }
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0, crc = 0;
+  std::memcpy(&version, blob.data() + 8, 4);
+  std::memcpy(&payload_size, blob.data() + 12, 8);
+  std::memcpy(&crc, blob.data() + 20, 8);
+  if (version != kBrickSchemaVersion) {
+    quarantine(name, "version-mismatch");
+    return miss();
+  }
+  if (payload_size != blob.size() - kHeaderSize) {
+    quarantine(name, "truncated");
+    return miss();
+  }
+  const char* payload = blob.data() + kHeaderSize;
+  if (fs::crc64(payload, payload_size) != crc) {
+    quarantine(name, "crc-mismatch");
+    return miss();
+  }
+
+  // Payload: fingerprint first, then the brick. A fingerprint mismatch
+  // means a 64-bit hash collision or a foreign entry — either way it is
+  // not ours, and quarantining frees the name for a correct rewrite.
+  if (payload_size < 4) {
+    quarantine(name, "truncated");
+    return miss();
+  }
+  std::uint32_t fp_len = 0;
+  std::memcpy(&fp_len, payload, 4);
+  if (4 + static_cast<std::uint64_t>(fp_len) > payload_size) {
+    quarantine(name, "truncated");
+    return miss();
+  }
+  if (std::string(payload + 4, fp_len) != fingerprint) {
+    quarantine(name, "fingerprint-mismatch");
+    return miss();
+  }
+  const std::string body(payload + 4 + fp_len,
+                         payload_size - 4 - fp_len);
+  auto compiled = std::make_shared<CompiledBrick>();
+  if (!decode_compiled_brick(body, compiled.get())) {
+    quarantine(name, "undecodable");
+    return miss();
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.disk_hits;
+  return compiled;
+}
+
+void BrickStore::note_write_failure(const fs::IoStatus& status) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.save_failures;
+  const bool hard_access = status.err == fs::IoErr::kAccess;
+  if (hard_access ||
+      stats_.save_failures >=
+          static_cast<std::uint64_t>(opt_.max_write_failures)) {
+    if (!stats_.writes_disabled)
+      LIMS_LOG(kWarn) << "brick store: disabling writes after "
+                      << stats_.save_failures << " failure(s), last: "
+                      << status.message;
+    stats_.writes_disabled = true;
+  }
+}
+
+bool BrickStore::save(const std::string& fingerprint,
+                      const CompiledBrick& cb) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stats_.disabled || stats_.writes_disabled) return false;
+  }
+  const std::string name = entry_name(fingerprint);
+  const std::string path = entry_path(name);
+
+  // Advisory writer lock: a concurrent writer of the same entry makes us
+  // skip — its rename publishes bytes identical to ours (the entry is a
+  // pure function of the key), so first-rename-wins converges. Readers
+  // never look at the lock.
+  const fs::ScopedLock lock(io_, path + ".lock");
+  if (!lock.held()) {
+    if (lock.status().err == fs::IoErr::kBusy) {
+      const std::lock_guard<std::mutex> guard(mu_);
+      ++stats_.save_skipped;
+      return false;
+    }
+    // Lock file could not even be created (read-only dir, ENOSPC, ...):
+    // treat like a write failure so repeated attempts disable writes.
+    note_write_failure(lock.status());
+    return false;
+  }
+  if (io_.exists(path)) {
+    // Raced with a writer that finished before we locked.
+    const std::lock_guard<std::mutex> guard(mu_);
+    ++stats_.save_skipped;
+    return true;
+  }
+
+  std::string payload;
+  put_u32_at(&payload, static_cast<std::uint32_t>(fingerprint.size()));
+  payload += fingerprint;
+  encode_compiled_brick(cb, &payload);
+
+  std::string blob(kMagic, sizeof kMagic);
+  put_u32_at(&blob, kBrickSchemaVersion);
+  put_u64_at(&blob, payload.size());
+  put_u64_at(&blob, fs::crc64(payload));
+  blob += payload;
+
+  fs::IoStatus st = fs::IoStatus::good();
+  double backoff = opt_.retry_backoff_s;
+  for (int attempt = 0; attempt <= opt_.max_write_retries; ++attempt) {
+    st = io_.write_file_atomic(path, blob);
+    if (st.ok()) {
+      const std::lock_guard<std::mutex> guard(mu_);
+      ++stats_.saves;
+      return true;
+    }
+    if (st.err == fs::IoErr::kAccess) break;  // permanent; retries are noise
+    if (attempt < opt_.max_write_retries && backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+    }
+  }
+  note_write_failure(st);
+  return false;
+}
+
+}  // namespace limsynth::brick

@@ -1,0 +1,96 @@
+// Crash-safe, content-addressed on-disk brick store — the persistent tier
+// behind brick::BrickCache.
+//
+// The MemSPICE split (build models once, query them fast forever) only
+// pays across processes and CI runs if compiled bricks survive process
+// exit. Each entry is one file named by the hash of the brick fingerprint
+// plus the serialization schema version, holding a versioned header, a
+// CRC64 over the payload, the full fingerprint, and the encoded
+// CompiledBrick. All writes go through fs::Fs::write_file_atomic
+// (temp + fsync + rename), so a reader — which takes no lock — sees
+// either a complete entry or none.
+//
+// Failure policy (the whole point): every failure mode degrades to
+// "recompile this brick", never to a crash, a hang, or a wrong result.
+//   - corrupt / torn / version-mismatched entry  -> quarantined (renamed
+//     into quarantine/, logged) and recompiled
+//   - missing or unwritable cache dir            -> memory-only fallback
+//   - ENOSPC / transient write errors            -> bounded retry with
+//     backoff, then writes disabled for the session
+//   - two processes racing on one entry          -> advisory lock skips
+//     the duplicate write; rename is atomic and both payloads are
+//     byte-identical anyway (pure function of the key)
+// Nothing in this class throws.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "brick/cache.hpp"
+#include "util/fs.hpp"
+
+namespace limsynth::brick {
+
+struct StoreOptions {
+  std::string dir;
+  /// Transient write failures (ENOSPC, rename) retry this many times
+  /// with exponential backoff before counting as a hard failure.
+  int max_write_retries = 2;
+  /// First backoff; doubles per retry. Kept tiny so tests stay fast.
+  double retry_backoff_s = 0.005;
+  /// Hard write failures tolerated before writes are disabled for the
+  /// session (the store stays readable).
+  int max_write_failures = 4;
+};
+
+struct StoreStats {
+  std::uint64_t disk_hits = 0;     ///< entries served from disk
+  std::uint64_t disk_misses = 0;   ///< lookups that found no usable entry
+  std::uint64_t saves = 0;         ///< entries published
+  std::uint64_t save_skipped = 0;  ///< writer race / already present
+  std::uint64_t save_failures = 0; ///< hard write failures (post-retry)
+  std::uint64_t quarantined = 0;   ///< corrupt entries renamed aside
+  bool writes_disabled = false;    ///< degraded to read-only
+  bool disabled = false;           ///< degraded to memory-only
+};
+
+class BrickStore {
+ public:
+  /// Opens the store, creating `opt.dir` (and its quarantine/ subdir) as
+  /// needed. Never throws: when the directory cannot be created or is
+  /// unusable the store comes up `disabled` and every load misses — the
+  /// caller transparently runs memory-only.
+  explicit BrickStore(const StoreOptions& opt, fs::Fs& io = fs::Fs::real());
+
+  /// Entry file name for a brick fingerprint: hash of the fingerprint
+  /// with kBrickSchemaVersion folded in, so any serialization change
+  /// auto-invalidates stale entries by key (they just miss).
+  static std::string entry_name(const std::string& fingerprint);
+
+  /// Loads the entry for `fingerprint`. Returns nullptr on miss or on
+  /// any validation failure (the entry is then quarantined). Lock-free:
+  /// concurrent writers cannot make this read a partial entry.
+  std::shared_ptr<const CompiledBrick> load(const std::string& fingerprint);
+
+  /// Publishes an entry. Best-effort and non-throwing; returns true when
+  /// the entry is (or already was) on disk.
+  bool save(const std::string& fingerprint, const CompiledBrick& cb);
+
+  StoreStats stats() const;
+  const std::string& dir() const { return opt_.dir; }
+  bool usable() const;
+
+ private:
+  std::string entry_path(const std::string& name) const;
+  void quarantine(const std::string& name, const char* reason);
+  void note_write_failure(const fs::IoStatus& status);
+
+  StoreOptions opt_;
+  fs::Fs& io_;
+  mutable std::mutex mu_;
+  StoreStats stats_;
+};
+
+}  // namespace limsynth::brick

@@ -102,11 +102,14 @@ void append_journal_entry(std::ostream& os, std::uint64_t key,
 
 JournalLoad load_journal(const std::string& path) {
   JournalLoad load;
-  std::ifstream in(path);
-  if (!in) return load;  // missing journal = nothing to resume
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
+  jsonl::JournalText text;
+  if (!jsonl::read_journal_text(path, &text))
+    return load;  // missing journal = nothing to resume
+  // A torn tail (kill mid-append) is an expected artifact, not damage:
+  // that point is simply unwritten and will be re-evaluated. Complete
+  // lines that fail to parse are real corruption and are counted.
+  load.torn_tail = text.torn_tail;
+  for (const std::string& line : text.lines) {
     std::uint64_t key = 0;
     DsePoint point;
     if (parse_journal_line(line, &key, &point))
@@ -128,6 +131,7 @@ CheckpointedSweep sweep_partitions_checkpointed(
   if (ckpt.resume && !ckpt.journal_path.empty()) {
     journal = load_journal(ckpt.journal_path);
     result.malformed = journal.malformed_lines;
+    result.torn_tail = journal.torn_tail;
   }
 
   std::ofstream out;
@@ -166,6 +170,7 @@ CheckpointedSweep sweep_partitions_checkpointed(
   std::atomic<std::size_t> next{0};
   std::atomic<bool> stop{false};
   std::atomic<bool> timed_out{false};
+  std::atomic<bool> interrupted{false};
   std::mutex mu;
   std::size_t flush_cursor = 0;  // guarded by mu
   std::exception_ptr worker_error;
@@ -189,6 +194,13 @@ CheckpointedSweep sweep_partitions_checkpointed(
       const std::size_t i = next.fetch_add(1);
       if (i >= slots.size() || stop.load()) return;
       if (slots[i].done) continue;  // satisfied from the journal
+      if (ckpt.cancel && ckpt.cancel->load(std::memory_order_relaxed)) {
+        // Signal-driven stop, same contract as a timeout: every finished
+        // point is already flushed in order, so --resume loses nothing.
+        interrupted.store(true);
+        stop.store(true);
+        return;
+      }
       if (watchdog.expired()) {
         // Stop cleanly between points: everything flushed so far is in
         // the journal, so a --resume run completes the sweep.
@@ -225,6 +237,7 @@ CheckpointedSweep sweep_partitions_checkpointed(
   }
   if (worker_error) std::rethrow_exception(worker_error);
   result.timed_out = timed_out.load();
+  result.interrupted = interrupted.load();
 
   // The result is the contiguous done prefix (the same truncation a serial
   // timeout produces); completed islands beyond a gap stay unjournaled and

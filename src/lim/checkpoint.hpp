@@ -9,6 +9,7 @@
 // than trusted.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -35,7 +36,11 @@ struct JournalLoad {
   /// summary metrics only (no BrickEstimate detail); `choice` is filled in
   /// by the resuming sweep from its own point list.
   std::map<std::uint64_t, DsePoint> points;
-  int malformed_lines = 0;  ///< torn/corrupt lines skipped
+  int malformed_lines = 0;  ///< complete-but-corrupt lines skipped
+  /// The journal ended mid-line (kill during the final append). The torn
+  /// fragment counts as unwritten — its point is re-evaluated — and is
+  /// deliberately NOT included in malformed_lines.
+  bool torn_tail = false;
 };
 
 /// Loads a journal. A missing file yields an empty load (resume of a
@@ -56,6 +61,11 @@ struct CheckpointOptions {
   /// parallel run's journal, CSV, and Pareto front are byte-identical to
   /// the serial run's for the same choices, options, and seed.
   int jobs = 1;
+  /// Cooperative cancellation (SIGINT/SIGTERM handlers set it). Checked
+  /// between points like the watchdog: the sweep stops cleanly with
+  /// `interrupted` set and every completed point already flushed, so a
+  /// kill-and-resume never loses finished work.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct CheckpointedSweep {
@@ -64,8 +74,10 @@ struct CheckpointedSweep {
   int computed = 0;   ///< evaluated this run
   int resumed = 0;    ///< satisfied from the journal
   int stale = 0;      ///< journal entries matching no current point
-  int malformed = 0;  ///< journal lines skipped as torn/corrupt
+  int malformed = 0;  ///< complete journal lines skipped as corrupt
+  bool torn_tail = false;  ///< resumed journal ended mid-append
   bool timed_out = false;
+  bool interrupted = false;  ///< stopped by CheckpointOptions::cancel
 };
 
 /// sweep_partitions with journaling, resume, and a wall-clock watchdog.

@@ -288,13 +288,14 @@ CampaignResult run_campaign(const SeuRig& rig, const tech::Process& process,
   res.key = campaign_key(rig, plan, opt);
   res.records.assign(static_cast<std::size_t>(opt.samples), SampleRecord{});
 
-  // Resume: harvest completed samples from a previous journal.
+  // Resume: harvest completed samples from a previous journal. A torn
+  // tail (kill mid-append) counts as unwritten — that sample is simply
+  // re-run — while complete lines that fail to parse count as malformed.
   if (opt.resume && !opt.journal_path.empty()) {
-    std::ifstream in(opt.journal_path);
-    if (in) {
-      std::string line;
-      while (std::getline(in, line)) {
-        if (line.empty()) continue;
+    jsonl::JournalText text;
+    if (jsonl::read_journal_text(opt.journal_path, &text)) {
+      res.torn_tail = text.torn_tail;
+      for (const std::string& line : text.lines) {
         SampleRecord rec;
         bool stale = false;
         if (parse_journal_line(line, res.key, opt.samples, &rec, &stale)) {
@@ -332,9 +333,18 @@ CampaignResult run_campaign(const SeuRig& rig, const tech::Process& process,
       const int i = next.fetch_add(1);
       if (i >= opt.samples || stop.load()) return;
       if (res.records[static_cast<std::size_t>(i)].sample >= 0) continue;
+      if (opt.cancel && opt.cancel->load(std::memory_order_relaxed)) {
+        // Signal-driven stop between samples: the journal holds every
+        // completed sample, so a --resume run finishes the campaign.
+        const std::lock_guard<std::mutex> lock(mu);
+        res.interrupted = true;
+        stop.store(true);
+        return;
+      }
       if (watchdog.expired()) {
         // Stop cleanly between samples: the journal holds everything
         // finished so far, so a --resume run completes the campaign.
+        const std::lock_guard<std::mutex> lock(mu);
         res.timed_out = true;
         stop.store(true);
         return;

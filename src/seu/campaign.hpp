@@ -19,6 +19,7 @@
 // and skips entries from a different campaign.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -51,6 +52,10 @@ struct CampaignOptions {
   /// Reuse completed samples from an existing journal instead of
   /// truncating it.
   bool resume = false;
+  /// Cooperative cancellation (SIGINT/SIGTERM handlers set it). Checked
+  /// between samples; the campaign stops cleanly with `interrupted` set
+  /// and the journal holding every completed sample.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SampleRecord {
@@ -82,9 +87,11 @@ struct CampaignResult {
   int completed = 0;      // records with sample >= 0
   int computed = 0;       // run in this invocation
   int resumed = 0;        // reused from the journal
-  int malformed = 0;      // torn/unparseable journal lines skipped
+  int malformed = 0;      // complete-but-unparseable journal lines skipped
   int stale = 0;          // journal lines from a different campaign
+  bool torn_tail = false; // resumed journal ended mid-append (kill artifact)
   bool timed_out = false;
+  bool interrupted = false;  // stopped by CampaignOptions::cancel
 
   std::vector<SampleRecord> records;  // indexed by sample
   StratumStats strata[kSiteKinds];

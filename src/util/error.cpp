@@ -13,6 +13,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kIo: return "io";
     case ErrorCode::kStaleBinding: return "stale_binding";
+    case ErrorCode::kInterrupted: return "interrupted";
   }
   return "internal";
 }
@@ -21,7 +22,7 @@ bool error_code_from_name(const std::string& name, ErrorCode* out) {
   for (ErrorCode code : {ErrorCode::kInternal, ErrorCode::kInvalidConfig,
                          ErrorCode::kNonConvergence, ErrorCode::kNumericalFault,
                          ErrorCode::kResourceExhausted, ErrorCode::kIo,
-                         ErrorCode::kStaleBinding}) {
+                         ErrorCode::kStaleBinding, ErrorCode::kInterrupted}) {
     if (name == error_code_name(code)) {
       if (out) *out = code;
       return true;
@@ -39,6 +40,7 @@ int exit_code_for(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return 5;
     case ErrorCode::kIo: return 6;
     case ErrorCode::kStaleBinding: return 7;
+    case ErrorCode::kInterrupted: return 8;
   }
   return 1;
 }

@@ -28,6 +28,7 @@ enum class ErrorCode {
   kResourceExhausted,   ///< watchdog budget (iterations / wall clock) hit
   kIo,                  ///< file read/write failure
   kStaleBinding,        ///< bound design queried after its netlist changed
+  kInterrupted,         ///< clean stop on SIGINT/SIGTERM (state journaled)
 };
 
 /// Stable lower_snake name of a code ("invalid_config", ...). Used in
@@ -39,7 +40,7 @@ bool error_code_from_name(const std::string& name, ErrorCode* out);
 
 /// Process exit code for a failure of this class:
 ///   internal 1, invalid_config 2, non_convergence 3, numerical_fault 4,
-///   resource_exhausted 5, io 6, stale_binding 7.
+///   resource_exhausted 5, io 6, stale_binding 7, interrupted 8.
 int exit_code_for(ErrorCode code);
 
 namespace detail {

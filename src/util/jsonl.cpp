@@ -2,8 +2,37 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace limsynth::jsonl {
+
+bool read_journal_text(const std::string& path, JournalText* out) {
+  out->lines.clear();
+  out->torn_tail = false;
+  out->tail.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = buf.str();
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      // No terminating newline: the final append was cut mid-write.
+      out->torn_tail = true;
+      out->tail = data.substr(pos);
+      break;
+    }
+    std::string line = data.substr(pos, nl - pos);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) out->lines.push_back(std::move(line));
+    pos = nl + 1;
+  }
+  return true;
+}
 
 std::uint64_t fnv1a(const std::string& data) {
   std::uint64_t h = 1469598103934665603ull;

@@ -11,8 +11,25 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace limsynth::jsonl {
+
+/// A journal file split into complete lines, with the kill-mid-append
+/// artifact separated out: bytes after the last '\n' are a *torn tail* —
+/// a line whose append never finished — and must be treated as unwritten
+/// (the point is simply re-evaluated), not as corruption. Only complete
+/// lines that still fail to parse indicate real damage.
+struct JournalText {
+  std::vector<std::string> lines;  ///< complete ('\n'-terminated) lines
+  bool torn_tail = false;          ///< file ended mid-line (SIGKILL artifact)
+  std::string tail;                ///< the unterminated fragment, for logs
+};
+
+/// Reads `path` and splits it into complete lines ('\r' stripped, empty
+/// lines dropped). Returns false when the file cannot be opened; a
+/// missing journal is not an error to resume from, just empty.
+bool read_journal_text(const std::string& path, JournalText* out);
 
 /// FNV-1a 64-bit — journal fingerprints (stable across platforms).
 std::uint64_t fnv1a(const std::string& data);

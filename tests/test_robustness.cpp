@@ -3,6 +3,7 @@
 // limsynth::Error.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -133,7 +134,10 @@ TEST(CheckpointResume, TornLastLineIsSkippedAndRecomputed) {
   resume.resume = true;
   const auto resumed =
       sweep_partitions_checkpointed(choices, process, opts, resume);
-  EXPECT_EQ(resumed.malformed, 1);
+  // A torn tail is a kill artifact, not corruption: the fragment counts
+  // as unwritten, is flagged as torn_tail, and is NOT counted malformed.
+  EXPECT_EQ(resumed.malformed, 0);
+  EXPECT_TRUE(resumed.torn_tail);
   EXPECT_EQ(resumed.computed, 1);  // only the torn point is recomputed
   EXPECT_EQ(resumed.resumed, static_cast<int>(choices.size()) - 1);
   EXPECT_FALSE(resumed.timed_out);
@@ -190,6 +194,74 @@ TEST(CheckpointResume, TimeoutStopsBetweenPointsAndResumeFinishes) {
   EXPECT_FALSE(done.timed_out);
   ASSERT_EQ(done.points.size(), choices.size());
   EXPECT_EQ(csv_of(done.points), csv_of(sweep_partitions(choices, process, opts)));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, CancelStopsBetweenPointsAndResumeFinishes) {
+  const auto process = tech::default_process();
+  const auto choices = small_sweep();
+  const SweepOptions opts;
+  const std::string path = temp_path("cancel_journal.jsonl");
+  std::remove(path.c_str());
+
+  // A pre-set flag models SIGINT arriving before the sweep starts: the
+  // run stops cleanly before evaluating anything, journal intact.
+  std::atomic<bool> cancel{true};
+  CheckpointOptions ckpt;
+  ckpt.journal_path = path;
+  ckpt.cancel = &cancel;
+  const auto cut = sweep_partitions_checkpointed(choices, process, opts, ckpt);
+  EXPECT_TRUE(cut.interrupted);
+  EXPECT_FALSE(cut.timed_out);
+  EXPECT_LT(cut.points.size(), choices.size());
+
+  // Resume with the flag cleared: finishes the rest, and the result
+  // matches an uninterrupted run exactly.
+  cancel.store(false);
+  CheckpointOptions resume = ckpt;
+  resume.resume = true;
+  const auto done = sweep_partitions_checkpointed(choices, process, opts, resume);
+  EXPECT_FALSE(done.interrupted);
+  ASSERT_EQ(done.points.size(), choices.size());
+  EXPECT_EQ(csv_of(done.points),
+            csv_of(sweep_partitions(choices, process, opts)));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, CorruptCompleteLineIsMalformedButTornTailIsNot) {
+  const auto process = tech::default_process();
+  const auto choices = small_sweep();
+  const SweepOptions opts;
+  const std::string path = temp_path("mixed_damage_journal.jsonl");
+  std::remove(path.c_str());
+
+  CheckpointOptions ckpt;
+  ckpt.journal_path = path;
+  sweep_partitions_checkpointed(choices, process, opts, ckpt);
+
+  // Damage the journal two distinct ways: overwrite a complete line with
+  // garbage (bit rot — real corruption) and tear the final line (kill
+  // mid-append — expected artifact). The loader must tell them apart.
+  std::string text = read_file(path);
+  const std::size_t first_nl = text.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  text.replace(0, first_nl, std::string(first_nl, '#'));
+  text.resize(text.size() - 10);  // tear the tail, no trailing '\n'
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+
+  CheckpointOptions resume = ckpt;
+  resume.resume = true;
+  const auto resumed =
+      sweep_partitions_checkpointed(choices, process, opts, resume);
+  EXPECT_EQ(resumed.malformed, 1);  // the garbage line only
+  EXPECT_TRUE(resumed.torn_tail);
+  EXPECT_EQ(resumed.computed, 2);  // garbage point + torn point recomputed
+  EXPECT_EQ(resumed.resumed, static_cast<int>(choices.size()) - 2);
+  EXPECT_EQ(csv_of(resumed.points),
+            csv_of(sweep_partitions(choices, process, opts)));
   std::remove(path.c_str());
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -323,6 +324,38 @@ TEST(SeuCampaign, ResumeAfterTruncationReproducesTheFullReport) {
   EXPECT_EQ(resumed.malformed, 1);
   EXPECT_EQ(resumed.stale, 1);
   EXPECT_EQ(format_campaign_report(resumed, b.design.config), want);
+}
+
+TEST(SeuCampaign, CancelStopsCleanlyAndResumeReproducesTheReport) {
+  RigBundle b(config_a(false), 16);
+  const std::string journal =
+      testing::TempDir() + "seu_cancel_journal.jsonl";
+  std::remove(journal.c_str());
+
+  CampaignOptions opt;
+  opt.samples = 40;
+  opt.seed = 17;
+  opt.workers = 2;
+  opt.journal_path = journal;
+  const CampaignResult full = run_campaign(b.rig, b.process, opt);
+  const std::string want = format_campaign_report(full, b.design.config);
+  std::remove(journal.c_str());
+
+  // SIGINT arriving before the first sample: the campaign stops cleanly
+  // with `interrupted` set and nothing half-written.
+  std::atomic<bool> cancel{true};
+  opt.cancel = &cancel;
+  const CampaignResult cut = run_campaign(b.rig, b.process, opt);
+  EXPECT_TRUE(cut.interrupted);
+  EXPECT_FALSE(cut.complete());
+
+  cancel.store(false);
+  opt.resume = true;
+  const CampaignResult resumed = run_campaign(b.rig, b.process, opt);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(format_campaign_report(resumed, b.design.config), want);
+  std::remove(journal.c_str());
 }
 
 TEST(SeuCampaign, RejectsImpossibleOptions) {

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/jsonl.hpp"
 #include "util/watchdog.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -77,7 +81,8 @@ TEST(Diag, CodeNamesRoundTripAndExitCodesAreStable) {
   const ErrorCode all[] = {ErrorCode::kInternal, ErrorCode::kInvalidConfig,
                            ErrorCode::kNonConvergence,
                            ErrorCode::kNumericalFault,
-                           ErrorCode::kResourceExhausted, ErrorCode::kIo};
+                           ErrorCode::kResourceExhausted, ErrorCode::kIo,
+                           ErrorCode::kStaleBinding, ErrorCode::kInterrupted};
   for (ErrorCode code : all) {
     ErrorCode parsed = ErrorCode::kInternal;
     EXPECT_TRUE(error_code_from_name(error_code_name(code), &parsed));
@@ -91,6 +96,8 @@ TEST(Diag, CodeNamesRoundTripAndExitCodesAreStable) {
   EXPECT_EQ(exit_code_for(ErrorCode::kNumericalFault), 4);
   EXPECT_EQ(exit_code_for(ErrorCode::kResourceExhausted), 5);
   EXPECT_EQ(exit_code_for(ErrorCode::kIo), 6);
+  EXPECT_EQ(exit_code_for(ErrorCode::kStaleBinding), 7);
+  EXPECT_EQ(exit_code_for(ErrorCode::kInterrupted), 8);
 }
 
 TEST(Watchdog, DisabledBudgetNeverFires) {
@@ -277,6 +284,153 @@ TEST(Stats, WilsonTightensWithSampleSizeAndOverlapIsSymmetric) {
   const WilsonInterval high = wilson_interval(900, 1000);
   EXPECT_FALSE(big.overlaps(high));
   EXPECT_FALSE(high.overlaps(big));
+}
+
+std::string fs_temp(const std::string& leaf) {
+  return testing::TempDir() + leaf;
+}
+
+TEST(Crc64, MatchesStandardCheckVector) {
+  // CRC-64/XZ check vector: the one every independent implementation of
+  // this polynomial must reproduce.
+  EXPECT_EQ(fs::crc64(std::string("123456789")), 0x995dc9bbdf1939faULL);
+  EXPECT_EQ(fs::crc64(std::string()), 0u);
+  // Any single flipped bit changes the sum (the store's whole premise).
+  std::string data(64, '\x5a');
+  const std::uint64_t base = fs::crc64(data);
+  data[17] = static_cast<char>(data[17] ^ 0x08);
+  EXPECT_NE(fs::crc64(data), base);
+}
+
+TEST(Fsio, AtomicWriteRoundTripsAndReplaces) {
+  fs::Fs& io = fs::Fs::real();
+  const std::string path = fs_temp("fsio_atomic.bin");
+  const std::string payload("binary\0payload\n\xff", 16);
+  ASSERT_TRUE(io.write_file_atomic(path, payload).ok());
+  std::string back;
+  ASSERT_TRUE(io.read_file(path, &back).ok());
+  EXPECT_EQ(back, payload);
+  // Replacing is atomic and leaves no temp litter in the directory.
+  ASSERT_TRUE(io.write_file_atomic(path, "v2").ok());
+  ASSERT_TRUE(io.read_file(path, &back).ok());
+  EXPECT_EQ(back, "v2");
+  io.remove_file(path);
+}
+
+TEST(Fsio, MissingFileReadsAsNotFound) {
+  std::string out;
+  const fs::IoStatus st =
+      fs::Fs::real().read_file(fs_temp("fsio_nope.bin"), &out);
+  EXPECT_EQ(st.err, fs::IoErr::kNotFound);
+}
+
+TEST(Fsio, MakeDirsListAndRemoveTree) {
+  fs::Fs& io = fs::Fs::real();
+  const std::string root = fs_temp("fsio_tree");
+  fs::remove_tree(io, root);
+  ASSERT_TRUE(io.make_dirs(root + "/a/b").ok());
+  ASSERT_TRUE(io.make_dirs(root + "/a/b").ok());  // idempotent
+  ASSERT_TRUE(io.write_file_atomic(root + "/a/x", "x").ok());
+  ASSERT_TRUE(io.write_file_atomic(root + "/a/b/y", "y").ok());
+  std::vector<std::string> names;
+  ASSERT_TRUE(io.list_dir(root + "/a", &names).ok());
+  EXPECT_EQ(names, (std::vector<std::string>{"b", "x"}));  // sorted
+  EXPECT_TRUE(fs::remove_tree(io, root).ok());
+  EXPECT_FALSE(io.exists(root));
+}
+
+TEST(Fsio, ExclusiveLockReportsBusyToSecondHolder) {
+  fs::Fs& io = fs::Fs::real();
+  const std::string path = fs_temp("fsio_lock");
+  {
+    const fs::ScopedLock first(io, path);
+    ASSERT_TRUE(first.held());
+    const fs::ScopedLock second(io, path);
+    EXPECT_FALSE(second.held());
+    EXPECT_EQ(second.status().err, fs::IoErr::kBusy);
+  }
+  // Released on scope exit: a new claimant succeeds.
+  const fs::ScopedLock again(io, path);
+  EXPECT_TRUE(again.held());
+  io.remove_file(path);
+}
+
+TEST(FaultFs, InjectsEachFailureClassThenRecovers) {
+  fs::FaultFs faulty(fs::Fs::real());
+  const std::string path = fs_temp("faultfs_probe.bin");
+
+  faulty.fail_writes_nospace = 1;
+  EXPECT_EQ(faulty.write_file_atomic(path, "x").err, fs::IoErr::kNoSpace);
+  EXPECT_FALSE(faulty.exists(path));  // failed write leaves nothing behind
+
+  faulty.fail_writes_access = 1;
+  EXPECT_EQ(faulty.write_file_atomic(path, "x").err, fs::IoErr::kAccess);
+
+  // Injections are consumed: the next write goes through untouched.
+  ASSERT_TRUE(faulty.write_file_atomic(path, "payload").ok());
+
+  faulty.truncate_read_to = 3;
+  std::string out;
+  ASSERT_TRUE(faulty.read_file(path, &out).ok());
+  EXPECT_EQ(out, "pay");
+
+  faulty.corrupt_read_bit = 5;
+  ASSERT_TRUE(faulty.read_file(path, &out).ok());
+  EXPECT_NE(out, "payload");
+  ASSERT_TRUE(faulty.read_file(path, &out).ok());
+  EXPECT_EQ(out, "payload");  // one-shot
+
+  faulty.fail_locks_busy = 1;
+  const fs::ScopedLock busy(faulty, path + ".lock");
+  EXPECT_EQ(busy.status().err, fs::IoErr::kBusy);
+
+  EXPECT_GE(faulty.writes, 3u);
+  EXPECT_GE(faulty.reads, 3u);
+  faulty.remove_file(path);
+}
+
+TEST(FaultFs, TornWritePersistsPrefixAndClaimsSuccess) {
+  fs::FaultFs faulty(fs::Fs::real());
+  const std::string path = fs_temp("faultfs_torn.bin");
+  faulty.torn_write_bytes = 4;
+  // The lying-disk model: success is reported but only a prefix landed —
+  // exactly the case only an end-to-end checksum can catch.
+  ASSERT_TRUE(faulty.write_file_atomic(path, "0123456789").ok());
+  std::string out;
+  ASSERT_TRUE(faulty.read_file(path, &out).ok());
+  EXPECT_EQ(out, "0123");
+  faulty.remove_file(path);
+}
+
+TEST(JournalText, SplitsLinesAndFlagsTornTail) {
+  const std::string path = fs_temp("journal_text.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "{\"a\":1}\r\n\n{\"b\":2}\n{\"torn\":";  // CRLF, blank, torn tail
+  }
+  jsonl::JournalText text;
+  ASSERT_TRUE(jsonl::read_journal_text(path, &text));
+  ASSERT_EQ(text.lines.size(), 2u);
+  EXPECT_EQ(text.lines[0], "{\"a\":1}");  // '\r' stripped
+  EXPECT_EQ(text.lines[1], "{\"b\":2}");
+  EXPECT_TRUE(text.torn_tail);
+  EXPECT_EQ(text.tail, "{\"torn\":");
+  std::remove(path.c_str());
+}
+
+TEST(JournalText, CompleteFileHasNoTornTail) {
+  const std::string path = fs_temp("journal_clean.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "{\"a\":1}\n";
+  }
+  jsonl::JournalText text;
+  ASSERT_TRUE(jsonl::read_journal_text(path, &text));
+  EXPECT_EQ(text.lines.size(), 1u);
+  EXPECT_FALSE(text.torn_tail);
+  EXPECT_FALSE(jsonl::read_journal_text(fs_temp("journal_missing.jsonl"),
+                                        &text));
+  std::remove(path.c_str());
 }
 
 }  // namespace

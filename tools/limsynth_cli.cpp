@@ -20,15 +20,25 @@
 //
 // Exit codes follow the limsynth error taxonomy (see README):
 //   0 ok, 1 internal, 2 invalid config/usage, 3 non-convergence,
-//   4 numerical fault, 5 resource exhausted (timeouts), 6 I/O.
+//   4 numerical fault, 5 resource exhausted (timeouts), 6 I/O,
+//   7 stale binding, 8 interrupted (SIGINT/SIGTERM, state journaled).
+//
+// Every subcommand honours --cache-dir DIR (or LIMSYNTH_CACHE_DIR): a
+// crash-safe on-disk brick store shared across processes, so a cold run
+// on a warm store skips brick compilation entirely. An unusable cache
+// dir silently degrades to the in-memory cache.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <atomic>
 #include <fstream>
 #include <iostream>
 
 #include "arch/chip.hpp"
+#include "brick/cache.hpp"
 #include "brick/golden.hpp"
+#include "brick/store.hpp"
 #include "brick/library_gen.hpp"
 #include "evsim/crosscheck.hpp"
 #include "liberty/writer.hpp"
@@ -51,6 +61,60 @@
 using namespace limsynth;
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handlers; the dse and seu executors poll it
+/// between points/samples and stop cleanly with everything completed so
+/// far already flushed to the journal — kill-and-resume loses nothing.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void on_interrupt(int /*signum*/) {
+  // Lock-free store only: this runs in signal context.
+  g_interrupted.store(true);
+}
+
+void install_interrupt_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_interrupt;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Attaches the persistent brick store when --cache-dir or
+/// LIMSYNTH_CACHE_DIR names a directory. Never fails: an unusable dir
+/// produces a disabled store and the cache runs memory-only.
+void attach_cache_dir(int argc, char** argv) {
+  std::string dir;
+  for (int i = 0; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--cache-dir") == 0) dir = argv[i + 1];
+  if (dir.empty()) {
+    if (const char* env = std::getenv("LIMSYNTH_CACHE_DIR")) dir = env;
+  }
+  if (dir.empty()) return;
+  brick::StoreOptions opt;
+  opt.dir = dir;
+  brick::BrickCache::global().attach_store(
+      std::make_shared<brick::BrickStore>(opt));
+}
+
+/// One provenance line for scripts (CI greps these counters).
+void print_store_stats() {
+  const auto store = brick::BrickCache::global().store();
+  if (!store) return;
+  const brick::StoreStats s = store->stats();
+  std::fprintf(stderr,
+               "# brick store %s: hits=%llu misses=%llu saves=%llu"
+               " skipped=%llu failures=%llu quarantined=%llu%s%s\n",
+               store->dir().c_str(),
+               static_cast<unsigned long long>(s.disk_hits),
+               static_cast<unsigned long long>(s.disk_misses),
+               static_cast<unsigned long long>(s.saves),
+               static_cast<unsigned long long>(s.save_skipped),
+               static_cast<unsigned long long>(s.save_failures),
+               static_cast<unsigned long long>(s.quarantined),
+               s.writes_disabled ? " [read-only]" : "",
+               s.disabled ? " [disabled: memory-only]" : "");
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -77,7 +141,10 @@ int usage() {
                "  limsynth yield <words> <bits> <banks> <brick_words>\n"
                "      [--chips N] [--seed S] [--d0 defects_per_cm2]\n"
                "      [--spares N] [--ecc]\n"
-               "kinds: sram6t sram8t cam10t edram\n");
+               "kinds: sram6t sram8t cam10t edram\n"
+               "global: --cache-dir DIR (or LIMSYNTH_CACHE_DIR) persists\n"
+               "  compiled bricks in a crash-safe on-disk store shared\n"
+               "  across runs; an unusable dir falls back to memory-only\n");
   return 2;
 }
 
@@ -190,6 +257,7 @@ int cmd_sweep(int argc, char** argv) {
 // sick points carry their error code instead of aborting the sweep.
 int cmd_dse(int argc, char** argv) {
   if (argc < 3) return usage();
+  install_interrupt_handlers();
   const int words = std::atoi(argv[1]);
   const int bits = std::atoi(argv[2]);
   const tech::Process process = tech::default_process();
@@ -212,6 +280,7 @@ int cmd_dse(int argc, char** argv) {
   }
   copt.timeout_seconds = flag_value(argc, argv, "--timeout", 0.0);
   copt.jobs = static_cast<int>(flag_value(argc, argv, "--jobs", 1.0));
+  copt.cancel = &g_interrupted;
 
   std::vector<lim::PartitionChoice> choices;
   for (int bw : {8, 16, 32, 64, 128})
@@ -237,9 +306,20 @@ int cmd_dse(int argc, char** argv) {
     if (!p.ok) ++failed;
   std::fprintf(stderr,
                "# dse %dx%d: %zu points (%d computed, %d resumed, %d failed;"
-               " %d stale + %d torn journal entries)\n",
+               " %d stale + %d corrupt journal entries%s)\n",
                words, bits, sweep.points.size(), sweep.computed, sweep.resumed,
-               failed, sweep.stale, sweep.malformed);
+               failed, sweep.stale, sweep.malformed,
+               sweep.torn_tail ? ", torn tail treated as unwritten" : "");
+  print_store_stats();
+  if (sweep.interrupted) {
+    std::fprintf(stderr,
+                 "# interrupted with %zu/%zu points done; journal is"
+                 " intact, rerun with --resume %s to finish\n",
+                 sweep.points.size(), choices.size(),
+                 copt.journal_path.empty() ? "<journal>"
+                                           : copt.journal_path.c_str());
+    return exit_code_for(ErrorCode::kInterrupted);
+  }
   if (sweep.timed_out) {
     std::fprintf(stderr,
                  "# timed out after %.3g s with %zu/%zu points done; rerun"
@@ -457,6 +537,7 @@ int cmd_simulate(int argc, char** argv) {
 // the outcome taxonomy with Wilson intervals plus AVF-derated FIT/MTBF.
 int cmd_seu(int argc, char** argv) {
   if (argc < 5) return usage();
+  install_interrupt_handlers();
   const tech::Process process = tech::default_process();
   const tech::StdCellLib cells(process);
   lim::SramConfig cfg{std::atoi(argv[1]), std::atoi(argv[2]),
@@ -499,6 +580,7 @@ int cmd_seu(int argc, char** argv) {
   copt.workers = static_cast<int>(flag_value(argc, argv, "--workers", 1.0));
   copt.burst = static_cast<int>(flag_value(argc, argv, "--burst", 1.0));
   copt.timeout_seconds = flag_value(argc, argv, "--timeout", 0.0);
+  copt.cancel = &g_interrupted;
   copt.journal_path = flag_string(argc, argv, "--journal");
   const std::string resume_path = flag_string(argc, argv, "--resume");
   if (!resume_path.empty()) {
@@ -512,8 +594,10 @@ int cmd_seu(int argc, char** argv) {
   std::fprintf(stderr, "# seu campaign %s: %d computed, %d resumed",
                res.key.c_str(), res.computed, res.resumed);
   if (res.malformed || res.stale)
-    std::fprintf(stderr, "; journal: %d torn, %d stale line(s) skipped",
+    std::fprintf(stderr, "; journal: %d corrupt, %d stale line(s) skipped",
                  res.malformed, res.stale);
+  if (res.torn_tail)
+    std::fputs("; torn tail treated as unwritten", stderr);
   std::fputc('\n', stderr);
   const std::string report = seu::format_campaign_report(res, cfg);
   const std::string report_path = flag_string(argc, argv, "--report");
@@ -524,6 +608,13 @@ int cmd_seu(int argc, char** argv) {
     out << report;
   }
   std::fputs(report.c_str(), stdout);
+  if (res.interrupted) {
+    std::fprintf(stderr,
+                 "# interrupted with %d/%d samples done; journal is intact,"
+                 " rerun with --resume to finish\n",
+                 res.completed, res.samples);
+    return exit_code_for(ErrorCode::kInterrupted);
+  }
   if (!res.complete())
     return exit_code_for(ErrorCode::kResourceExhausted);
   return 0;
@@ -625,6 +716,7 @@ int cmd_yield(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   try {
+    attach_cache_dir(argc, argv);
     const std::string cmd = argv[1];
     if (cmd == "brick") return cmd_brick(argc - 1, argv + 1);
     if (cmd == "sweep") return cmd_sweep(argc - 1, argv + 1);
