@@ -95,6 +95,12 @@ FullYieldResult analyze_yield_full(
   std::vector<bool> repairable(static_cast<std::size_t>(opt.chips), false);
   Rng rng(opt.seed);
   for (int i = 0; i < opt.chips; ++i) {
+    if (opt.cancel != nullptr &&
+        opt.cancel->load(std::memory_order_relaxed))
+      LIMS_FAIL(ErrorCode::kInterrupted,
+                "yield analysis interrupted after "
+                    << i << " of " << opt.chips
+                    << " chips (no output written)");
     const tech::Process sample = nominal.monte_carlo_chip(rng);
     const double f = fmax_of(sample);
     LIMS_CHECK_MSG(f > 0.0, "yield: chip " << i << " returned fmax " << f);

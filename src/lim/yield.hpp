@@ -15,6 +15,7 @@
 // fraction at speed".
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
@@ -56,6 +57,12 @@ struct FullYieldOptions {
   /// the tech::Process values).
   double defect_density_per_m2 = -1.0;
   double cluster_alpha = -1.0;
+  /// Cooperative cancellation (SIGINT/SIGTERM handlers set it). Checked
+  /// between sampled chips: on cancel the analysis throws
+  /// Error(kInterrupted) *before* any output is written, so the CLI
+  /// stops with the stable interrupted exit code (8) instead of dying
+  /// mid-write.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct FullYieldResult {

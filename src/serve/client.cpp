@@ -1,0 +1,27 @@
+#include "serve/client.hpp"
+
+namespace limsynth::serve {
+
+Client::Client(Transport& transport, const Endpoint& ep, int timeout_ms)
+    : conn_(transport.connect(ep, timeout_ms)) {}
+
+CallResult Client::call(const std::string& request_json, int timeout_ms) {
+  CallResult res;
+  if (!conn_) return res;
+  res.write_err = write_frame(*conn_, request_json, timeout_ms);
+  if (res.write_err != TxErr::kNone) return res;
+  const FrameStatus st =
+      reader_.poll(*conn_, timeout_ms, timeout_ms, &res.payload);
+  res.read_status = st;
+  if (st != FrameStatus::kFrame) return res;
+  res.transport_ok = true;
+  res.reply_parsed = parse_reply(res.payload, &res.fields);
+  return res;
+}
+
+void Client::close() {
+  if (conn_) conn_->close();
+  conn_.reset();
+}
+
+}  // namespace limsynth::serve

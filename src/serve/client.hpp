@@ -1,0 +1,52 @@
+// Blocking client for the characterization daemon.
+//
+// Used by `limsynth call`, the serve bench, and the integration tests.
+// One connection, sequential framed request/reply calls; every failure is
+// a classified CallResult, never an exception — client code (CI scripts,
+// load generators) must distinguish "server said no" (a typed reply)
+// from "the wire broke" (a transport error).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/codec.hpp"
+#include "serve/framing.hpp"
+#include "serve/transport.hpp"
+
+namespace limsynth::serve {
+
+struct CallResult {
+  bool transport_ok = false;  ///< a complete reply frame arrived
+  TxErr write_err = TxErr::kNone;
+  FrameStatus read_status = FrameStatus::kOther;
+  std::string payload;   ///< raw reply JSON when transport_ok
+  ReplyFields fields;    ///< decoded when transport_ok and parseable
+  bool reply_parsed = false;
+};
+
+class Client {
+ public:
+  /// Connects immediately; connected() reports the outcome.
+  Client(Transport& transport, const Endpoint& ep, int timeout_ms = 2000);
+
+  bool connected() const { return conn_ != nullptr; }
+
+  /// Sends one request payload and waits up to `timeout_ms` for the
+  /// reply frame.
+  CallResult call(const std::string& request_json, int timeout_ms = 30000);
+
+  /// Raw access for fault-shaped clients (torn frames, partial bytes).
+  Conn* conn() { return conn_.get(); }
+  /// Replaces the connection (tests wrap it in a FaultConn).
+  void wrap(std::unique_ptr<Conn> conn) { conn_ = std::move(conn); }
+  std::unique_ptr<Conn> release() { return std::move(conn_); }
+
+  void close();
+
+ private:
+  std::unique_ptr<Conn> conn_;
+  FrameReader reader_{1 << 20};
+};
+
+}  // namespace limsynth::serve

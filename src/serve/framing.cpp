@@ -1,0 +1,130 @@
+#include "serve/framing.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace limsynth::serve {
+
+namespace {
+
+constexpr std::size_t kPrefixBytes = 4;
+
+std::uint32_t decode_length(const char* p) {
+  const auto b = [&](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+}
+
+}  // namespace
+
+const char* frame_status_name(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kFrame: return "frame";
+    case FrameStatus::kNeedMore: return "need_more";
+    case FrameStatus::kEof: return "eof";
+    case FrameStatus::kTorn: return "torn";
+    case FrameStatus::kReset: return "reset";
+    case FrameStatus::kOversized: return "oversized";
+    case FrameStatus::kSlowLoris: return "slow_loris";
+    case FrameStatus::kOther: return "other";
+  }
+  return "other";
+}
+
+std::string encode_frame(const std::string& payload) {
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kPrefixBytes + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xFF));
+  out.push_back(static_cast<char>((n >> 16) & 0xFF));
+  out.push_back(static_cast<char>((n >> 8) & 0xFF));
+  out.push_back(static_cast<char>(n & 0xFF));
+  out += payload;
+  return out;
+}
+
+TxErr write_frame(Conn& conn, const std::string& payload, int timeout_ms) {
+  const std::string wire = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const TxResult r =
+        conn.write_some(wire.data() + sent, wire.size() - sent, timeout_ms);
+    if (!r.ok()) return r.err;
+    sent += r.bytes;
+  }
+  return TxErr::kNone;
+}
+
+FrameStatus FrameReader::try_extract(std::string* payload) {
+  if (buf_.size() < kPrefixBytes) return FrameStatus::kNeedMore;
+  const std::uint32_t len = decode_length(buf_.data());
+  if (len > max_frame_bytes_) return FrameStatus::kOversized;
+  if (buf_.size() < kPrefixBytes + len) return FrameStatus::kNeedMore;
+  payload->assign(buf_, kPrefixBytes, len);
+  buf_.erase(0, kPrefixBytes + len);
+  if (buf_.empty()) frame_clock_running_ = false;
+  // Pipelined bytes already buffered belong to the *next* frame: restart
+  // its assembly clock now.
+  else
+    frame_start_ = std::chrono::steady_clock::now();
+  return FrameStatus::kFrame;
+}
+
+FrameStatus FrameReader::poll(Conn& conn, int wait_ms, int frame_timeout_ms,
+                              std::string* payload) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::milliseconds(wait_ms);
+  for (;;) {
+    const FrameStatus st = try_extract(payload);
+    if (st != FrameStatus::kNeedMore) return st;
+
+    if (mid_frame()) {
+      if (!frame_clock_running_) {
+        frame_clock_running_ = true;
+        frame_start_ = clock::now();
+      }
+      if (clock::now() - frame_start_ >
+          std::chrono::milliseconds(frame_timeout_ms))
+        return FrameStatus::kSlowLoris;
+    }
+
+    const auto now = clock::now();
+    if (now >= deadline) return FrameStatus::kNeedMore;
+    long long slice = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+    if (mid_frame()) {
+      // Never sleep past the slow-loris deadline of the frame in flight.
+      const long long frame_left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              frame_start_ + std::chrono::milliseconds(frame_timeout_ms) -
+              now)
+              .count();
+      slice = std::min(slice, std::max<long long>(frame_left, 1));
+    }
+
+    char chunk[4096];
+    const TxResult r =
+        conn.read_some(chunk, sizeof(chunk), static_cast<int>(slice));
+    switch (r.err) {
+      case TxErr::kNone:
+        buf_.append(chunk, r.bytes);
+        if (buf_.size() > max_frame_bytes_ + kPrefixBytes)
+          return FrameStatus::kOversized;
+        break;
+      case TxErr::kTimeout:
+        // Retryable (EAGAIN storm / quiet wire): loop until our own
+        // deadline decides between kNeedMore and kSlowLoris.
+        break;
+      case TxErr::kEof:
+        return mid_frame() ? FrameStatus::kTorn : FrameStatus::kEof;
+      case TxErr::kReset:
+        return FrameStatus::kReset;
+      case TxErr::kOther:
+        return FrameStatus::kOther;
+    }
+  }
+}
+
+}  // namespace limsynth::serve

@@ -1,0 +1,79 @@
+// Length-prefixed frame assembly over a Conn.
+//
+// Wire format: a 4-byte big-endian payload length followed by exactly
+// that many payload bytes. The reader is incremental — it accumulates
+// whatever read_some() delivers (one byte at a time under FaultConn's
+// short-read injection, several pipelined frames in one gulp from a fast
+// client) and owns the two protocol-level failure classifications that
+// pure byte I/O cannot make:
+//   * kOversized — the declared length exceeds the server's bound. The
+//     frame is rejected *before* any payload allocation, so a hostile
+//     4-byte prefix cannot make the server reserve gigabytes.
+//   * kSlowLoris — a frame that started arriving but did not complete
+//     within the per-frame assembly budget. Distinct from an idle
+//     connection (kNeedMore with an empty buffer), which is legitimate
+//     keep-alive behavior bounded separately by the server's idle policy.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/transport.hpp"
+
+namespace limsynth::serve {
+
+/// Outcome of one FrameReader::poll() call.
+enum class FrameStatus {
+  kFrame = 0,   ///< *payload holds one complete frame
+  kNeedMore,    ///< no complete frame yet; the wait elapsed
+  kEof,         ///< orderly peer close at a frame boundary
+  kTorn,        ///< peer closed mid-frame (truncated prefix or payload)
+  kReset,       ///< connection dropped
+  kOversized,   ///< declared length exceeds the configured bound
+  kSlowLoris,   ///< frame assembly exceeded its wall-clock budget
+  kOther,       ///< transport error
+};
+
+const char* frame_status_name(FrameStatus s);
+
+/// Encodes one frame (prefix + payload) for raw-socket test clients.
+std::string encode_frame(const std::string& payload);
+
+/// Writes one frame, looping over short writes. `timeout_ms` bounds each
+/// individual write_some wait (a stalled peer fails with kTimeout).
+TxErr write_frame(Conn& conn, const std::string& payload, int timeout_ms);
+
+/// Incremental frame reader; one instance per connection. Stateful:
+/// bytes beyond the first complete frame stay buffered for the next
+/// poll() (request pipelining), and a partially assembled frame survives
+/// kNeedMore returns so the caller can interleave drain checks.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Pulls from `conn` for up to `wait_ms`, assembling at most one frame.
+  /// `frame_timeout_ms` is the slow-loris bound: the wall-clock budget
+  /// from a frame's first byte to its completion, across poll() calls.
+  FrameStatus poll(Conn& conn, int wait_ms, int frame_timeout_ms,
+                   std::string* payload);
+
+  /// True when a frame has started arriving but is not complete — during
+  /// a drain the server closes such connections instead of waiting
+  /// (a half-received request is not in-flight work).
+  bool mid_frame() const { return !buf_.empty(); }
+
+ private:
+  /// Extracts one complete frame from buf_ if present. Returns kFrame,
+  /// kNeedMore (insufficient bytes), or kOversized.
+  FrameStatus try_extract(std::string* payload);
+
+  std::size_t max_frame_bytes_;
+  std::string buf_;
+  bool frame_clock_running_ = false;
+  std::chrono::steady_clock::time_point frame_start_{};
+};
+
+}  // namespace limsynth::serve

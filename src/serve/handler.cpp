@@ -1,0 +1,234 @@
+#include "serve/handler.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "brick/cache.hpp"
+#include "lim/dse.hpp"
+#include "lim/flow.hpp"
+#include "lim/sram_builder.hpp"
+#include "util/fs.hpp"
+#include "util/watchdog.hpp"
+
+namespace limsynth::serve {
+
+namespace {
+
+tech::BitcellKind parse_kind_or_fail(const std::string& s) {
+  if (s == "sram6t") return tech::BitcellKind::kSram6T;
+  if (s == "sram8t") return tech::BitcellKind::kSram8T;
+  if (s == "cam10t") return tech::BitcellKind::kCamNor10T;
+  if (s == "edram") return tech::BitcellKind::kEdram1T1C;
+  LIMS_FAIL(ErrorCode::kInvalidConfig,
+            "unknown bitcell kind \"" << s
+                                      << "\" (sram6t sram8t cam10t edram)");
+}
+
+/// Validates an optional external Liberty reference up front: the file
+/// must exist, be readable, and look like a .lib. A bad path is a typed
+/// error reply — the per-request analog of the CLI's kIo exit.
+void check_liberty_ref(const std::string& path) {
+  if (path.empty()) return;
+  DIAG_CONTEXT("validate liberty reference " + path);
+  std::string content;
+  const fs::IoStatus st = fs::Fs::real().read_file(path, &content);
+  if (st.err == fs::IoErr::kNotFound)
+    LIMS_FAIL(ErrorCode::kIo, "liberty file not found: " << path);
+  if (!st.ok())
+    LIMS_FAIL(ErrorCode::kIo,
+              "cannot read liberty file " << path << ": " << st.message);
+  const std::size_t first = content.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos ||
+      content.compare(first, 7, "library") != 0)
+    LIMS_FAIL(ErrorCode::kInvalidConfig,
+              "not a Liberty library (no leading \"library\" group): "
+                  << path);
+}
+
+void check_cancelled(const HandlerContext& ctx) {
+  if (ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed))
+    LIMS_FAIL(ErrorCode::kInterrupted, "server draining; request abandoned");
+}
+
+double effective_deadline_seconds(const Request& req,
+                                  const HandlerContext& ctx) {
+  const double cap = ctx.max_deadline_seconds;
+  if (req.deadline_ms <= 0.0) return cap;
+  const double want = req.deadline_ms / 1000.0;
+  return (cap > 0.0 && want > cap) ? cap : want;
+}
+
+std::string run_characterize(const Request& req, const HandlerContext& ctx,
+                             const Watchdog& wd) {
+  DIAG_CONTEXT("serve characterize " + std::to_string(req.words) + "x" +
+               std::to_string(req.bits));
+  brick::BrickSpec spec;
+  spec.bitcell = parse_kind_or_fail(req.kind);
+  spec.words = req.words;
+  spec.bits = req.bits;
+  spec.stack = req.stack;
+  wd.check();
+  const auto compiled =
+      brick::BrickCache::global().get(spec, *ctx.process);
+  wd.check();
+  const brick::BrickEstimate& e = compiled->estimate;
+  JsonWriter w;
+  w.add("id", req.id).add("ok", true);
+  w.add("op", std::string(op_name(req.op)));
+  w.add("brick", spec.name());
+  w.add("read_delay_s", e.read_delay).add("read_energy_j", e.read_energy);
+  w.add("write_delay_s", e.write_delay).add("write_energy_j", e.write_energy);
+  if (e.match_delay > 0.0) {
+    w.add("match_delay_s", e.match_delay);
+    w.add("match_energy_j", e.match_energy);
+  }
+  w.add("min_cycle_s", e.min_cycle).add("leakage_w", e.leakage);
+  w.add("bank_area_m2", e.bank_area);
+  w.add("brick_area_m2", compiled->brick.layout.area);
+  return w.str();
+}
+
+std::string run_dse_point(const Request& req, const HandlerContext& ctx,
+                          const Watchdog& wd) {
+  DIAG_CONTEXT("serve dse_point " + std::to_string(req.words) + "x" +
+               std::to_string(req.bits) + " bw" +
+               std::to_string(req.brick_words));
+  lim::PartitionChoice choice;
+  choice.words = req.words;
+  choice.bits = req.bits;
+  choice.brick_words = req.brick_words;
+  choice.bitcell = parse_kind_or_fail(req.kind);
+  lim::SweepOptions sopt;
+  sopt.ecc = req.ecc;
+  sopt.spare_rows = req.spare_rows;
+  sopt.yield_chips = req.yield_chips;
+  sopt.yield_seed = req.seed;
+  wd.check();
+  // The sweep's own per-point degradation: a sick point comes back with
+  // its taxonomy code captured instead of throwing.
+  const lim::DsePoint p =
+      lim::evaluate_partition_caught(choice, *ctx.process, sopt);
+  wd.check();
+  if (!p.ok) throw Error(p.error_code, p.error);
+  JsonWriter w;
+  w.add("id", req.id).add("ok", true);
+  w.add("op", std::string(op_name(req.op)));
+  w.add("point", choice.label());
+  w.add("read_delay_s", p.read_delay).add("read_energy_j", p.read_energy);
+  w.add("area_m2", p.area);
+  w.add("post_repair_yield", p.post_repair_yield);
+  return w.str();
+}
+
+std::string run_analyze(const Request& req, const HandlerContext& ctx,
+                        const Watchdog& wd) {
+  lim::SramConfig cfg;
+  cfg.words = req.words;
+  cfg.bits = req.bits;
+  cfg.banks = req.banks;
+  cfg.brick_words = req.brick_words;
+  cfg.bitcell = parse_kind_or_fail(req.kind);
+  cfg.ecc = req.ecc;
+  cfg.spare_rows = req.spare_rows;
+  DIAG_CONTEXT("serve analyze " + cfg.name());
+  cfg.validate();
+  wd.check();
+  check_cancelled(ctx);
+  lim::SramDesign d = lim::build_sram(cfg, *ctx.process, *ctx.cells);
+  wd.check();
+  check_cancelled(ctx);
+  lim::FlowOptions fopt;
+  fopt.activity_cycles = req.cycles;
+  fopt.stimulus_seed = req.seed;
+  const lim::FlowReport rep =
+      lim::run_sram_flow(d, *ctx.cells, *ctx.process, fopt);
+  wd.check();
+  JsonWriter w;
+  w.add("id", req.id).add("ok", true);
+  w.add("op", std::string(op_name(req.op)));
+  w.add("config", cfg.name());
+  w.add("fmax_hz", rep.fmax);
+  w.add("area_m2", rep.area);
+  w.add("power_w", rep.power.total());
+  w.add("energy_per_cycle_j", rep.power.energy_per_cycle);
+  w.add("critical_endpoint", rep.timing.critical_endpoint);
+  return w.str();
+}
+
+std::string run_sleep(const Request& req, const HandlerContext& ctx,
+                      const Watchdog& wd) {
+  DIAG_CONTEXT("serve sleep");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto until =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double, std::milli>(req.sleep_ms));
+  // Cooperative: the nap is sliced so deadlines and drain both preempt
+  // it — this is the op the backpressure and deadline tests lean on.
+  while (std::chrono::steady_clock::now() < until) {
+    wd.check();
+    check_cancelled(ctx);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  wd.check();
+  JsonWriter w;
+  w.add("id", req.id).add("ok", true);
+  w.add("op", std::string(op_name(req.op)));
+  w.add("slept_ms", req.sleep_ms);
+  return w.str();
+}
+
+}  // namespace
+
+Handled handle_request(const Request& req, const HandlerContext& ctx) {
+  Handled out;
+  try {
+    LIMS_CHECK_MSG(ctx.process != nullptr && ctx.cells != nullptr,
+                   "handler context missing resident libraries");
+    const Watchdog wd("serve request " + std::string(op_name(req.op)),
+                      effective_deadline_seconds(req, ctx));
+    check_liberty_ref(req.liberty);
+    switch (req.op) {
+      case Op::kPing: {
+        JsonWriter w;
+        w.add("id", req.id).add("ok", true);
+        w.add("op", std::string(op_name(req.op)));
+        out.payload = w.str();
+        return out;
+      }
+      case Op::kCharacterize:
+        out.payload = run_characterize(req, ctx, wd);
+        return out;
+      case Op::kDsePoint:
+        out.payload = run_dse_point(req, ctx, wd);
+        return out;
+      case Op::kAnalyze:
+        out.payload = run_analyze(req, ctx, wd);
+        return out;
+      case Op::kSleep:
+        out.payload = run_sleep(req, ctx, wd);
+        return out;
+      case Op::kStats:
+        // The server answers stats itself (it owns the counters); a
+        // handler-level stats request reports what it can see.
+        JsonWriter w;
+        w.add("id", req.id).add("ok", true);
+        w.add("op", std::string(op_name(req.op)));
+        w.add("cache_entries",
+              static_cast<std::uint64_t>(brick::BrickCache::global().size()));
+        out.payload = w.str();
+        return out;
+    }
+    LIMS_UNREACHABLE("unhandled op");
+  } catch (const Error& e) {
+    out.ok = false;
+    out.code = e.code();
+    out.payload = make_error_reply(req.id, e.code(), e.what());
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.code = ErrorCode::kInternal;
+    out.payload = make_error_reply(req.id, ErrorCode::kInternal, e.what());
+  }
+  return out;
+}
+
+}  // namespace limsynth::serve

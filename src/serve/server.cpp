@@ -1,0 +1,227 @@
+#include "serve/server.hpp"
+
+#include <thread>
+#include <vector>
+
+#include "brick/cache.hpp"
+#include "brick/store.hpp"
+#include "serve/framing.hpp"
+
+namespace limsynth::serve {
+
+Server::Server(Listener& listener, const HandlerContext& ctx,
+               const ServeOptions& options)
+    : listener_(listener), ctx_(ctx), opt_(options) {
+  // The handler's drain flag is the server's, so in-flight long ops stop
+  // at their next stage boundary once the drain begins.
+  ctx_.cancel = &draining_;
+  if (ctx_.max_deadline_seconds <= 0.0 ||
+      ctx_.max_deadline_seconds > opt_.request_deadline_seconds)
+    ctx_.max_deadline_seconds = opt_.request_deadline_seconds;
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.accepted = n_.accepted.load();
+  s.shed = n_.shed.load();
+  s.closed = n_.closed.load();
+  s.drained = n_.drained.load();
+  s.requests = n_.requests.load();
+  s.replies_ok = n_.replies_ok.load();
+  s.replies_error = n_.replies_error.load();
+  s.deadline_exceeded = n_.deadline_exceeded.load();
+  s.protocol_errors = n_.protocol_errors.load();
+  s.disconnects = n_.disconnects.load();
+  s.slow_loris = n_.slow_loris.load();
+  s.idle_closed = n_.idle_closed.load();
+  return s;
+}
+
+std::string Server::stats_reply(const std::string& id) const {
+  const ServeStats s = stats();
+  JsonWriter w;
+  w.add("id", id).add("ok", true);
+  w.add("op", std::string("stats"));
+  w.add("accepted", s.accepted).add("shed", s.shed).add("closed", s.closed);
+  w.add("requests", s.requests);
+  w.add("replies_ok", s.replies_ok).add("replies_error", s.replies_error);
+  w.add("deadline_exceeded", s.deadline_exceeded);
+  w.add("protocol_errors", s.protocol_errors);
+  w.add("disconnects", s.disconnects).add("slow_loris", s.slow_loris);
+  w.add("idle_closed", s.idle_closed);
+  const brick::BrickCache& cache = brick::BrickCache::global();
+  w.add("cache_entries", static_cast<std::uint64_t>(cache.size()));
+  w.add("cache_hits", cache.hits()).add("cache_misses", cache.misses());
+  w.add("disk_hits", cache.disk_hits());
+  if (const auto store = brick::BrickCache::global().store()) {
+    const brick::StoreStats ss = store->stats();
+    w.add("store_saves", ss.saves).add("store_quarantined", ss.quarantined);
+    w.add("store_writes_disabled", ss.writes_disabled);
+  }
+  return w.str();
+}
+
+std::string Server::dispatch(const std::string& payload) {
+  n_.requests.fetch_add(1);
+  Request req;
+  std::string parse_error;
+  if (!parse_request(payload, &req, &parse_error)) {
+    n_.replies_error.fetch_add(1);
+    n_.protocol_errors.fetch_add(1);
+    return make_error_reply("", ErrorCode::kInvalidConfig,
+                            "malformed request: " + parse_error);
+  }
+  if (req.op == Op::kStats) {
+    n_.replies_ok.fetch_add(1);
+    return stats_reply(req.id);
+  }
+  const Handled h = handle_request(req, ctx_);
+  if (h.ok) {
+    n_.replies_ok.fetch_add(1);
+  } else {
+    n_.replies_error.fetch_add(1);
+    if (h.code == ErrorCode::kResourceExhausted)
+      n_.deadline_exceeded.fetch_add(1);
+  }
+  return h.payload;
+}
+
+void Server::serve_connection(std::unique_ptr<Conn> conn) {
+  FrameReader reader(opt_.max_frame_bytes);
+  int idle_spent_ms = 0;
+  for (;;) {
+    if (draining() && !reader.mid_frame()) {
+      // Between requests at drain time: nothing in flight here. (A
+      // half-received frame is also not in-flight work — it can never
+      // complete once we stop waiting — so it falls through to close
+      // via the slices below only if it finishes in time.)
+      break;
+    }
+    std::string payload;
+    const int slice = opt_.accept_poll_ms;
+    const FrameStatus st =
+        reader.poll(*conn, slice, opt_.frame_timeout_ms, &payload);
+    switch (st) {
+      case FrameStatus::kFrame: {
+        idle_spent_ms = 0;
+        const std::string reply = dispatch(payload);
+        if (write_frame(*conn, reply, opt_.write_timeout_ms) !=
+            TxErr::kNone) {
+          n_.disconnects.fetch_add(1);
+          goto done;
+        }
+        break;
+      }
+      case FrameStatus::kNeedMore:
+        if (!reader.mid_frame()) {
+          idle_spent_ms += slice;
+          if (idle_spent_ms >= opt_.idle_timeout_ms) {
+            n_.idle_closed.fetch_add(1);
+            goto done;
+          }
+        }
+        break;
+      case FrameStatus::kEof:
+        goto done;  // orderly close between frames
+      case FrameStatus::kTorn:
+      case FrameStatus::kReset:
+        n_.disconnects.fetch_add(1);
+        goto done;
+      case FrameStatus::kSlowLoris:
+        n_.slow_loris.fetch_add(1);
+        // Best effort: tell the client why before hanging up.
+        write_frame(*conn,
+                    make_error_reply("", ErrorCode::kResourceExhausted,
+                                     "frame assembly exceeded " +
+                                         std::to_string(opt_.frame_timeout_ms) +
+                                         " ms"),
+                    opt_.write_timeout_ms);
+        goto done;
+      case FrameStatus::kOversized:
+        n_.protocol_errors.fetch_add(1);
+        write_frame(*conn,
+                    make_error_reply("", ErrorCode::kInvalidConfig,
+                                     "frame exceeds " +
+                                         std::to_string(opt_.max_frame_bytes) +
+                                         " bytes"),
+                    opt_.write_timeout_ms);
+        goto done;  // framing may be unsynchronized; do not continue
+      case FrameStatus::kOther:
+        n_.protocol_errors.fetch_add(1);
+        goto done;
+    }
+  }
+done:
+  conn->close();
+  n_.closed.fetch_add(1);
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Conn> conn;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return !queue_.empty() || draining(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      conn = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    serve_connection(std::move(conn));
+  }
+}
+
+void Server::run() {
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int i = 0; i < opt_.workers; ++i)
+    workers.emplace_back([this] { worker_loop(); });
+
+  // Acceptor loop (this thread). Shedding happens here: a full queue
+  // means every worker is busy and the backlog is at capacity, so the
+  // client gets an immediate typed refusal instead of an unbounded wait.
+  while (!(opt_.shutdown != nullptr &&
+           opt_.shutdown->load(std::memory_order_relaxed))) {
+    std::unique_ptr<Conn> conn = listener_.accept(opt_.accept_poll_ms);
+    if (!conn) continue;
+    if (opt_.conn_filter) conn = opt_.conn_filter(std::move(conn));
+    n_.accepted.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (static_cast<int>(queue_.size()) < opt_.queue_depth) {
+        queue_.push_back(std::move(conn));
+        cv_.notify_one();
+        continue;
+      }
+    }
+    // Saturated: shed with a retry hint. The write gets a short timeout
+    // so a non-reading client cannot stall the acceptor.
+    write_frame(*conn, make_shed_reply(opt_.retry_after_ms),
+                opt_.write_timeout_ms);
+    conn->close();
+    n_.shed.fetch_add(1);
+  }
+
+  // ---- graceful drain -------------------------------------------------
+  listener_.close();  // stop accepting
+  // Queued-but-unserved connections have no request in flight: answer
+  // each with a shed reply (retry elsewhere/later) and close.
+  std::deque<std::unique_ptr<Conn>> leftover;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    leftover.swap(queue_);
+  }
+  for (auto& conn : leftover) {
+    write_frame(*conn, make_shed_reply(opt_.retry_after_ms),
+                opt_.write_timeout_ms);
+    conn->close();
+    n_.drained.fetch_add(1);
+    n_.closed.fetch_add(1);
+  }
+  // In-flight requests finish or deadline out; workers then notice the
+  // drain flag and exit.
+  draining_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  for (auto& t : workers) t.join();
+}
+
+}  // namespace limsynth::serve

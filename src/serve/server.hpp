@@ -1,0 +1,114 @@
+// The fault-tolerant multi-client characterization daemon.
+//
+// Architecture (one paragraph): the run() thread accepts connections and
+// pushes them onto a bounded queue; a bounded pool of worker threads pops
+// connections and serves framed JSON requests on them until the client
+// closes, misbehaves, or goes idle. Overload is shed explicitly — when
+// the queue is full the acceptor answers with a `retry_after_ms` reply
+// and closes, so saturation degrades to fast refusals instead of
+// unbounded memory growth. Every request runs under a Watchdog deadline
+// and the PR-2 typed-error catch, so a poisoned request costs one reply,
+// never the process. A SIGTERM drain (ServeOptions::shutdown) stops
+// accepting, gives queued-but-unserved connections a shed reply, lets
+// in-flight requests finish or deadline out, and returns from run() with
+// every connection closed — the caller then flushes store stats and
+// exits with the stable interrupted code (8).
+//
+// Failure-model testing: ServeOptions::conn_filter lets tests wrap every
+// accepted connection in a FaultConn, driving torn frames, short reads,
+// EAGAIN storms, resets, and slow-loris assembly through the exact code
+// paths production traffic uses.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "serve/handler.hpp"
+#include "serve/transport.hpp"
+
+namespace limsynth::serve {
+
+struct ServeOptions {
+  int workers = 4;      ///< connections served concurrently
+  int queue_depth = 8;  ///< accepted connections awaiting a worker
+  std::size_t max_frame_bytes = 1 << 20;
+  /// Per-request compute budget (Watchdog) and the cap on any
+  /// per-request deadline_ms override.
+  double request_deadline_seconds = 30.0;
+  /// Closing an idle keep-alive connection frees its worker (ms waiting
+  /// for the first byte of the next request).
+  int idle_timeout_ms = 30000;
+  /// Slow-loris bound: first byte of a frame to its completion (ms).
+  int frame_timeout_ms = 2000;
+  int write_timeout_ms = 2000;
+  int retry_after_ms = 250;  ///< advertised in shed replies
+  int accept_poll_ms = 50;   ///< accept/drain responsiveness granularity
+  /// Set by the SIGTERM handler: run() drains and returns.
+  const std::atomic<bool>* shutdown = nullptr;
+  /// Test seam: wraps every accepted connection (e.g. in a FaultConn).
+  std::function<std::unique_ptr<Conn>(std::unique_ptr<Conn>)> conn_filter;
+};
+
+/// Monotonic counters; all connections are accounted for:
+/// accepted == shed + closed once run() returns (no leaked connections).
+struct ServeStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;           ///< refused with retry_after_ms
+  std::uint64_t closed = 0;         ///< served connections fully closed
+  std::uint64_t drained = 0;        ///< queued conns answered at drain
+  std::uint64_t requests = 0;       ///< complete frames dispatched
+  std::uint64_t replies_ok = 0;
+  std::uint64_t replies_error = 0;  ///< typed error replies
+  std::uint64_t deadline_exceeded = 0;  ///< subset of replies_error
+  std::uint64_t protocol_errors = 0;  ///< oversized/garbage frames
+  std::uint64_t disconnects = 0;    ///< peer vanished (reset/torn/EOF mid-op)
+  std::uint64_t slow_loris = 0;     ///< frame-assembly timeouts
+  std::uint64_t idle_closed = 0;    ///< keep-alive reaped after idling
+};
+
+class Server {
+ public:
+  /// The listener stays owned by the caller (the CLI prints its address);
+  /// the server closes it when draining.
+  Server(Listener& listener, const HandlerContext& ctx,
+         const ServeOptions& options);
+
+  /// Serves until `options.shutdown` becomes true (or forever without
+  /// one). Blocks; returns after the drain completes with all workers
+  /// joined and every connection closed.
+  void run();
+
+  ServeStats stats() const;
+
+ private:
+  void worker_loop();
+  void serve_connection(std::unique_ptr<Conn> conn);
+  /// Parses + dispatches one frame, returns the reply payload.
+  std::string dispatch(const std::string& payload);
+  std::string stats_reply(const std::string& id) const;
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  Listener& listener_;
+  HandlerContext ctx_;
+  ServeOptions opt_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Conn>> queue_;
+  std::atomic<bool> draining_{false};
+
+  // Stats counters are individually atomic; stats() snapshots them.
+  struct Counters {
+    std::atomic<std::uint64_t> accepted{0}, shed{0}, closed{0}, drained{0},
+        requests{0}, replies_ok{0}, replies_error{0}, deadline_exceeded{0},
+        protocol_errors{0}, disconnects{0}, slow_loris{0}, idle_closed{0};
+  };
+  Counters n_;
+};
+
+}  // namespace limsynth::serve

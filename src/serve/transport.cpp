@@ -1,0 +1,315 @@
+#include "serve/transport.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace limsynth::serve {
+
+const char* tx_err_name(TxErr err) {
+  switch (err) {
+    case TxErr::kNone: return "none";
+    case TxErr::kEof: return "eof";
+    case TxErr::kTimeout: return "timeout";
+    case TxErr::kReset: return "reset";
+    case TxErr::kOther: return "other";
+  }
+  return "other";
+}
+
+std::string Endpoint::str() const {
+  if (!socket_path.empty()) return "unix:" + socket_path;
+  return "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Waits for readability/writability. Returns true when the fd is ready,
+/// false on timeout or poll error.
+bool wait_fd(int fd, short events, int timeout_ms) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int rc = ::poll(&pfd, 1, timeout_ms < 0 ? 0 : timeout_ms);
+  return rc > 0;
+}
+
+/// POSIX socket connection. All waits are poll()-bounded; writes use
+/// MSG_NOSIGNAL so a vanished peer is a kReset result, never SIGPIPE.
+class SocketConn : public Conn {
+ public:
+  explicit SocketConn(int fd) : fd_(fd) { set_nonblocking(fd_); }
+  ~SocketConn() override { close(); }
+
+  TxResult read_some(char* buf, std::size_t max, int timeout_ms) override {
+    if (fd_ < 0 || max == 0) return TxResult::fail(TxErr::kOther);
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, max, 0);
+      if (n > 0) return TxResult::good(static_cast<std::size_t>(n));
+      if (n == 0) return TxResult::fail(TxErr::kEof);
+      if (errno == ECONNRESET) return TxResult::fail(TxErr::kReset);
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK)
+        return TxResult::fail(TxErr::kOther);
+      if (!wait_fd(fd_, POLLIN, timeout_ms))
+        return TxResult::fail(TxErr::kTimeout);
+    }
+  }
+
+  TxResult write_some(const char* buf, std::size_t n, int timeout_ms) override {
+    if (fd_ < 0 || n == 0) return TxResult::fail(TxErr::kOther);
+    for (;;) {
+      const ssize_t w = ::send(fd_, buf, n, MSG_NOSIGNAL);
+      if (w > 0) return TxResult::good(static_cast<std::size_t>(w));
+      if (errno == EPIPE || errno == ECONNRESET)
+        return TxResult::fail(TxErr::kReset);
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK)
+        return TxResult::fail(TxErr::kOther);
+      if (!wait_fd(fd_, POLLOUT, timeout_ms))
+        return TxResult::fail(TxErr::kTimeout);
+    }
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class SocketListener : public Listener {
+ public:
+  SocketListener(int fd, std::string address, std::string unlink_path)
+      : fd_(fd),
+        address_(std::move(address)),
+        unlink_path_(std::move(unlink_path)) {
+    set_nonblocking(fd_);
+  }
+
+  ~SocketListener() override {
+    close();
+    if (fd_ >= 0) ::close(fd_);
+    if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
+  }
+
+  std::unique_ptr<Conn> accept(int timeout_ms) override {
+    if (closed_.load(std::memory_order_acquire)) return nullptr;
+    for (;;) {
+      const int cfd = ::accept(fd_, nullptr, nullptr);
+      if (cfd >= 0) return std::make_unique<SocketConn>(cfd);
+      if (closed_.load(std::memory_order_acquire)) return nullptr;
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return nullptr;
+      if (!wait_fd(fd_, POLLIN, timeout_ms)) return nullptr;
+      if (closed_.load(std::memory_order_acquire)) return nullptr;
+    }
+  }
+
+  void close() override {
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+    // shutdown() (not close()) wakes a concurrent accept() without the
+    // fd-reuse race; the fd itself is released in the destructor.
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  int fd_ = -1;
+  std::string address_;
+  std::string unlink_path_;
+  std::atomic<bool> closed_{false};
+};
+
+class PosixTransport : public Transport {
+ public:
+  std::unique_ptr<Listener> listen(const Endpoint& ep,
+                                   std::string* error) override {
+    if (!ep.socket_path.empty()) return listen_unix(ep.socket_path, error);
+    return listen_tcp(ep.port, error);
+  }
+
+  std::unique_ptr<Conn> connect(const Endpoint& ep, int timeout_ms) override {
+    if (!ep.socket_path.empty()) {
+      struct sockaddr_un addr {};
+      if (ep.socket_path.size() >= sizeof(addr.sun_path)) return nullptr;
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, ep.socket_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      return connect_fd(AF_UNIX, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr), timeout_ms);
+    }
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return connect_fd(AF_INET, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr), timeout_ms);
+  }
+
+ private:
+  static void set_error(std::string* error, const std::string& what) {
+    if (error) *error = what + ": " + std::strerror(errno);
+  }
+
+  std::unique_ptr<Listener> listen_unix(const std::string& path,
+                                        std::string* error) {
+    struct sockaddr_un addr {};
+    if (path.size() >= sizeof(addr.sun_path)) {
+      if (error) *error = "socket path too long: " + path;
+      return nullptr;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      set_error(error, "socket");
+      return nullptr;
+    }
+    ::unlink(path.c_str());  // a stale socket file from a killed server
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      set_error(error, "bind/listen " + path);
+      ::close(fd);
+      return nullptr;
+    }
+    return std::make_unique<SocketListener>(fd, "unix:" + path, path);
+  }
+
+  std::unique_ptr<Listener> listen_tcp(int port, std::string* error) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      set_error(error, "socket");
+      return nullptr;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      set_error(error, "bind/listen port " + std::to_string(port));
+      ::close(fd);
+      return nullptr;
+    }
+    // Report the kernel-chosen port for port 0 (tests bind ephemeral).
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    const int bound = ntohs(addr.sin_port);
+    return std::make_unique<SocketListener>(
+        fd, "tcp:127.0.0.1:" + std::to_string(bound), "");
+  }
+
+  std::unique_ptr<Conn> connect_fd(int family, sockaddr* addr, socklen_t len,
+                                   int timeout_ms) {
+    const int fd = ::socket(family, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+    set_nonblocking(fd);
+    if (::connect(fd, addr, len) != 0) {
+      if (errno != EINPROGRESS && errno != EAGAIN) {
+        ::close(fd);
+        return nullptr;
+      }
+      if (!wait_fd(fd, POLLOUT, timeout_ms)) {
+        ::close(fd);
+        return nullptr;
+      }
+      int soerr = 0;
+      socklen_t slen = sizeof(soerr);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0 ||
+          soerr != 0) {
+        ::close(fd);
+        return nullptr;
+      }
+    }
+    return std::make_unique<SocketConn>(fd);
+  }
+};
+
+}  // namespace
+
+Transport& Transport::real() {
+  static PosixTransport t;
+  return t;
+}
+
+TxResult FaultConn::read_some(char* buf, std::size_t max, int timeout_ms) {
+  ++reads;
+  if (delay_each_read_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_each_read_ms));
+  if (timeout_reads > 0) {
+    --timeout_reads;
+    return TxResult::fail(TxErr::kTimeout);
+  }
+  if (reset_read_after >= 0 && bytes_read_ >= reset_read_after)
+    return TxResult::fail(TxErr::kReset);
+  std::size_t cap = max;
+  if (max_chunk > 0 && cap > max_chunk) cap = max_chunk;
+  if (reset_read_after >= 0) {
+    const long room = reset_read_after - bytes_read_;
+    if (room > 0 && cap > static_cast<std::size_t>(room))
+      cap = static_cast<std::size_t>(room);
+  }
+  const TxResult r = base_->read_some(buf, cap, timeout_ms);
+  if (r.ok()) bytes_read_ += static_cast<long>(r.bytes);
+  return r;
+}
+
+TxResult FaultConn::write_some(const char* buf, std::size_t n,
+                               int timeout_ms) {
+  ++writes;
+  if (write_broken_) return TxResult::fail(TxErr::kReset);
+  if (reset_write_after >= 0 && bytes_written_ >= reset_write_after)
+    return TxResult::fail(TxErr::kReset);
+  std::size_t cap = n;
+  if (max_chunk > 0 && cap > max_chunk) cap = max_chunk;
+  if (torn_write_bytes >= 0) {
+    // Deliver the allowed prefix (across as many calls as it takes), then
+    // break the connection for good.
+    if (torn_write_bytes == 0) {
+      write_broken_ = true;
+      return TxResult::fail(TxErr::kReset);
+    }
+    if (cap > static_cast<std::size_t>(torn_write_bytes))
+      cap = static_cast<std::size_t>(torn_write_bytes);
+    const TxResult r = base_->write_some(buf, cap, timeout_ms);
+    if (r.ok()) {
+      torn_write_bytes -= static_cast<long>(r.bytes);
+      bytes_written_ += static_cast<long>(r.bytes);
+    }
+    return r;
+  }
+  if (reset_write_after >= 0) {
+    const long room = reset_write_after - bytes_written_;
+    if (room > 0 && cap > static_cast<std::size_t>(room))
+      cap = static_cast<std::size_t>(room);
+  }
+  const TxResult r = base_->write_some(buf, cap, timeout_ms);
+  if (r.ok()) bytes_written_ += static_cast<long>(r.bytes);
+  return r;
+}
+
+}  // namespace limsynth::serve

@@ -1,0 +1,158 @@
+// Byte-stream transport with an injectable fault seam.
+//
+// The characterization daemon (serve/server.hpp) must survive everything a
+// real network does to a long-running service: torn frames, short reads
+// and writes, EAGAIN storms, clients that vanish mid-request, and clients
+// that trickle one byte per second. All connection I/O therefore goes
+// through the small `Conn`/`Listener`/`Transport` interfaces below, whose
+// production implementation speaks POSIX sockets (Unix-domain or loopback
+// TCP) with poll()-bounded waits and MSG_NOSIGNAL writes. `FaultConn`
+// wraps any `Conn` and injects the transport failure modes the robustness
+// tests exercise — the exact analog of util/fs.hpp's `FaultFs` for disk
+// I/O: the server is tested against its failure model, not just its happy
+// path.
+//
+// Errors are returned as TxResult values, not exceptions: the server's
+// per-connection loop must classify and absorb every failure without
+// unwinding past the connection it happened on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace limsynth::serve {
+
+/// Failure classes a transport operation can report. The server maps each
+/// to a distinct graceful outcome (retry / close / count-and-continue).
+enum class TxErr {
+  kNone = 0,
+  kEof,      ///< orderly peer close (read side only)
+  kTimeout,  ///< no progress within the allotted wait (incl. EAGAIN storms)
+  kReset,    ///< connection dropped (ECONNRESET, EPIPE, mid-frame vanish)
+  kOther,    ///< anything else (bad fd, address in use, ...)
+};
+
+const char* tx_err_name(TxErr err);
+
+struct TxResult {
+  std::size_t bytes = 0;  ///< bytes actually transferred
+  TxErr err = TxErr::kNone;
+
+  bool ok() const { return err == TxErr::kNone; }
+  static TxResult good(std::size_t n) { return {n, TxErr::kNone}; }
+  static TxResult fail(TxErr err) { return {0, err}; }
+};
+
+/// One bidirectional byte stream. Implementations must tolerate close()
+/// being called more than once; read/write after close report kOther.
+class Conn {
+ public:
+  virtual ~Conn() = default;
+
+  /// Reads 1..max bytes, waiting at most `timeout_ms` for any data.
+  /// Success implies bytes >= 1; an orderly peer close is kEof and an
+  /// exhausted wait is kTimeout (both with bytes == 0).
+  virtual TxResult read_some(char* buf, std::size_t max, int timeout_ms) = 0;
+
+  /// Writes 1..n bytes (short writes are success with the short count —
+  /// callers loop). A closed peer is kReset, never a signal.
+  virtual TxResult write_some(const char* buf, std::size_t n,
+                              int timeout_ms) = 0;
+
+  virtual void close() = 0;
+};
+
+/// A bound, listening endpoint. close() is safe to call from another
+/// thread and causes pending and future accept() calls to return nullptr.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Waits up to `timeout_ms` for a connection; nullptr on timeout or
+  /// after close(). Never throws.
+  virtual std::unique_ptr<Conn> accept(int timeout_ms) = 0;
+
+  virtual void close() = 0;
+
+  /// Human-readable bound address ("unix:/path" or "tcp:127.0.0.1:port").
+  virtual std::string address() const = 0;
+};
+
+/// Where to listen/connect: a Unix-domain socket path when `socket_path`
+/// is non-empty, else loopback TCP on `port`.
+struct Endpoint {
+  std::string socket_path;
+  int port = 0;
+
+  std::string str() const;
+};
+
+/// Transport factory. The production implementation is process-wide and
+/// stateless; tests and the in-process bench use it directly on Unix
+/// sockets in the working directory.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Binds and listens. nullptr with no side effects on failure (path in
+  /// use, privileged port, ...); `error` (optional) receives the reason.
+  virtual std::unique_ptr<Listener> listen(const Endpoint& ep,
+                                           std::string* error) = 0;
+
+  /// Connects within `timeout_ms`; nullptr on refusal/timeout.
+  virtual std::unique_ptr<Conn> connect(const Endpoint& ep,
+                                        int timeout_ms) = 0;
+
+  /// The process-wide POSIX socket implementation.
+  static Transport& real();
+};
+
+/// Fault-injecting decorator. Each knob arms a one-shot or counted
+/// injection consumed by the next matching operation; unarmed operations
+/// pass through. Tests set the public members directly before handing the
+/// connection to the server (via ServeOptions::conn_filter) or before
+/// issuing a client call — this mirrors how fs::FaultFs parameterizes
+/// disk-fault injection.
+class FaultConn : public Conn {
+ public:
+  explicit FaultConn(std::unique_ptr<Conn> base) : base_(std::move(base)) {}
+
+  // --- injection knobs -------------------------------------------------
+  /// >0: every read and write transfers at most this many bytes — the
+  /// short-read/short-write stress for incremental frame assembly.
+  std::size_t max_chunk = 0;
+  /// Next N reads report kTimeout without consuming input (a spurious
+  /// EAGAIN storm; the frame reader must retry within its budget).
+  int timeout_reads = 0;
+  /// >= 0: once this many total bytes have been read, further reads
+  /// report kReset (the peer vanished mid-frame).
+  long reset_read_after = -1;
+  /// >= 0: once this many total bytes have been written, further writes
+  /// report kReset (the peer vanished mid-reply).
+  long reset_write_after = -1;
+  /// >= 0: the next write transfers only this many bytes and then the
+  /// connection reports kReset on every later write — a torn frame on
+  /// the wire.
+  long torn_write_bytes = -1;
+  /// Sleep this long before every read (a slow peer feeding the
+  /// slow-loris guard).
+  int delay_each_read_ms = 0;
+
+  // --- op counters (assertable) ----------------------------------------
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  TxResult read_some(char* buf, std::size_t max, int timeout_ms) override;
+  TxResult write_some(const char* buf, std::size_t n, int timeout_ms) override;
+  void close() override { base_->close(); }
+
+ private:
+  std::unique_ptr<Conn> base_;
+  long bytes_read_ = 0;
+  long bytes_written_ = 0;
+  bool write_broken_ = false;
+};
+
+}  // namespace limsynth::serve

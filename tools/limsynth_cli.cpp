@@ -15,6 +15,11 @@
 //   limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]
 //   limsynth spgemm <rmat_scale> <avg_degree>         both chips, one run
 //   limsynth yield <words> <bits> <banks> <brick_words>  CSV yield curve
+//   limsynth serve --socket PATH | --port N [--workers N] [--queue N]
+//       [--deadline-ms N] [--idle-ms N] [--frame-ms N]
+//                       fault-tolerant multi-client characterization daemon
+//   limsynth call --socket PATH | --port N --json '{...}' [--torn]
+//       [--timeout-ms N] [--repeat N]       one framed request, JSON reply
 //
 // kinds: sram6t sram8t cam10t edram
 //
@@ -51,6 +56,8 @@
 #include "lim/yield.hpp"
 #include "evsim/stimulus.hpp"
 #include "netlist/verilog.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "seu/campaign.hpp"
 #include "spgemm/generate.hpp"
 #include "synth/synth.hpp"
@@ -141,6 +148,11 @@ int usage() {
                "  limsynth yield <words> <bits> <banks> <brick_words>\n"
                "      [--chips N] [--seed S] [--d0 defects_per_cm2]\n"
                "      [--spares N] [--ecc]\n"
+               "  limsynth serve --socket PATH | --port N [--workers N]\n"
+               "      [--queue N] [--deadline-ms N] [--idle-ms N]"
+               " [--frame-ms N]\n"
+               "  limsynth call --socket PATH | --port N --json '{...}'\n"
+               "      [--torn] [--timeout-ms N] [--repeat N]\n"
                "kinds: sram6t sram8t cam10t edram\n"
                "global: --cache-dir DIR (or LIMSYNTH_CACHE_DIR) persists\n"
                "  compiled bricks in a crash-safe on-disk store shared\n"
@@ -370,6 +382,7 @@ int cmd_sram(int argc, char** argv) {
 // (settle-engine cross-check, dynamic validation of STA's min_period).
 int cmd_simulate(int argc, char** argv) {
   if (argc < 5) return usage();
+  install_interrupt_handlers();
   const tech::Process process = tech::default_process();
   const tech::StdCellLib cells(process);
   lim::SramConfig cfg{std::atoi(argv[1]), std::atoi(argv[2]),
@@ -474,11 +487,26 @@ int cmd_simulate(int argc, char** argv) {
       throw Error(ErrorCode::kIo, "cannot write VCD: " + vcd_path);
     ev.stream_vcd(vcd_file);
   }
+  bool interrupted = false;
   for (const auto& cycle_changes : trace.cycles) {
+    // Cooperative stop: close the VCD cleanly at a cycle boundary
+    // instead of dying mid-write and leaving a torn waveform.
+    if (g_interrupted.load()) {
+      interrupted = true;
+      break;
+    }
     for (const auto& ch : cycle_changes) ev.set_input(ch.net, ch.value);
     ev.cycle();
   }
   ev.finish_vcd();
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "# interrupted after %llu of %zu cycles; VCD closed"
+                 " cleanly\n",
+                 static_cast<unsigned long long>(ev.cycles()),
+                 trace.cycles.size());
+    return exit_code_for(ErrorCode::kInterrupted);
+  }
 
   std::printf("%s: %llu cycles, %llu events, sim time %s\n",
               cfg.name().c_str(),
@@ -679,6 +707,7 @@ int cmd_spgemm(int argc, char** argv) {
 // parametric (speed-only) and combined (repairable AND at-speed) yield.
 int cmd_yield(int argc, char** argv) {
   if (argc < 5) return usage();
+  install_interrupt_handlers();
   const tech::Process process = tech::default_process();
   lim::SramConfig cfg{std::atoi(argv[1]), std::atoi(argv[2]),
                       std::atoi(argv[3]), std::atoi(argv[4])};
@@ -687,6 +716,7 @@ int cmd_yield(int argc, char** argv) {
       static_cast<int>(flag_value(argc, argv, "--spares", 0.0));
 
   lim::FullYieldOptions opt;
+  opt.cancel = &g_interrupted;
   opt.chips = static_cast<int>(flag_value(argc, argv, "--chips", 200.0));
   opt.seed =
       static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1.0));
@@ -711,6 +741,125 @@ int cmd_yield(int argc, char** argv) {
   return 0;
 }
 
+serve::Endpoint parse_endpoint(int argc, char** argv) {
+  serve::Endpoint ep;
+  ep.socket_path = flag_string(argc, argv, "--socket");
+  ep.port = static_cast<int>(flag_value(argc, argv, "--port", 0.0));
+  LIMS_CHECK_MSG(!ep.socket_path.empty() || ep.port > 0,
+                 "serve/call need --socket PATH or --port N");
+  return ep;
+}
+
+// Long-running characterization daemon: bound libraries and the two-tier
+// brick cache stay resident; concurrent clients get framed JSON replies.
+// Runs until SIGINT/SIGTERM, then drains gracefully and exits 8.
+int cmd_serve(int argc, char** argv) {
+  install_interrupt_handlers();
+  const serve::Endpoint ep = parse_endpoint(argc, argv);
+
+  serve::ServeOptions sopt;
+  sopt.workers = static_cast<int>(flag_value(argc, argv, "--workers", 4.0));
+  sopt.queue_depth =
+      static_cast<int>(flag_value(argc, argv, "--queue", 8.0));
+  sopt.request_deadline_seconds =
+      flag_value(argc, argv, "--deadline-ms", 30000.0) / 1000.0;
+  sopt.idle_timeout_ms =
+      static_cast<int>(flag_value(argc, argv, "--idle-ms", 30000.0));
+  sopt.frame_timeout_ms =
+      static_cast<int>(flag_value(argc, argv, "--frame-ms", 2000.0));
+  sopt.shutdown = &g_interrupted;
+  LIMS_CHECK_MSG(sopt.workers >= 1 && sopt.queue_depth >= 1,
+                 "--workers and --queue must be >= 1");
+
+  // Resident state shared by every request (the MemSPICE split: build
+  // once, answer queries fast).
+  const tech::Process process = tech::default_process();
+  const tech::StdCellLib cells(process);
+  serve::HandlerContext ctx;
+  ctx.process = &process;
+  ctx.cells = &cells;
+
+  std::string lerr;
+  const auto listener = serve::Transport::real().listen(ep, &lerr);
+  if (!listener) throw Error(ErrorCode::kIo, "cannot listen: " + lerr);
+  std::fprintf(stderr, "# serve listening on %s (workers=%d queue=%d)\n",
+               listener->address().c_str(), sopt.workers, sopt.queue_depth);
+
+  serve::Server server(*listener, ctx, sopt);
+  server.run();
+
+  const serve::ServeStats s = server.stats();
+  std::fprintf(stderr,
+               "# serve drained: accepted=%llu shed=%llu closed=%llu"
+               " requests=%llu ok=%llu error=%llu deadline=%llu"
+               " protocol=%llu disconnects=%llu slow_loris=%llu\n",
+               static_cast<unsigned long long>(s.accepted),
+               static_cast<unsigned long long>(s.shed),
+               static_cast<unsigned long long>(s.closed),
+               static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.replies_ok),
+               static_cast<unsigned long long>(s.replies_error),
+               static_cast<unsigned long long>(s.deadline_exceeded),
+               static_cast<unsigned long long>(s.protocol_errors),
+               static_cast<unsigned long long>(s.disconnects),
+               static_cast<unsigned long long>(s.slow_loris));
+  print_store_stats();
+  // run() only returns on the drain path, so the exit is the stable
+  // interrupted code — scripts treat it exactly like an interrupted dse.
+  return exit_code_for(ErrorCode::kInterrupted);
+}
+
+// One-shot client: sends a framed JSON request, prints the raw JSON
+// reply, and maps the reply's taxonomy code onto the usual exit codes
+// (shed replies land on resource_exhausted, 5). --torn sends half a
+// frame and hangs up — the CI smoke's misbehaving client.
+int cmd_call(int argc, char** argv) {
+  const serve::Endpoint ep = parse_endpoint(argc, argv);
+  const std::string json = flag_string(argc, argv, "--json");
+  const int timeout_ms =
+      static_cast<int>(flag_value(argc, argv, "--timeout-ms", 30000.0));
+  const int repeat =
+      static_cast<int>(flag_value(argc, argv, "--repeat", 1.0));
+  LIMS_CHECK_MSG(!json.empty() || has_flag(argc, argv, "--torn"),
+                 "call needs --json '{...}' (or --torn)");
+
+  if (has_flag(argc, argv, "--torn")) {
+    // A client that dies mid-request: deliver half the frame, vanish.
+    serve::Client client(serve::Transport::real(), ep, timeout_ms);
+    if (!client.connected())
+      throw Error(ErrorCode::kIo, "cannot connect to " + ep.str());
+    const std::string wire =
+        serve::encode_frame(json.empty() ? std::string(64, 'x') : json);
+    auto conn = client.release();
+    conn->write_some(wire.data(), wire.size() / 2, timeout_ms);
+    conn->close();
+    std::fprintf(stderr, "# sent %zu of %zu bytes, then disconnected\n",
+                 wire.size() / 2, wire.size());
+    return 0;
+  }
+
+  int last = 0;
+  for (int i = 0; i < repeat; ++i) {
+    serve::Client client(serve::Transport::real(), ep, timeout_ms);
+    if (!client.connected())
+      throw Error(ErrorCode::kIo, "cannot connect to " + ep.str());
+    const serve::CallResult res = client.call(json, timeout_ms);
+    if (!res.transport_ok)
+      throw Error(ErrorCode::kIo,
+                  std::string("no reply (write ") +
+                      serve::tx_err_name(res.write_err) + ", read " +
+                      serve::frame_status_name(res.read_status) + ")");
+    std::printf("%s\n", res.payload.c_str());
+    if (res.reply_parsed && !res.fields.ok) {
+      ErrorCode code = ErrorCode::kInternal;
+      error_code_from_name(res.fields.error_code, &code);
+      last = exit_code_for(code);
+    }
+    client.close();
+  }
+  return last;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -727,6 +876,8 @@ int main(int argc, char** argv) {
     if (cmd == "optimize") return cmd_optimize(argc - 1, argv + 1);
     if (cmd == "spgemm") return cmd_spgemm(argc - 1, argv + 1);
     if (cmd == "yield") return cmd_yield(argc - 1, argv + 1);
+    if (cmd == "serve") return cmd_serve(argc - 1, argv + 1);
+    if (cmd == "call") return cmd_call(argc - 1, argv + 1);
     return usage();
   } catch (const Error& e) {
     // Structured exit codes: scripts driving sweeps can tell a bad config
