@@ -41,4 +41,13 @@ inline std::uint64_t seed_from_args(int argc, char** argv,
   return fallback;
 }
 
+/// Position-independent boolean flag test, the shared `--check` /
+/// `--no-batch` gate idiom: `bench_x --seed 3 --check` and
+/// `bench_x --check` both gate.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
 }  // namespace limsynth::benchargs

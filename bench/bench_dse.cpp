@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "brick/cache.hpp"
 #include "brick/store.hpp"
 #include "lim/checkpoint.hpp"
@@ -99,7 +100,7 @@ SweepRun run_sweep(const std::vector<lim::PartitionChoice>& choices,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+  const bool check = benchargs::has_flag(argc, argv, "--check");
   const std::vector<lim::PartitionChoice> choices = make_choices();
   const int kJobs = 8;
 
@@ -158,6 +159,24 @@ int main(int argc, char** argv) {
   cache.clear();
   fs::remove_tree(fs::Fs::real(), store_dir);
 
+  // --- Sweep D: per-worker-count throughput rows ----------------------
+  // Cold light sweeps at each job count: a portable scaling curve (the
+  // container may expose any number of hardware threads, so the rows are
+  // recorded rather than gated).
+  struct ScaleRow {
+    int jobs;
+    double seconds;
+    double points_per_s;
+  };
+  std::vector<ScaleRow> scale_rows;
+  for (const int jobs : {1, 2, 4, 8}) {
+    const SweepRun r =
+        run_sweep(choices, light, jobs, "bench_dse_scale.jsonl", true);
+    scale_rows.push_back(
+        {jobs, r.seconds,
+         r.seconds > 0.0 ? choices.size() / r.seconds : 0.0});
+  }
+
   using jsonl::format_g17;
   std::ofstream json("BENCH_dse.json");
   json << "{\n"
@@ -187,7 +206,14 @@ int main(int argc, char** argv) {
        << "  \"disk_compile_avoidance\": " << format_g17(disk_compile_avoidance)
        << ",\n"
        << "  \"disk_journals_identical\": "
-       << (disk_identical ? "true" : "false") << "\n"
+       << (disk_identical ? "true" : "false") << ",\n"
+       << "  \"thread_scaling\": [";
+  for (std::size_t i = 0; i < scale_rows.size(); ++i)
+    json << (i ? ", " : "") << "{\"jobs\": " << scale_rows[i].jobs
+         << ", \"seconds\": " << format_g17(scale_rows[i].seconds)
+         << ", \"points_per_s\": " << format_g17(scale_rows[i].points_per_s)
+         << "}";
+  json << "]\n"
        << "}\n";
   json.close();
 
@@ -214,6 +240,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(disk_lookups_warm),
               disk_compile_avoidance * 100.0, disk_warm_speedup,
               disk_identical ? "identical" : "DIFFER");
+  std::printf("scaling:");
+  for (const ScaleRow& r : scale_rows)
+    std::printf(" jobs=%d %.3fs (%.1f pts/s)", r.jobs, r.seconds,
+                r.points_per_s);
+  std::printf("\n");
 
   if (check) {
     bool ok = true;

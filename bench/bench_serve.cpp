@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "brick/cache.hpp"
 #include "brick/store.hpp"
 #include "serve/client.hpp"
@@ -147,7 +148,7 @@ void print_pass(const char* name, const PassResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+  const bool check = benchargs::has_flag(argc, argv, "--check");
   const int kClients = 4;
   const int kPerClient = 50;
 

@@ -1,25 +1,39 @@
 // Soft-error resilience study of the paper's configurations A and C:
-// stratified SEU/SET campaigns on the event-driven engine, with and
-// without SECDED, reporting per-stratum AVF, the visible-error FIT after
-// derating, and injection throughput (injections/s) per worker count.
+// stratified SEU/SET campaigns with and without SECDED, reporting
+// per-stratum AVF, the visible-error FIT after derating, and injection
+// throughput per worker count.
 //
 // The derating chain is the point: the tech model's raw upset rates
 // (process.seu_fit_per_mbit et al.) are what a datasheet quotes, while
 // the campaign measures how many of those upsets an application trace
 // actually turns into visible errors. SECDED should crush the macro
 // stratum's contribution and leave flop/SET strata as the residual.
+//
+// On top of the study, this bench validates and measures the bit-plane
+// batch kernel (src/bitsim/): the batched campaign report must be
+// byte-identical to the scalar event-engine path, a 63-samples-per-pass
+// micro-benchmark quantifies the classification speedup over per-sample
+// event replay, and a thread-scaling sweep records campaign throughput
+// per worker count. Writes seu_resilience.csv and BENCH_seu.json; with
+// --check, exits nonzero when equivalence or the batched speedup
+// regresses. --no-batch forces the scalar kernel in the campaigns (the
+// same escape hatch `limsynth seu` takes).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <thread>
+#include <vector>
 
 #include "bench_args.hpp"
 #include "evsim/annotate.hpp"
 #include "evsim/crosscheck.hpp"
 #include "lim/sram_builder.hpp"
+#include "seu/batch.hpp"
 #include "seu/campaign.hpp"
 #include "synth/synth.hpp"
 #include "util/csv.hpp"
+#include "util/jsonl.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -30,6 +44,11 @@ namespace {
 
 std::uint64_t low_mask(std::size_t bits) {
   return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 struct Rig {
@@ -62,10 +81,33 @@ struct Rig {
   }
 };
 
+/// Random macro-array upset specs — the stratum both kernels classify —
+/// over the full bank/row/bit space of the design.
+std::vector<seu::InjectionSpec> make_macro_specs(const lim::SramConfig& cfg,
+                                                 int cycles, int count,
+                                                 std::uint64_t seed) {
+  std::vector<seu::InjectionSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    seu::InjectionSpec s;
+    s.site.kind = seu::SiteKind::kMacroBit;
+    s.site.bank = static_cast<int>(rng.below(cfg.banks));
+    s.site.row = static_cast<int>(rng.below(cfg.rows_per_bank()));
+    s.site.bit = static_cast<int>(rng.below(cfg.code_bits()));
+    s.cycle = 1 + rng.below(static_cast<std::uint64_t>(cycles) - 2);
+    s.burst = rng.chance(0.25) ? 2 : 1;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::uint64_t seed = benchargs::seed_from_args(argc, argv, 20150608);
+  const bool check = benchargs::has_flag(argc, argv, "--check");
+  const bool batch = !benchargs::has_flag(argc, argv, "--no-batch");
   const int kSamples = 600;
   const int kCycles = 40;
 
@@ -81,27 +123,30 @@ int main(int argc, char** argv) {
   cases[2].cfg.ecc = true;
 
   Table t({"config", "sites", "SDC", "AVF(macro)", "AVF(flop)", "AVF(SET)",
-           "FIT visible", "inj/s"});
+           "FIT visible", "inj/s", "batched"});
   std::ofstream csv("seu_resilience.csv");
   CsvWriter w(csv);
   w.write_row({"config", "ecc", "samples", "sdc_rate", "sdc_lo", "sdc_hi",
                "avf_macro", "avf_flop", "avf_set", "fit_visible",
-               "mtbf_hours", "injections_per_s"});
+               "mtbf_hours", "injections_per_s", "batched"});
 
   double fit_plain = 0.0, fit_ecc = 0.0;
+  int total_batched = 0;
+  std::string kernel_used;
   for (const Case& c : cases) {
     Rig rig(c.cfg, kCycles, seed);
     seu::CampaignOptions opt;
     opt.samples = kSamples;
     opt.seed = seed;
     opt.workers = 4;
+    opt.batch = batch;
     const auto t0 = std::chrono::steady_clock::now();
     const seu::CampaignResult res =
         seu::run_campaign(rig.rig, rig.process, opt);
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double secs = seconds_since(t0);
     const double rate = secs > 0.0 ? res.completed / secs : 0.0;
+    total_batched += res.batched;
+    kernel_used = res.kernel;
     const WilsonInterval sdc = res.interval(seu::Outcome::kSdc);
     const auto& macro = res.strata[static_cast<int>(seu::SiteKind::kMacroBit)];
     const auto& flop = res.strata[static_cast<int>(seu::SiteKind::kFlop)];
@@ -112,14 +157,15 @@ int main(int argc, char** argv) {
                strformat("%.4f", macro.avf()), strformat("%.4f", flop.avf()),
                strformat("%.4f", set.avf()),
                strformat("%.3g", res.fit_visible()),
-               strformat("%.0f", rate)});
+               strformat("%.0f", rate), std::to_string(res.batched)});
     w.write_row({c.label, c.cfg.ecc ? "1" : "0", std::to_string(res.completed),
                  strformat("%.6f", res.rate(seu::Outcome::kSdc)),
                  strformat("%.6f", sdc.lo), strformat("%.6f", sdc.hi),
                  strformat("%.6f", macro.avf()), strformat("%.6f", flop.avf()),
                  strformat("%.6f", set.avf()),
                  strformat("%.6g", res.fit_visible()),
-                 strformat("%.6g", res.mtbf_hours()), strformat("%.1f", rate)});
+                 strformat("%.6g", res.mtbf_hours()), strformat("%.1f", rate),
+                 std::to_string(res.batched)});
     if (c.cfg.ecc)
       fit_ecc = res.fit_visible();
     else if (c.cfg.words == 64)
@@ -132,5 +178,149 @@ int main(int argc, char** argv) {
                     ? strformat("%.0fx", fit_plain / std::max(fit_ecc, 1e-12))
                     : "n/a")
             << " reduction); wrote seu_resilience.csv\n";
+
+  // --- batched vs scalar report equivalence ---------------------------
+  // The same campaign run through both kernels must emit byte-identical
+  // reports (the bit-plane lanes reproduce event-engine classifications).
+  const lim::SramConfig& eq_cfg = cases[2].cfg;
+  Rig eq_rig(eq_cfg, kCycles, seed);
+  seu::CampaignOptions eq_opt;
+  eq_opt.samples = 300;
+  eq_opt.seed = seed;
+  eq_opt.workers = 2;
+  eq_opt.batch = true;
+  const seu::CampaignResult eq_batched =
+      seu::run_campaign(eq_rig.rig, eq_rig.process, eq_opt);
+  eq_opt.batch = false;
+  const seu::CampaignResult eq_scalar =
+      seu::run_campaign(eq_rig.rig, eq_rig.process, eq_opt);
+  const bool reports_identical =
+      seu::format_campaign_report(eq_batched, eq_cfg) ==
+      seu::format_campaign_report(eq_scalar, eq_cfg);
+  std::printf("\nequivalence: batched (%d/%d batched) vs scalar reports %s\n",
+              eq_batched.batched, eq_batched.computed,
+              reports_identical ? "identical" : "DIFFER");
+
+  // --- kernel micro-benchmark -----------------------------------------
+  // Classification throughput on the macro stratum: per-sample event
+  // replay vs 63 samples per bit-plane pass over the same specs.
+  Rig k_rig(cases[1].cfg, kCycles, seed);
+  const seu::GoldenRun golden = seu::run_golden(k_rig.rig);
+  seu::BatchKernel kernel(k_rig.rig);
+  const int kScalarSpecs = 64;
+  const int kBatchGroups = 8;
+  const std::vector<seu::InjectionSpec> specs = make_macro_specs(
+      cases[1].cfg, kCycles, kBatchGroups * seu::kBatchSamples, seed + 1);
+
+  const auto ts = std::chrono::steady_clock::now();
+  for (int i = 0; i < kScalarSpecs; ++i)
+    (void)seu::run_injection(k_rig.rig, golden,
+                             specs[static_cast<std::size_t>(i)]);
+  const double scalar_secs = seconds_since(ts);
+
+  const auto tb = std::chrono::steady_clock::now();
+  int batch_classified = 0;
+  for (int g = 0; g < kBatchGroups; ++g) {
+    const auto first = specs.begin() + g * seu::kBatchSamples;
+    const std::vector<seu::InjectionSpec> group(first,
+                                                first + seu::kBatchSamples);
+    batch_classified +=
+        static_cast<int>(seu::run_batch(k_rig.rig, kernel, golden, group)
+                             .size());
+  }
+  const double batch_secs = seconds_since(tb);
+
+  const double scalar_rate =
+      scalar_secs > 0.0 ? kScalarSpecs / scalar_secs : 0.0;
+  const double batch_rate =
+      batch_secs > 0.0 ? batch_classified / batch_secs : 0.0;
+  const double kernel_speedup =
+      scalar_rate > 0.0 ? batch_rate / scalar_rate : 0.0;
+  std::printf("kernel: scalar %.0f inj/s, bit-plane %.0f inj/s"
+              " (%d samples) -> %.1fx\n",
+              scalar_rate, batch_rate, batch_classified, kernel_speedup);
+
+  // --- thread scaling -------------------------------------------------
+  const int worker_counts[] = {1, 2, 4, 8};
+  struct ScaleRow {
+    int workers;
+    double seconds;
+    double rate;
+  };
+  std::vector<ScaleRow> scale_rows;
+  for (const int workers : worker_counts) {
+    Rig s_rig(cases[1].cfg, kCycles, seed);
+    seu::CampaignOptions opt;
+    opt.samples = 400;
+    opt.seed = seed;
+    opt.workers = workers;
+    opt.batch = batch;
+    const auto t0 = std::chrono::steady_clock::now();
+    const seu::CampaignResult res =
+        seu::run_campaign(s_rig.rig, s_rig.process, opt);
+    const double secs = seconds_since(t0);
+    scale_rows.push_back(
+        {workers, secs, secs > 0.0 ? res.completed / secs : 0.0});
+  }
+  std::printf("scaling (%u hw threads):", std::thread::hardware_concurrency());
+  for (const ScaleRow& r : scale_rows)
+    std::printf(" %d:%.0f/s", r.workers, r.rate);
+  std::printf("\n");
+
+  using jsonl::format_g17;
+  std::ofstream json("BENCH_seu.json");
+  json << "{\n"
+       << "  \"samples\": " << kSamples << ",\n"
+       << "  \"cycles\": " << kCycles << ",\n"
+       << "  \"batch\": " << (batch ? "true" : "false") << ",\n"
+       << "  \"kernel\": \"" << kernel_used << "\",\n"
+       << "  \"campaign_batched_samples\": " << total_batched << ",\n"
+       << "  \"fit_visible_plain\": " << format_g17(fit_plain) << ",\n"
+       << "  \"fit_visible_ecc\": " << format_g17(fit_ecc) << ",\n"
+       << "  \"reports_identical\": "
+       << (reports_identical ? "true" : "false") << ",\n"
+       << "  \"scalar_inj_per_s\": " << format_g17(scalar_rate) << ",\n"
+       << "  \"batched_inj_per_s\": " << format_g17(batch_rate) << ",\n"
+       << "  \"batched_speedup\": " << format_g17(kernel_speedup) << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"thread_scaling\": [";
+  for (std::size_t i = 0; i < scale_rows.size(); ++i)
+    json << (i ? ", " : "") << "{\"workers\": " << scale_rows[i].workers
+         << ", \"seconds\": " << format_g17(scale_rows[i].seconds)
+         << ", \"inj_per_s\": " << format_g17(scale_rows[i].rate) << "}";
+  json << "]\n}\n";
+  json.close();
+  std::printf("wrote BENCH_seu.json\n");
+
+  if (check) {
+    bool ok = true;
+    if (!reports_identical) {
+      std::fprintf(stderr,
+                   "FAIL: batched vs scalar campaign reports differ\n");
+      ok = false;
+    }
+    if (batch && eq_batched.batched == 0) {
+      std::fprintf(stderr,
+                   "FAIL: batch kernel classified zero samples (%s)\n",
+                   eq_batched.kernel.c_str());
+      ok = false;
+    }
+    if (kernel_speedup < 10.0) {
+      std::fprintf(stderr,
+                   "FAIL: batched classification speedup %.1fx below 10x"
+                   " (scalar %.0f inj/s, batched %.0f inj/s)\n",
+                   kernel_speedup, scalar_rate, batch_rate);
+      ok = false;
+    }
+    if (fit_ecc >= fit_plain) {
+      std::fprintf(stderr,
+                   "FAIL: SECDED did not reduce visible FIT (%.3g -> %.3g)\n",
+                   fit_plain, fit_ecc);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("check: OK\n");
+  }
   return 0;
 }

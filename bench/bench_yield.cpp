@@ -6,7 +6,16 @@
 // this bench plays the same game in simulation — sample per-chip defect
 // populations from a clustered Poisson model, attempt repair, and report
 // functional / post-repair / combined yield per redundancy scheme.
+//
+// The repair allocator's verdicts are then tested end to end: every
+// repairable chip of the best scheme is functionally replayed against its
+// post-repair fault overlay, once per chip on the scalar settle engine
+// and 63 chips per pass on the bit-plane kernel, and both paths must
+// return identical verdicts. Writes yield_redundancy.csv and
+// BENCH_yield.json; with --check, exits nonzero when the equivalence or
+// the redundancy win regresses.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -15,11 +24,22 @@
 #include "brick/estimator.hpp"
 #include "lim/yield.hpp"
 #include "util/csv.hpp"
+#include "util/jsonl.hpp"
 #include "util/table.hpp"
 
 using namespace limsynth;
 
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  const bool check = benchargs::has_flag(argc, argv, "--check");
   const tech::Process process = tech::default_process();
   lim::FullYieldOptions opt;
   opt.chips = 400;
@@ -77,5 +97,76 @@ int main(int argc, char** argv) {
   std::printf("\nredundancy buys %.1f%% -> %.1f%% post-repair yield\n",
               100.0 * base_yield, 100.0 * best_yield);
   std::printf("(wrote yield_redundancy.csv)\n");
+
+  // --- functional replay verification, batched vs scalar --------------
+  lim::SramConfig vcfg{128, 10, 4, 16};
+  vcfg.spare_rows = 2;
+  vcfg.ecc = true;
+  lim::FullYieldOptions vopt = opt;
+  vopt.verify_cycles = 40;
+
+  const auto tb = std::chrono::steady_clock::now();
+  const lim::FullYieldResult batched =
+      lim::analyze_yield_full(vcfg, process, vopt);
+  const double batched_secs = seconds_since(tb);
+  vopt.verify_batch = false;
+  const auto ts = std::chrono::steady_clock::now();
+  const lim::FullYieldResult scalar =
+      lim::analyze_yield_full(vcfg, process, vopt);
+  const double scalar_secs = seconds_since(ts);
+
+  const bool verdicts_identical =
+      batched.chip_verified == scalar.chip_verified &&
+      batched.verified_good == scalar.verified_good;
+  const double verify_speedup =
+      batched_secs > 0.0 ? scalar_secs / batched_secs : 0.0;
+  std::printf("\nverify: %d repairable chips replayed over %d cycles;"
+              " batched (%d per-lane) %.3fs vs scalar %.3fs (%.1fx),"
+              " verdicts %s, %d/%d matched golden\n",
+              batched.verified, vopt.verify_cycles, batched.verify_batched,
+              batched_secs, scalar_secs, verify_speedup,
+              verdicts_identical ? "identical" : "DIFFER",
+              batched.verified_good, batched.verified);
+
+  using jsonl::format_g17;
+  std::ofstream json("BENCH_yield.json");
+  json << "{\n"
+       << "  \"chips\": " << opt.chips << ",\n"
+       << "  \"base_yield\": " << format_g17(base_yield) << ",\n"
+       << "  \"best_yield\": " << format_g17(best_yield) << ",\n"
+       << "  \"verify_cycles\": " << vopt.verify_cycles << ",\n"
+       << "  \"verified\": " << batched.verified << ",\n"
+       << "  \"verified_good\": " << batched.verified_good << ",\n"
+       << "  \"verify_batched\": " << batched.verify_batched << ",\n"
+       << "  \"verdicts_identical\": "
+       << (verdicts_identical ? "true" : "false") << ",\n"
+       << "  \"verify_batched_seconds\": " << format_g17(batched_secs)
+       << ",\n"
+       << "  \"verify_scalar_seconds\": " << format_g17(scalar_secs) << ",\n"
+       << "  \"verify_speedup\": " << format_g17(verify_speedup) << "\n"
+       << "}\n";
+  json.close();
+  std::printf("wrote BENCH_yield.json\n");
+
+  if (check) {
+    bool ok = true;
+    if (best_yield <= base_yield) {
+      std::fprintf(stderr, "FAIL: redundancy bought no yield (%.3f -> %.3f)\n",
+                   base_yield, best_yield);
+      ok = false;
+    }
+    if (batched.verified == 0 || batched.verify_batched == 0) {
+      std::fprintf(stderr,
+                   "FAIL: batched verification replayed zero chips\n");
+      ok = false;
+    }
+    if (!verdicts_identical) {
+      std::fprintf(stderr,
+                   "FAIL: batched vs scalar verification verdicts differ\n");
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("check: OK\n");
+  }
   return best_yield > base_yield ? 0 : 1;
 }

@@ -1,13 +1,51 @@
 #include "lim/yield.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "bitsim/banks.hpp"
+#include "bitsim/bitsim.hpp"
 #include "brick/estimator.hpp"
 #include "fault/inject.hpp"
 #include "fault/repair.hpp"
+#include "lim/macro_models.hpp"
+#include "netlist/bound.hpp"
+#include "netlist/sim.hpp"
+#include "synth/synth.hpp"
 #include "util/error.hpp"
 
 namespace limsynth::lim {
+
+namespace {
+
+/// One cycle of the deterministic verification stimulus, shared verbatim
+/// by the golden, scalar, and batch replays.
+struct VerifyCycle {
+  std::uint64_t raddr = 0, waddr = 0, wdata = 0;
+  bool wen = false;
+};
+
+std::uint64_t low_mask(std::size_t bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+std::vector<VerifyCycle> make_verify_trace(const SramDesign& d, int cycles,
+                                           std::uint64_t seed) {
+  std::vector<VerifyCycle> trace;
+  trace.reserve(static_cast<std::size_t>(cycles));
+  Rng rng(seed);
+  for (int c = 0; c < cycles; ++c) {
+    VerifyCycle t;
+    t.raddr = rng.next_u64() & low_mask(d.raddr.size());
+    t.waddr = rng.next_u64() & low_mask(d.waddr.size());
+    t.wdata = rng.next_u64() & low_mask(d.wdata.size());
+    t.wen = rng.chance(0.5);
+    trace.push_back(t);
+  }
+  return trace;
+}
+
+}  // namespace
 
 double YieldResult::yield_at(double freq) const {
   LIMS_CHECK(!fmax_samples.empty());
@@ -93,6 +131,11 @@ FullYieldResult analyze_yield_full(
   FullYieldResult res;
   res.chips = opt.chips;
   std::vector<bool> repairable(static_cast<std::size_t>(opt.chips), false);
+  // Post-repair fault overlays, retained per chip only when the replay
+  // verification needs them.
+  std::vector<std::shared_ptr<const fault::FaultMap>> maps;
+  if (opt.verify_cycles > 0)
+    maps.assign(static_cast<std::size_t>(opt.chips), nullptr);
   Rng rng(opt.seed);
   for (int i = 0; i < opt.chips; ++i) {
     if (opt.cancel != nullptr &&
@@ -116,6 +159,11 @@ FullYieldResult analyze_yield_full(
     if (rr.repairable) {
       ++res.repaired_good;
       repairable[static_cast<std::size_t>(i)] = true;
+      if (opt.verify_cycles > 0) {
+        auto repaired = std::make_shared<fault::FaultMap>(map);
+        repaired->apply_repair(rr);
+        maps[static_cast<std::size_t>(i)] = std::move(repaired);
+      }
     }
     res.mean_spares_used += static_cast<double>(rr.spares_used);
   }
@@ -141,6 +189,140 @@ FullYieldResult analyze_yield_full(
         ++pass;
     bin.combined = static_cast<double>(pass) / opt.chips;
     res.bins.push_back(bin);
+  }
+
+  // Functional replay of every repairable chip: elaborate + synthesize
+  // the config once, run a fault-free golden on the scalar settle engine,
+  // then replay each chip's post-repair overlay and compare read data.
+  // The batch path packs 63 chips per bit-plane pass with lane 0 holding
+  // the golden; its lane-0 output is cross-checked against the scalar
+  // golden every cycle, and any divergence (or a design the kernel cannot
+  // bind) drops the affected chips back onto the scalar engine.
+  if (opt.verify_cycles > 0) {
+    res.chip_verified.assign(static_cast<std::size_t>(opt.chips), 0);
+    tech::StdCellLib cells(nominal);
+    SramDesign design = build_sram(cfg, nominal, cells);
+    synth::synthesize(design.nl, design.lib, cells);
+    const std::vector<VerifyCycle> trace =
+        make_verify_trace(design, opt.verify_cycles, opt.verify_seed);
+    const int rows = design.config.rows_per_bank();
+    const int code_bits = design.config.code_bits();
+
+    std::vector<std::uint64_t> golden;
+    golden.reserve(trace.size());
+    {
+      netlist::Simulator sim(design.nl, cells);
+      for (const netlist::InstId b : design.banks)
+        sim.attach(b, std::make_shared<SramBankModel>(rows, code_bits));
+      for (const VerifyCycle& t : trace) {
+        sim.set_bus(design.raddr, t.raddr);
+        sim.set_bus(design.waddr, t.waddr);
+        sim.set_bus(design.wdata, t.wdata);
+        sim.set_input(design.wen, t.wen);
+        sim.settle();
+        sim.clock_edge();
+        golden.push_back(sim.bus_value(design.rdata));
+      }
+    }
+
+    const auto scalar_verify = [&](int chip) {
+      netlist::Simulator sim(design.nl, cells);
+      for (std::size_t b = 0; b < design.banks.size(); ++b) {
+        auto m = std::make_shared<SramBankModel>(rows, code_bits);
+        m->set_faults(maps[static_cast<std::size_t>(chip)],
+                      static_cast<int>(b));
+        sim.attach(design.banks[b], std::move(m));
+      }
+      for (std::size_t c = 0; c < trace.size(); ++c) {
+        const VerifyCycle& t = trace[c];
+        sim.set_bus(design.raddr, t.raddr);
+        sim.set_bus(design.waddr, t.waddr);
+        sim.set_bus(design.wdata, t.wdata);
+        sim.set_input(design.wen, t.wen);
+        sim.settle();
+        sim.clock_edge();
+        if (sim.bus_value(design.rdata) != golden[c]) return false;
+      }
+      return true;
+    };
+
+    std::unique_ptr<netlist::BoundDesign> bound;
+    std::unique_ptr<bitsim::BatchProgram> program;
+    if (opt.verify_batch) {
+      try {
+        bound = std::make_unique<netlist::BoundDesign>(design.nl, design.lib);
+        program = std::make_unique<bitsim::BatchProgram>(*bound, cells);
+      } catch (const Error&) {
+        program.reset();
+        bound.reset();
+      }
+    }
+
+    const auto batch_verify = [&](const std::vector<int>& group) {
+      bitsim::BatchSim sim(*program);
+      for (std::size_t b = 0; b < design.banks.size(); ++b) {
+        auto m = std::make_shared<bitsim::BatchSramBank>(
+            *program, design.banks[b], rows, code_bits);
+        for (std::size_t i = 0; i < group.size(); ++i)
+          m->set_lane_faults(static_cast<int>(i) + 1,
+                             *maps[static_cast<std::size_t>(group[i])],
+                             static_cast<int>(b));
+        sim.attach(design.banks[b], std::move(m));
+      }
+      std::uint64_t diff = 0;
+      for (std::size_t c = 0; c < trace.size(); ++c) {
+        const VerifyCycle& t = trace[c];
+        sim.set_bus(design.raddr, t.raddr);
+        sim.set_bus(design.waddr, t.waddr);
+        sim.set_bus(design.wdata, t.wdata);
+        sim.set_input(design.wen, t.wen);
+        sim.settle();
+        sim.clock_edge();
+        for (std::size_t j = 0; j < design.rdata.size(); ++j) {
+          const std::uint64_t g =
+              ((golden[c] >> j) & 1) ? bitsim::kAllLanes : 0;
+          diff |= sim.plane(design.rdata[j]) ^ g;
+        }
+        if (diff & 1)
+          LIMS_FAIL(ErrorCode::kInternal,
+                    "bitsim golden lane diverged from the settle engine "
+                    "during yield verification");
+      }
+      for (std::size_t i = 0; i < group.size(); ++i)
+        res.chip_verified[static_cast<std::size_t>(group[i])] =
+            ((diff >> (static_cast<int>(i) + 1)) & 1) ? 0 : 1;
+    };
+
+    std::vector<int> pending;
+    for (int i = 0; i < opt.chips; ++i)
+      if (repairable[static_cast<std::size_t>(i)]) pending.push_back(i);
+    res.verified = static_cast<int>(pending.size());
+    for (std::size_t at = 0; at < pending.size();) {
+      const std::size_t take =
+          std::min<std::size_t>(pending.size() - at,
+                                static_cast<std::size_t>(bitsim::kLanes - 1));
+      const std::vector<int> group(pending.begin() + static_cast<long>(at),
+                                   pending.begin() +
+                                       static_cast<long>(at + take));
+      bool via_batch = false;
+      if (program != nullptr) {
+        try {
+          batch_verify(group);
+          via_batch = true;
+          res.verify_batched += static_cast<int>(group.size());
+        } catch (const Error&) {
+          // Kernel bailed mid-group: verdicts for this group come from
+          // the scalar engine instead.
+        }
+      }
+      if (!via_batch)
+        for (const int chip : group)
+          res.chip_verified[static_cast<std::size_t>(chip)] =
+              scalar_verify(chip) ? 1 : 0;
+      at += take;
+    }
+    for (const int chip : pending)
+      res.verified_good += res.chip_verified[static_cast<std::size_t>(chip)];
   }
   return res;
 }

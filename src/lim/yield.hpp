@@ -63,6 +63,17 @@ struct FullYieldOptions {
   /// stops with the stable interrupted exit code (8) instead of dying
   /// mid-write.
   const std::atomic<bool>* cancel = nullptr;
+  /// Gate-level functional verification of every repairable chip: replay
+  /// this many cycles of a deterministic write/read trace against the
+  /// chip's post-repair fault overlay and compare read data to a
+  /// fault-free golden — the allocator's "shippable" verdict tested end
+  /// to end. 0 disables (analytic verdicts only).
+  int verify_cycles = 0;
+  std::uint64_t verify_seed = 20150608;
+  /// Verify 63 chips per bit-plane pass (bitsim, lane 0 golden) instead
+  /// of one scalar settle-engine replay per chip. Verdicts are identical
+  /// either way; designs the kernel cannot bind fall back to scalar.
+  bool verify_batch = true;
 };
 
 struct FullYieldResult {
@@ -79,6 +90,14 @@ struct FullYieldResult {
     double combined = 0.0;    // repairable AND f_max >= freq
   };
   std::vector<Bin> bins;
+
+  // Functional verification (verify_cycles > 0; all zero otherwise).
+  int verified = 0;         // repairable chips functionally replayed
+  int verified_good = 0;    // replays whose reads matched the golden
+  int verify_batched = 0;   // chips verified on the bit-plane kernel
+  /// Per-chip replay verdict: 1 = reads matched the golden everywhere,
+  /// 0 = mismatch or not verified (unrepairable chips are never run).
+  std::vector<std::uint8_t> chip_verified;
 
   double functional_yield() const {
     return chips ? static_cast<double>(functional_good) / chips : 0.0;

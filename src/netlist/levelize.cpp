@@ -1,0 +1,81 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace limsynth::netlist {
+
+Levelization levelize(const BoundDesign& bound) {
+  bound.check_fresh();
+  const std::size_t n = bound.instance_count();
+
+  // A combinational member: live, and neither sequential nor a macro.
+  // Everything else (flop Q, macro outputs, primary inputs) is a level
+  // source whose value is fixed for the duration of one settle pass.
+  std::vector<bool> comb(n, false);
+  std::size_t comb_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<InstId>(i);
+    if (!bound.is_live(id) || bound.is_seq_or_macro(id)) continue;
+    comb[i] = true;
+    ++comb_count;
+  }
+
+  // Kahn's algorithm in waves: pending[i] counts the input conns of gate
+  // i fed by not-yet-ordered combinational gates. Both the count and the
+  // decrement walk enumerate the same conn set (every input conn, sink
+  // side == sinks(net) entries), so multi-edges stay balanced.
+  std::vector<std::uint32_t> pending(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!comb[i]) continue;
+    for (const BoundConn& c : bound.conns(static_cast<InstId>(i))) {
+      if (c.is_output || c.net == kNoNet) continue;
+      const InstId d = bound.driver_inst(c.net);
+      if (d >= 0 && comb[static_cast<std::size_t>(d)]) ++pending[i];
+    }
+  }
+
+  Levelization lv;
+  lv.order.reserve(comb_count);
+  std::vector<InstId> wave;
+  for (std::size_t i = 0; i < n; ++i)
+    if (comb[i] && pending[i] == 0) wave.push_back(static_cast<InstId>(i));
+
+  std::vector<InstId> next;
+  while (!wave.empty()) {
+    lv.level_begin.push_back(static_cast<std::uint32_t>(lv.order.size()));
+    next.clear();
+    for (const InstId g : wave) {
+      lv.order.push_back(g);
+      for (const BoundConn& c : bound.conns(g)) {
+        if (!c.is_output || c.net == kNoNet) continue;
+        for (const BoundDesign::SinkRef& s : bound.sinks(c.net)) {
+          if (!comb[static_cast<std::size_t>(s.inst)]) continue;
+          if (--pending[static_cast<std::size_t>(s.inst)] == 0)
+            next.push_back(s.inst);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    wave.swap(next);
+  }
+  lv.level_begin.push_back(static_cast<std::uint32_t>(lv.order.size()));
+
+  if (lv.order.size() != comb_count) {
+    std::ostringstream os;
+    os << "combinational cycle: " << (comb_count - lv.order.size())
+       << " gate(s) cannot be levelized;";
+    std::size_t shown = 0;
+    for (std::size_t i = 0; i < n && shown < 10; ++i) {
+      if (!comb[i] || pending[i] == 0) continue;
+      os << ' ' << bound.netlist().instance(static_cast<InstId>(i)).name;
+      ++shown;
+    }
+    throw Error(ErrorCode::kNonConvergence, os.str());
+  }
+  return lv;
+}
+
+}  // namespace limsynth::netlist

@@ -1,0 +1,46 @@
+// Combinational levelization of a bound design.
+//
+// Orders the live combinational instances of a BoundDesign topologically
+// and groups them by logic level: level 0 gates read only level sources
+// (primary inputs, flop Q outputs, macro outputs, tie cells' nothing),
+// level L gates read at least one level-(L-1) output and nothing deeper.
+// A levelized netlist needs exactly one evaluation pass per level to
+// settle — the precondition for the branch-free bit-plane evaluator in
+// src/bitsim/ — instead of the scalar engine's bounded fixpoint.
+//
+// Levelization is a pure function of connectivity; it is computed once
+// per binding and shared const across threads like the BoundDesign it
+// indexes into.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/bound.hpp"
+
+namespace limsynth::netlist {
+
+struct Levelization {
+  /// Live combinational instances in topological order, grouped by level.
+  std::vector<InstId> order;
+  /// Offsets into `order`, one per level plus a terminator:
+  /// level l spans [level_begin[l], level_begin[l + 1]).
+  std::vector<std::uint32_t> level_begin;
+
+  std::size_t levels() const {
+    return level_begin.empty() ? 0 : level_begin.size() - 1;
+  }
+  Span<InstId> level(std::size_t l) const {
+    return {order.data() + level_begin[l],
+            level_begin[l + 1] - level_begin[l]};
+  }
+};
+
+/// Topologically levelizes the bound design's combinational instances
+/// (sequential cells and macros are level sources, not members). Order is
+/// deterministic: ascending InstId within each level. Throws
+/// Error(kNonConvergence) naming sample instances when a combinational
+/// cycle makes levelization impossible.
+Levelization levelize(const BoundDesign& bound);
+
+}  // namespace limsynth::netlist

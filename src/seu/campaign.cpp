@@ -5,10 +5,12 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "seu/batch.hpp"
 #include "util/error.hpp"
 #include "util/jsonl.hpp"
 #include "util/rng.hpp"
@@ -322,19 +324,66 @@ CampaignResult run_campaign(const SeuRig& rig, const tech::Process& process,
 
   const GoldenRun golden = run_golden(rig);
 
+  // Batch kernel: bind once, share const across workers. Designs the
+  // bit-plane kernel cannot express (or --no-batch) leave every sample on
+  // the scalar event engine; the choice is recorded as provenance only
+  // and never fingerprinted, so reports and journals stay interoperable.
+  std::unique_ptr<BatchKernel> kernel;
+  if (!opt.batch) {
+    res.kernel = "scalar (disabled)";
+  } else {
+    try {
+      kernel = std::make_unique<BatchKernel>(rig);
+      res.kernel = "bitplane";
+    } catch (const Error& e) {
+      res.kernel = std::string("scalar (") + error_code_name(e.code()) + ")";
+    }
+  }
+
+  // Work units: macro-bit and flop samples group kBatchSamples to a
+  // bit-plane pass (strata are contiguous in sample order, so groups stay
+  // dense); SET samples — pulse-width physics — and kernel-less campaigns
+  // run as scalar singletons. Workers claim whole units.
+  struct WorkUnit {
+    std::vector<int> samples;
+    std::vector<InjectionSpec> specs;
+    bool batched = false;
+  };
+  std::vector<WorkUnit> units;
+  WorkUnit group;
+  group.batched = true;
+  for (int i = 0; i < opt.samples; ++i) {
+    if (res.records[static_cast<std::size_t>(i)].sample >= 0) continue;
+    InjectionSpec spec = plan_sample(rig, plan, opt, i);
+    if (kernel != nullptr && spec.site.kind != SiteKind::kSetPulse) {
+      group.samples.push_back(i);
+      group.specs.push_back(std::move(spec));
+      if (static_cast<int>(group.samples.size()) == kBatchSamples) {
+        units.push_back(std::move(group));
+        group = WorkUnit{};
+        group.batched = true;
+      }
+    } else {
+      WorkUnit u;
+      u.samples.push_back(i);
+      u.specs.push_back(std::move(spec));
+      units.push_back(std::move(u));
+    }
+  }
+  if (!group.samples.empty()) units.push_back(std::move(group));
+
   const Watchdog watchdog("SEU campaign", opt.timeout_seconds);
-  std::atomic<int> next{0};
+  std::atomic<std::size_t> next{0};
   std::atomic<bool> stop{false};
   std::mutex mu;
   std::exception_ptr worker_error;
 
   auto work = [&] {
     for (;;) {
-      const int i = next.fetch_add(1);
-      if (i >= opt.samples || stop.load()) return;
-      if (res.records[static_cast<std::size_t>(i)].sample >= 0) continue;
+      const std::size_t u = next.fetch_add(1);
+      if (u >= units.size() || stop.load()) return;
       if (opt.cancel && opt.cancel->load(std::memory_order_relaxed)) {
-        // Signal-driven stop between samples: the journal holds every
+        // Signal-driven stop between units: the journal holds every
         // completed sample, so a --resume run finishes the campaign.
         const std::lock_guard<std::mutex> lock(mu);
         res.interrupted = true;
@@ -342,28 +391,47 @@ CampaignResult run_campaign(const SeuRig& rig, const tech::Process& process,
         return;
       }
       if (watchdog.expired()) {
-        // Stop cleanly between samples: the journal holds everything
+        // Stop cleanly between units: the journal holds everything
         // finished so far, so a --resume run completes the campaign.
         const std::lock_guard<std::mutex> lock(mu);
         res.timed_out = true;
         stop.store(true);
         return;
       }
+      const WorkUnit& unit = units[u];
       try {
-        const InjectionSpec spec = plan_sample(rig, plan, opt, i);
-        const InjectionResult run = run_injection(rig, golden, spec);
-        SampleRecord rec;
-        rec.sample = i;
-        rec.kind = spec.site.kind;
-        rec.site = spec.site.describe(rig.design->nl);
-        rec.cycle = spec.cycle;
-        rec.outcome = run.outcome;
-        rec.latent = run.latent;
-        rec.detail = run.detail;
+        std::vector<InjectionResult> runs;
+        bool via_batch = false;
+        if (unit.batched) {
+          try {
+            runs = run_batch(rig, *kernel, golden, unit.specs);
+            via_batch = true;
+          } catch (const Error&) {
+            // The kernel bailed (engine error, watchdog expiry, golden
+            // divergence): replay the group on the scalar engine, where
+            // per-sample failures classify as kHang.
+          }
+        }
+        if (!via_batch) {
+          runs.reserve(unit.specs.size());
+          for (const InjectionSpec& spec : unit.specs)
+            runs.push_back(run_injection(rig, golden, spec));
+        }
         const std::lock_guard<std::mutex> lock(mu);
-        if (journal.is_open()) append_journal_line(journal, res.key, rec);
-        res.records[static_cast<std::size_t>(i)] = std::move(rec);
-        ++res.computed;
+        for (std::size_t s = 0; s < unit.samples.size(); ++s) {
+          SampleRecord rec;
+          rec.sample = unit.samples[s];
+          rec.kind = unit.specs[s].site.kind;
+          rec.site = unit.specs[s].site.describe(rig.design->nl);
+          rec.cycle = unit.specs[s].cycle;
+          rec.outcome = runs[s].outcome;
+          rec.latent = runs[s].latent;
+          rec.detail = runs[s].detail;
+          if (journal.is_open()) append_journal_line(journal, res.key, rec);
+          res.records[static_cast<std::size_t>(rec.sample)] = std::move(rec);
+          ++res.computed;
+        }
+        if (via_batch) res.batched += static_cast<int>(unit.samples.size());
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mu);
         if (!worker_error) worker_error = std::current_exception();
@@ -373,7 +441,8 @@ CampaignResult run_campaign(const SeuRig& rig, const tech::Process& process,
     }
   };
 
-  const int n_threads = std::min(opt.workers, opt.samples);
+  const int n_threads =
+      std::min(opt.workers, static_cast<int>(units.size()));
   if (n_threads <= 1) {
     work();
   } else {

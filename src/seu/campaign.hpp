@@ -44,6 +44,13 @@ struct CampaignOptions {
   double set_lead_max_s = 600e-12;
   /// Per-injection wall-clock budget; overruns classify as kHang.
   double run_timeout_seconds = 60.0;
+  /// Classify macro-bit and flop samples on the bit-plane batch kernel
+  /// (seu/batch.hpp), 63 per pass against a resident golden lane. SET
+  /// samples always use the scalar event engine, and designs the kernel
+  /// cannot bind fall back wholesale. The flag is excluded from the
+  /// campaign fingerprint: batched and scalar runs produce byte-identical
+  /// reports and interoperable journals.
+  bool batch = true;
   /// Whole-campaign budget; 0 = unlimited. Expiry stops cleanly between
   /// samples with the journal intact, so --resume can finish the rest.
   double timeout_seconds = 0.0;
@@ -86,7 +93,11 @@ struct CampaignResult {
   int samples = 0;        // requested
   int completed = 0;      // records with sample >= 0
   int computed = 0;       // run in this invocation
+  int batched = 0;        // computed samples classified by the batch kernel
   int resumed = 0;        // reused from the journal
+  /// Kernel-choice provenance ("bitplane", or "scalar (<reason>)").
+  /// Excluded from the report for the same reason computed/resumed are.
+  std::string kernel;
   int malformed = 0;      // complete-but-unparseable journal lines skipped
   int stale = 0;          // journal lines from a different campaign
   bool torn_tail = false; // resumed journal ended mid-append (kill artifact)

@@ -465,6 +465,48 @@ TEST(Yield, FullAnalysisConfigEPostRepairBeatsFunctional) {
   EXPECT_DOUBLE_EQ(again.mean_spares_used, res.mean_spares_used);
 }
 
+/// Functional replay verification: every chip the allocator calls
+/// repairable must actually read back golden data through the gate-level
+/// simulation with its post-repair fault overlay installed — and the
+/// 63-chips-per-pass bit-plane path must return the exact verdicts the
+/// one-chip-at-a-time scalar replay does.
+TEST(Yield, VerifyReplayBatchMatchesScalar) {
+  Ctx ctx;
+  SramConfig cfg{32, 8, 2, 16};
+  cfg.spare_rows = 1;
+  cfg.ecc = true;
+  FullYieldOptions opt;
+  opt.chips = 150;
+  opt.seed = 9;
+  opt.defect_density_per_m2 = 1e9;
+  opt.verify_cycles = 40;
+
+  const FullYieldResult batched = analyze_yield_full(cfg, ctx.process, opt);
+  EXPECT_EQ(batched.verified, batched.repaired_good);
+  ASSERT_GT(batched.verified, 63);  // needs >1 bit-plane group to matter
+  EXPECT_LT(batched.verified, opt.chips);  // some chips unrepairable
+  // The standard SRAM design binds to the kernel; nothing falls back.
+  EXPECT_EQ(batched.verify_batched, batched.verified);
+  // Repair + ECC genuinely deliver: every repairable chip replays clean.
+  EXPECT_EQ(batched.verified_good, batched.verified);
+  ASSERT_EQ(batched.chip_verified.size(),
+            static_cast<std::size_t>(opt.chips));
+
+  opt.verify_batch = false;
+  const FullYieldResult scalar = analyze_yield_full(cfg, ctx.process, opt);
+  EXPECT_EQ(scalar.verify_batched, 0);
+  EXPECT_EQ(scalar.verified, batched.verified);
+  EXPECT_EQ(scalar.verified_good, batched.verified_good);
+  EXPECT_EQ(scalar.chip_verified, batched.chip_verified);
+
+  // verify_cycles = 0 keeps the analytic-only behavior.
+  opt.verify_cycles = 0;
+  const FullYieldResult off = analyze_yield_full(cfg, ctx.process, opt);
+  EXPECT_EQ(off.verified, 0);
+  EXPECT_EQ(off.verify_batched, 0);
+  EXPECT_TRUE(off.chip_verified.empty());
+}
+
 // ------------------------------------------------ brick-selection opt
 
 TEST(BrickOpt, PicksLowEnergyWhenUnconstrained) {

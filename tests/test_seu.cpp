@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "evsim/annotate.hpp"
+#include "seu/batch.hpp"
 #include "seu/campaign.hpp"
 #include "seu/seu.hpp"
 #include "synth/synth.hpp"
@@ -392,6 +393,128 @@ TEST(SeuCampaign, SecdedShiftsSdcToCorrectedWithConfidence) {
   EXPECT_EQ(r0.counts[static_cast<int>(Outcome::kCorrectedSecded)], 0u);
   // Visible failure rate (and hence derated FIT) drops with ECC.
   EXPECT_LT(r1.fit_visible(), r0.fit_visible());
+}
+
+TEST(SeuBatch, RunBatchMatchesRunInjectionPerSample) {
+  for (const bool ecc : {false, true}) {
+    RigBundle b(config_a(ecc), 20);
+    b.fill_then_read(20);
+    const GoldenRun golden = run_golden(b.rig);
+    const BatchKernel kernel(b.rig);
+    // A mixed group: standing macro upsets (read and unread rows), a
+    // double-bit burst, and every flop in the design.
+    std::vector<InjectionSpec> specs;
+    for (int r = 0; r < 8; ++r) {
+      InjectionSpec spec;
+      spec.site.kind = SiteKind::kMacroBit;
+      spec.site.row = 2 * r;
+      spec.site.bit = r % b.design.config.code_bits();
+      spec.burst = r == 3 ? 2 : 1;
+      spec.cycle = 17;  // mid-readback
+      specs.push_back(spec);
+    }
+    for (const evsim::FlopInfo& fi : b.ann.flops) {
+      if (specs.size() == static_cast<std::size_t>(kBatchSamples)) break;
+      InjectionSpec spec;
+      spec.site.kind = SiteKind::kFlop;
+      spec.site.flop = fi.inst;
+      spec.cycle = 18;
+      specs.push_back(spec);
+    }
+    const std::vector<InjectionResult> batch =
+        run_batch(b.rig, kernel, golden, specs);
+    ASSERT_EQ(batch.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const InjectionResult scalar = run_injection(b.rig, golden, specs[i]);
+      EXPECT_EQ(batch[i].outcome, scalar.outcome)
+          << "spec " << i << " " << specs[i].site.describe(b.design.nl);
+      EXPECT_EQ(batch[i].latent, scalar.latent) << "spec " << i;
+      if (scalar.outcome == Outcome::kSdc)
+        EXPECT_EQ(batch[i].first_mismatch_cycle, scalar.first_mismatch_cycle)
+            << "spec " << i;
+    }
+  }
+}
+
+TEST(SeuBatch, RejectsSetSpecsAndOversizedGroups) {
+  RigBundle b(config_a(false), 12);
+  const GoldenRun golden = run_golden(b.rig);
+  const BatchKernel kernel(b.rig);
+  InjectionSpec set_spec;
+  set_spec.site.kind = SiteKind::kSetPulse;
+  set_spec.site.net = b.ann.gates.front().out;
+  set_spec.cycle = 4;
+  EXPECT_THROW(run_batch(b.rig, kernel, golden, {set_spec}), Error);
+  InjectionSpec bit;
+  bit.site.kind = SiteKind::kMacroBit;
+  bit.cycle = 4;
+  const std::vector<InjectionSpec> too_many(
+      static_cast<std::size_t>(kBatchSamples) + 1, bit);
+  EXPECT_THROW(run_batch(b.rig, kernel, golden, too_many), Error);
+}
+
+TEST(SeuBatch, BatchedCampaignReportIsByteIdenticalToScalar) {
+  for (const bool ecc : {false, true}) {
+    RigBundle b(config_c(ecc), 24);
+    CampaignOptions opt;
+    opt.samples = 200;
+    opt.seed = 21;
+    opt.workers = 2;
+    const CampaignResult batched = run_campaign(b.rig, b.process, opt);
+    opt.batch = false;
+    const CampaignResult scalar = run_campaign(b.rig, b.process, opt);
+    // The kernel must actually engage (not silently fall back) and must
+    // classify every macro-bit and flop sample.
+    EXPECT_EQ(batched.kernel, "bitplane");
+    const std::uint64_t batchable =
+        batched.strata[static_cast<int>(SiteKind::kMacroBit)].samples +
+        batched.strata[static_cast<int>(SiteKind::kFlop)].samples;
+    EXPECT_EQ(static_cast<std::uint64_t>(batched.batched), batchable);
+    EXPECT_GT(batched.batched, 0);
+    EXPECT_EQ(scalar.batched, 0);
+    EXPECT_EQ(scalar.kernel, "scalar (disabled)");
+    EXPECT_EQ(format_campaign_report(batched, b.design.config),
+              format_campaign_report(scalar, b.design.config));
+  }
+}
+
+TEST(SeuBatch, ScalarJournalResumesIntoBatchedCampaign) {
+  // Journals never fingerprint the kernel choice: a half-finished scalar
+  // campaign resumes under the batch kernel (and vice versa) and renders
+  // the byte-identical report.
+  RigBundle b(config_a(false), 16);
+  const std::string journal =
+      testing::TempDir() + "seu_batch_interop_journal.jsonl";
+  std::remove(journal.c_str());
+
+  CampaignOptions opt;
+  opt.samples = 80;
+  opt.seed = 23;
+  opt.workers = 1;
+  opt.batch = false;
+  opt.journal_path = journal;
+  const CampaignResult scalar = run_campaign(b.rig, b.process, opt);
+  const std::string want = format_campaign_report(scalar, b.design.config);
+
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 80u);
+  {
+    std::ofstream out(journal, std::ios::trunc);
+    for (std::size_t i = 0; i < 30; ++i) out << lines[i] << "\n";
+  }
+
+  opt.batch = true;
+  opt.resume = true;
+  const CampaignResult resumed = run_campaign(b.rig, b.process, opt);
+  EXPECT_EQ(resumed.resumed, 30);
+  EXPECT_EQ(resumed.computed, 50);
+  EXPECT_EQ(format_campaign_report(resumed, b.design.config), want);
+  std::remove(journal.c_str());
 }
 
 TEST(SeuOutcomes, NamesRoundTrip) {

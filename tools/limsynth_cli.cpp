@@ -143,11 +143,12 @@ int usage() {
                "      [--workers N] [--burst N] [--journal FILE]"
                " [--resume FILE]\n"
                "      [--report FILE] [--timeout SEC] [--run-timeout SEC]\n"
+               "      [--no-batch]\n"
                "  limsynth optimize <words> <bits> <min_fmax_MHz> [energy|area|delay]\n"
                "  limsynth spgemm <rmat_scale> <avg_degree>\n"
                "  limsynth yield <words> <bits> <banks> <brick_words>\n"
                "      [--chips N] [--seed S] [--d0 defects_per_cm2]\n"
-               "      [--spares N] [--ecc]\n"
+               "      [--spares N] [--ecc] [--verify-cycles N] [--no-batch]\n"
                "  limsynth serve --socket PATH | --port N [--workers N]\n"
                "      [--queue N] [--deadline-ms N] [--idle-ms N]"
                " [--frame-ms N]\n"
@@ -608,6 +609,7 @@ int cmd_seu(int argc, char** argv) {
   copt.workers = static_cast<int>(flag_value(argc, argv, "--workers", 1.0));
   copt.burst = static_cast<int>(flag_value(argc, argv, "--burst", 1.0));
   copt.timeout_seconds = flag_value(argc, argv, "--timeout", 0.0);
+  copt.batch = !has_flag(argc, argv, "--no-batch");
   copt.cancel = &g_interrupted;
   copt.journal_path = flag_string(argc, argv, "--journal");
   const std::string resume_path = flag_string(argc, argv, "--resume");
@@ -618,7 +620,10 @@ int cmd_seu(int argc, char** argv) {
 
   const seu::CampaignResult res = seu::run_campaign(rig, process, copt);
   // Provenance goes to stderr so the report itself stays byte-identical
-  // between an uninterrupted run and a kill-and-resume.
+  // between an uninterrupted run and a kill-and-resume (and between the
+  // batched and scalar kernels).
+  std::fprintf(stderr, "# seu kernel: %s (%d of %d samples batched)\n",
+               res.kernel.c_str(), res.batched, res.computed);
   std::fprintf(stderr, "# seu campaign %s: %d computed, %d resumed",
                res.key.c_str(), res.computed, res.resumed);
   if (res.malformed || res.stale)
@@ -722,8 +727,16 @@ int cmd_yield(int argc, char** argv) {
       static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1.0));
   const double d0_cm2 = flag_value(argc, argv, "--d0", -1.0);
   if (d0_cm2 >= 0.0) opt.defect_density_per_m2 = d0_cm2 * 1e4;
+  opt.verify_cycles =
+      static_cast<int>(flag_value(argc, argv, "--verify-cycles", 0.0));
+  opt.verify_batch = !has_flag(argc, argv, "--no-batch");
 
   const lim::FullYieldResult res = lim::analyze_yield_full(cfg, process, opt);
+  if (opt.verify_cycles > 0)
+    std::fprintf(stderr,
+                 "# yield verify: %d chips replayed (%d batched),"
+                 " %d matched golden\n",
+                 res.verified, res.verify_batched, res.verified_good);
   std::printf("# config=%s chips=%d seed=%llu d0=%.3f/cm2 spares=%d ecc=%d\n",
               cfg.name().c_str(), res.chips,
               static_cast<unsigned long long>(opt.seed),
