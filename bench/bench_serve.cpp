@@ -17,9 +17,17 @@
 // reply or an explicit retry_after_ms shed — and shed refusals must be
 // fast (that is the point of shedding).
 //
+// A fifth phase measures fairness: a well-behaved tenant's p99 with and
+// without a flooding greedy co-tenant (DRR must keep the polite tenant
+// unshed and near its unloaded latency). A sixth measures batching: the
+// same ping items one-per-frame vs. batched, reporting the dispatch
+// amortization factor.
+//
 // Writes BENCH_serve.json. With --check, exits nonzero when any request
 // goes unclassified, the warm-disk pass never touches the store, the
-// overload probe produces no shedding, or the server leaks connections.
+// overload probe produces no shedding, the server leaks connections, the
+// well-behaved tenant sheds under greedy overload, per-tenant accounting
+// is not conserved, or batching amortizes dispatch by less than 2x.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -262,6 +270,151 @@ int main(int argc, char** argv) {
   const ServeStats overload_stats = overload_server.stats();
   const double shed_p99 = percentile(shed_latency_ms, 0.99);
 
+  // --- Phase E: fairness under a greedy co-tenant ----------------------
+  // A well-behaved tenant's p99 with and without a flooding neighbor.
+  // Under DRR the polite tenant sheds nothing and its latency stays near
+  // the unloaded baseline; under the old FIFO it would queue behind the
+  // whole greedy backlog.
+  Endpoint ep3;
+  ep3.socket_path = "bench_serve_fair.sock";
+  std::unique_ptr<Listener> listener3 =
+      Transport::real().listen(ep3, &listen_error);
+  if (!listener3) {
+    std::fprintf(stderr, "listen failed: %s\n", listen_error.c_str());
+    return 1;
+  }
+  std::atomic<bool> shutdown3{false};
+  ServeOptions fair_opt;
+  fair_opt.workers = 2;
+  fair_opt.queue_depth = 16;
+  fair_opt.shutdown = &shutdown3;
+  Server fair_server(*listener3, ctx, fair_opt);
+  std::thread fair_thread([&] { fair_server.run(); });
+
+  const int kPoliteCalls = 30;
+  const double kFairSleepMs = 10.0;
+  std::atomic<std::uint64_t> polite_shed{0}, polite_failed{0};
+  const auto polite_round = [&](Client& polite) {
+    std::vector<double> ms;
+    ms.reserve(kPoliteCalls);
+    JsonWriter w;
+    w.add("op", std::string("sleep")).add("id", std::string("polite"));
+    w.add("client_id", std::string("polite")).add("sleep_ms", kFairSleepMs);
+    const std::string req = w.str();
+    for (int i = 0; i < kPoliteCalls; ++i) {
+      const auto r0 = std::chrono::steady_clock::now();
+      const CallResult r = polite.call(req, 30000);
+      ms.push_back(seconds_since(r0) * 1000.0);
+      if (r.transport_ok && r.reply_parsed && r.fields.ok) continue;
+      if (r.transport_ok && r.fields.retry_after_ms >= 0.0)
+        ++polite_shed;
+      else
+        ++polite_failed;
+    }
+    return percentile(ms, 0.99);
+  };
+
+  Client polite_client(Transport::real(), ep3, 5000);
+  const double fair_unloaded_p99 = polite_round(polite_client);
+
+  std::atomic<bool> stop_flood{false};
+  std::atomic<std::uint64_t> greedy_served{0};
+  std::vector<std::thread> flood;
+  const int kGreedyConns = 8;
+  flood.reserve(kGreedyConns);
+  for (int c = 0; c < kGreedyConns; ++c) {
+    flood.emplace_back([&, c] {
+      Client g(Transport::real(), ep3, 5000);
+      if (!g.connected()) return;
+      JsonWriter w;
+      w.add("op", std::string("sleep")).add("id", "g" + std::to_string(c));
+      w.add("client_id", std::string("greedy")).add("sleep_ms", kFairSleepMs);
+      const std::string req = w.str();
+      while (!stop_flood.load()) {
+        const CallResult r = g.call(req, 30000);
+        if (!r.transport_ok) break;
+        if (r.fields.ok) ++greedy_served;
+      }
+      g.close();
+    });
+  }
+  while (greedy_served.load() < 8)  // let the backlog build
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double fair_loaded_p99 = polite_round(polite_client);
+  stop_flood.store(true);
+  for (auto& t : flood) t.join();
+  polite_client.close();
+
+  // --- Phase F: batch amortization -------------------------------------
+  // The same items one-per-frame vs. batched: one frame, one scheduler
+  // trip, and one watchdog for the whole batch must amortize dispatch.
+  const int kBatchTotal = 400;
+  const int kBatchSize = 50;
+  double single_items_per_s = 0.0, batch_items_per_s = 0.0;
+  std::uint64_t batch_failed_items = 0;
+  {
+    Client c(Transport::real(), ep3, 5000);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t ok_items = 0;
+    for (int i = 0; i < kBatchTotal; ++i) {
+      JsonWriter w;
+      w.add("op", std::string("ping")).add("id", "s" + std::to_string(i));
+      const CallResult r = c.call(w.str(), 30000);
+      if (r.transport_ok && r.fields.ok) ++ok_items;
+    }
+    const double secs = seconds_since(t0);
+    single_items_per_s =
+        secs > 0.0 ? static_cast<double>(ok_items) / secs : 0.0;
+    batch_failed_items += static_cast<std::uint64_t>(kBatchTotal) - ok_items;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    ok_items = 0;
+    for (int frame = 0; frame < kBatchTotal / kBatchSize; ++frame) {
+      std::string items;
+      for (int i = 0; i < kBatchSize; ++i) {
+        JsonWriter w;
+        w.add("op", std::string("ping"));
+        w.add("id", "b" + std::to_string(frame) + "_" + std::to_string(i));
+        if (!items.empty()) items += '\n';
+        items += w.str();
+      }
+      JsonWriter w;
+      w.add("op", std::string("batch"));
+      w.add("id", "batch" + std::to_string(frame));
+      w.add("items", items);
+      const CallResult r = c.call(w.str(), 30000);
+      double count = 0.0, failed_in_frame = 0.0;
+      if (r.transport_ok && r.fields.ok &&
+          reply_number(r.payload, "count", &count) &&
+          reply_number(r.payload, "failed", &failed_in_frame)) {
+        ok_items +=
+            static_cast<std::uint64_t>(count) -
+            static_cast<std::uint64_t>(failed_in_frame);
+        batch_failed_items += static_cast<std::uint64_t>(failed_in_frame);
+      } else {
+        batch_failed_items += static_cast<std::uint64_t>(kBatchSize);
+      }
+    }
+    const double secs2 = seconds_since(t1);
+    batch_items_per_s =
+        secs2 > 0.0 ? static_cast<double>(ok_items) / secs2 : 0.0;
+    c.close();
+  }
+  const double batch_amortization =
+      single_items_per_s > 0.0 ? batch_items_per_s / single_items_per_s : 0.0;
+
+  shutdown3.store(true);
+  fair_thread.join();
+  std::uint64_t fair_polite_client_shed = 0;
+  bool fair_conserved = true;
+  for (const ClientStatsRow& row : fair_server.client_stats()) {
+    if (!row.n.conserved()) fair_conserved = false;
+    if (row.id == "polite") fair_polite_client_shed = row.n.shed();
+  }
+  const ServeStats fair_stats = fair_server.stats();
+  const bool fair_balanced =
+      fair_stats.accepted == fair_stats.shed + fair_stats.closed;
+
   cache.attach_store(nullptr);
   cache.clear();
   fs::remove_tree(fs::Fs::real(), store_dir);
@@ -299,8 +452,22 @@ int main(int argc, char** argv) {
        << "  \"overload_shed\": " << probe_shed.load() << ",\n"
        << "  \"overload_unclassified\": " << probe_other.load() << ",\n"
        << "  \"shed_p99_ms\": " << format_g17(shed_p99) << ",\n"
+       << "  \"fair_unloaded_p99_ms\": " << format_g17(fair_unloaded_p99)
+       << ",\n"
+       << "  \"fair_loaded_p99_ms\": " << format_g17(fair_loaded_p99) << ",\n"
+       << "  \"fair_polite_shed\": " << fair_polite_client_shed << ",\n"
+       << "  \"fair_greedy_served\": " << greedy_served.load() << ",\n"
+       << "  \"fair_conserved\": " << (fair_conserved ? "true" : "false")
+       << ",\n"
+       << "  \"single_items_per_s\": " << format_g17(single_items_per_s)
+       << ",\n"
+       << "  \"batch_items_per_s\": " << format_g17(batch_items_per_s) << ",\n"
+       << "  \"batch_amortization\": " << format_g17(batch_amortization)
+       << ",\n"
        << "  \"connections_balanced\": "
-       << ((tput_balanced && overload_balanced) ? "true" : "false") << "\n"
+       << ((tput_balanced && overload_balanced && fair_balanced) ? "true"
+                                                                 : "false")
+       << "\n"
        << "}\n";
   json.close();
 
@@ -320,6 +487,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(probe_shed.load()), shed_p99,
               static_cast<unsigned long long>(probe_other.load()),
               (tput_balanced && overload_balanced) ? "balanced" : "LEAKED");
+  std::printf("fairness: polite p99 %.3fms unloaded, %.3fms under %d greedy"
+              " conns (%llu greedy served, %llu polite shed, %s)\n",
+              fair_unloaded_p99, fair_loaded_p99, kGreedyConns,
+              static_cast<unsigned long long>(greedy_served.load()),
+              static_cast<unsigned long long>(fair_polite_client_shed),
+              fair_conserved ? "conserved" : "NOT CONSERVED");
+  std::printf("batching: %.0f items/s single-frame, %.0f items/s in batches"
+              " of %d (%.2fx amortization)\n",
+              single_items_per_s, batch_items_per_s, kBatchSize,
+              batch_amortization);
 
   if (check) {
     bool ok = true;
@@ -352,6 +529,33 @@ int main(int argc, char** argv) {
     }
     if (warm.rps <= 0.0) {
       std::fprintf(stderr, "FAIL: warm pass throughput is zero\n");
+      ok = false;
+    }
+    if (polite_shed.load() != 0 || polite_failed.load() != 0 ||
+        fair_polite_client_shed != 0) {
+      std::fprintf(
+          stderr,
+          "FAIL: well-behaved tenant shed/failed under greedy overload"
+          " (%llu shed, %llu failed, %llu per-client shed)\n",
+          static_cast<unsigned long long>(polite_shed.load()),
+          static_cast<unsigned long long>(polite_failed.load()),
+          static_cast<unsigned long long>(fair_polite_client_shed));
+      ok = false;
+    }
+    if (!fair_conserved || !fair_balanced) {
+      std::fprintf(stderr,
+                   "FAIL: fairness phase books not conserved/balanced\n");
+      ok = false;
+    }
+    if (batch_failed_items != 0) {
+      std::fprintf(stderr, "FAIL: %llu batching-phase items failed\n",
+                   static_cast<unsigned long long>(batch_failed_items));
+      ok = false;
+    }
+    if (batch_amortization < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: batching amortized dispatch only %.2fx (< 2x)\n",
+                   batch_amortization);
       ok = false;
     }
     if (!ok) return 1;

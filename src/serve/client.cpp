@@ -1,9 +1,22 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace limsynth::serve {
 
 Client::Client(Transport& transport, const Endpoint& ep, int timeout_ms)
-    : conn_(transport.connect(ep, timeout_ms)) {}
+    : transport_(&transport),
+      ep_(ep),
+      connect_timeout_ms_(timeout_ms),
+      conn_(transport.connect(ep, timeout_ms)) {}
+
+void Client::reconnect() {
+  if (conn_) conn_->close();
+  conn_ = transport_->connect(ep_, connect_timeout_ms_);
+  reader_ = FrameReader(1 << 20);  // discard any stale partial frame
+}
 
 CallResult Client::call(const std::string& request_json, int timeout_ms) {
   CallResult res;
@@ -17,6 +30,47 @@ CallResult Client::call(const std::string& request_json, int timeout_ms) {
   res.transport_ok = true;
   res.reply_parsed = parse_reply(res.payload, &res.fields);
   return res;
+}
+
+RetryResult Client::call_retry(const std::string& request_json,
+                               const RetryPolicy& policy, int timeout_ms) {
+  RetryResult out;
+  // xorshift64 for the jitter: deterministic per seed, no global RNG.
+  std::uint64_t rng = policy.jitter_seed ? policy.jitter_seed : 1;
+  const auto next_rng = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  out.last = call(request_json, timeout_ms);
+  for (int retry = 0; retry < policy.max_retries && out.last.shed(); ++retry) {
+    // Schedule: half-jitter the exponential step (uniform in
+    // [step/2, step]) so a thundering herd of shed clients decorrelates,
+    // but never sleep less than the server's own hint — retrying before
+    // the bucket refills is a guaranteed wasted attempt. Cap wins last.
+    const int exp_ms = policy.base_backoff_ms
+                       << std::min(retry, 20);  // no overflow
+    const int jittered =
+        exp_ms / 2 + static_cast<int>(next_rng() %
+                                      static_cast<std::uint64_t>(exp_ms / 2 +
+                                                                 1));
+    int backoff =
+        std::max(jittered, static_cast<int>(out.last.fields.retry_after_ms));
+    backoff = std::min(backoff, policy.max_backoff_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    out.total_backoff_ms += backoff;
+    // An accept-level shed closes the connection server-side; quota and
+    // drain sheds keep it open. Try the existing wire first, and treat
+    // reconnect-and-resend as part of the same attempt when it is gone.
+    out.last = call(request_json, timeout_ms);
+    if (!out.last.transport_ok) {
+      reconnect();
+      out.last = call(request_json, timeout_ms);
+    }
+    out.attempts += 1;
+  }
+  return out;
 }
 
 void Client::close() {

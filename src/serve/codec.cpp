@@ -1,5 +1,7 @@
 #include "serve/codec.hpp"
 
+#include <algorithm>
+
 #include "util/jsonl.hpp"
 
 namespace limsynth::serve {
@@ -12,6 +14,7 @@ const char* op_name(Op op) {
     case Op::kAnalyze: return "analyze";
     case Op::kStats: return "stats";
     case Op::kSleep: return "sleep";
+    case Op::kBatch: return "batch";
   }
   return "ping";
 }
@@ -20,7 +23,7 @@ namespace {
 
 bool op_from_name(const std::string& name, Op* out) {
   for (Op op : {Op::kPing, Op::kCharacterize, Op::kDsePoint, Op::kAnalyze,
-                Op::kStats, Op::kSleep}) {
+                Op::kStats, Op::kSleep, Op::kBatch}) {
     if (name == op_name(op)) {
       *out = op;
       return true;
@@ -105,6 +108,39 @@ bool parse_request(const std::string& payload, Request* out,
     return false;
   }
   if (!opt_string(payload, "id", &out->id, error)) return false;
+  if (!opt_string(payload, "client_id", &out->client_id, error)) return false;
+  if (out->op == Op::kBatch) {
+    const std::size_t items_pos = jsonl::find_field(payload, "items");
+    if (items_pos == std::string::npos) {
+      *error = "batch request has no \"items\" field";
+      return false;
+    }
+    std::string items;
+    if (!jsonl::read_string(payload, items_pos, &items)) {
+      *error = "field \"items\" is not a valid string";
+      return false;
+    }
+    // Items travel newline-separated inside the one string field the
+    // flat dialect allows. Blank lines are dropped (a trailing '\n' is
+    // not an item); an empty or oversized batch is malformed up front so
+    // the admission layer never prices phantom or unbounded work.
+    std::size_t start = 0;
+    while (start <= items.size()) {
+      const std::size_t nl = items.find('\n', start);
+      const std::size_t end = (nl == std::string::npos) ? items.size() : nl;
+      if (end > start) out->batch.push_back(items.substr(start, end - start));
+      if (static_cast<int>(out->batch.size()) > kMaxBatchItems) {
+        *error = "batch exceeds " + std::to_string(kMaxBatchItems) + " items";
+        return false;
+      }
+      if (nl == std::string::npos) break;
+      start = nl + 1;
+    }
+    if (out->batch.empty()) {
+      *error = "batch request carries no items";
+      return false;
+    }
+  }
   if (!opt_string(payload, "kind", &out->kind, error)) return false;
   if (!opt_string(payload, "liberty", &out->liberty, error)) return false;
   if (!opt_int(payload, "words", &out->words, error)) return false;
@@ -174,6 +210,70 @@ std::string make_shed_reply(int retry_after_ms) {
   w.add("error", std::string("server saturated; retry later"));
   w.add("retry_after_ms", retry_after_ms);
   return w.str();
+}
+
+std::string make_quota_shed_reply(const std::string& id, int retry_after_ms) {
+  JsonWriter w;
+  w.add("id", id).add("ok", false);
+  w.add("error_code",
+        std::string(error_code_name(ErrorCode::kResourceExhausted)));
+  w.add("error", std::string("client quota exceeded; retry later"));
+  w.add("retry_after_ms", retry_after_ms);
+  return w.str();
+}
+
+std::string make_drain_shed_reply(const std::string& id, int retry_after_ms) {
+  JsonWriter w;
+  w.add("id", id).add("ok", false);
+  w.add("error_code",
+        std::string(error_code_name(ErrorCode::kResourceExhausted)));
+  w.add("error", std::string("server draining; retry later"));
+  w.add("retry_after_ms", retry_after_ms);
+  return w.str();
+}
+
+std::string make_deadline_reject_reply(const std::string& id,
+                                       double estimated_wait_ms,
+                                       double deadline_ms) {
+  JsonWriter w;
+  w.add("id", id).add("ok", false);
+  w.add("error_code",
+        std::string(error_code_name(ErrorCode::kResourceExhausted)));
+  w.add("error", std::string("deadline unmeetable given current backlog"));
+  w.add("estimated_wait_ms", estimated_wait_ms);
+  w.add("deadline_ms", deadline_ms);
+  w.add("retry_after_ms",
+        std::max(1, static_cast<int>(estimated_wait_ms - deadline_ms) + 1));
+  return w.str();
+}
+
+std::uint64_t request_fingerprint(const Request& req) {
+  // Canonical field dump in declaration order. deadline_ms is included
+  // deliberately: the same shape under a tighter budget is different
+  // work as far as "does it die" goes, and must not drag the generous
+  // variant into quarantine with it.
+  std::string canon;
+  canon += op_name(req.op);
+  canon += '|';
+  canon += req.kind;
+  for (int v : {req.words, req.bits, req.stack, req.brick_words, req.banks,
+                req.ecc ? 1 : 0, req.spare_rows, req.yield_chips, req.cycles}) {
+    canon += '|';
+    canon += std::to_string(v);
+  }
+  canon += '|';
+  canon += std::to_string(req.seed);
+  canon += '|';
+  canon += req.liberty;
+  canon += '|';
+  canon += jsonl::format_g17(req.deadline_ms);
+  canon += '|';
+  canon += jsonl::format_g17(req.sleep_ms);
+  for (const std::string& item : req.batch) {
+    canon += '\n';
+    canon += item;
+  }
+  return jsonl::fnv1a(canon);
 }
 
 bool parse_reply(const std::string& payload, ReplyFields* out) {

@@ -50,6 +50,10 @@ void check_cancelled(const HandlerContext& ctx) {
     LIMS_FAIL(ErrorCode::kInterrupted, "server draining; request abandoned");
 }
 
+bool cancelled(const HandlerContext& ctx) {
+  return ctx.cancel != nullptr && ctx.cancel->load(std::memory_order_relaxed);
+}
+
 double effective_deadline_seconds(const Request& req,
                                   const HandlerContext& ctx) {
   const double cap = ctx.max_deadline_seconds;
@@ -177,6 +181,132 @@ std::string run_sleep(const Request& req, const HandlerContext& ctx,
   return w.str();
 }
 
+/// One executed item: the reply payload plus its classification. This is
+/// THE execution path — a request sent alone and the same request sent
+/// inside a batch both come through here, which is what makes the two
+/// replies byte-identical.
+struct ItemOutcome {
+  std::string payload;
+  bool ok = true;
+  ErrorCode code = ErrorCode::kInternal;
+  bool quarantined = false;
+};
+
+ItemOutcome run_item(const Request& req, const HandlerContext& ctx,
+                     const Watchdog& wd) {
+  ItemOutcome out;
+  const std::uint64_t fp = request_fingerprint(req);
+  try {
+    // Breaker gate first: a quarantined fingerprint is refused without
+    // touching the compute path at all (that is the point).
+    if (ctx.breaker != nullptr) {
+      std::string msg;
+      if (ctx.breaker->quarantined(fp, &msg)) {
+        out.ok = false;
+        out.code = ErrorCode::kQuarantined;
+        out.quarantined = true;
+        out.payload = make_error_reply(req.id, ErrorCode::kQuarantined, msg);
+        return out;
+      }
+    }
+    check_liberty_ref(req.liberty);
+    switch (req.op) {
+      case Op::kPing: {
+        JsonWriter w;
+        w.add("id", req.id).add("ok", true);
+        w.add("op", std::string(op_name(req.op)));
+        out.payload = w.str();
+        break;
+      }
+      case Op::kCharacterize:
+        out.payload = run_characterize(req, ctx, wd);
+        break;
+      case Op::kDsePoint:
+        out.payload = run_dse_point(req, ctx, wd);
+        break;
+      case Op::kAnalyze:
+        out.payload = run_analyze(req, ctx, wd);
+        break;
+      case Op::kSleep:
+        out.payload = run_sleep(req, ctx, wd);
+        break;
+      case Op::kStats:
+      case Op::kBatch:
+        // Not executable items: stats is answered by the server (it owns
+        // the counters) and a batch cannot nest.
+        LIMS_FAIL(ErrorCode::kInvalidConfig,
+                  "op \"" << op_name(req.op)
+                          << "\" is not allowed inside a batch");
+    }
+    if (ctx.breaker != nullptr)
+      ctx.breaker->record(fp, true, ErrorCode::kInternal);
+  } catch (const Error& e) {
+    out.ok = false;
+    out.code = e.code();
+    out.payload = make_error_reply(req.id, e.code(), e.what());
+    if (ctx.breaker != nullptr) ctx.breaker->record(fp, false, e.code());
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.code = ErrorCode::kInternal;
+    out.payload = make_error_reply(req.id, ErrorCode::kInternal, e.what());
+    if (ctx.breaker != nullptr)
+      ctx.breaker->record(fp, false, ErrorCode::kInternal);
+  }
+  return out;
+}
+
+/// Executes a batch frame: every item through run_item under the ONE
+/// batch watchdog, with per-item error isolation. The envelope is always
+/// ok:true; per-item verdicts live in the newline-joined `results`.
+Handled run_batch(const Request& req, const HandlerContext& ctx,
+                  const Watchdog& wd) {
+  // Deliberately no batch-level DIAG_CONTEXT: the breadcrumb would leak
+  // into per-item error text ("[while serve batch of N items > ...]")
+  // and break the byte-identity contract with individually-sent
+  // requests. Each item's own op pushes its frame inside run_item.
+  Handled out;
+  out.batch_items = static_cast<int>(req.batch.size());
+  std::string results;
+  for (const std::string& line : req.batch) {
+    std::string reply;
+    Request item;
+    std::string perr;
+    if (!parse_request(line, &item, &perr)) {
+      // Byte-identical to the reply the same frame gets when sent alone
+      // (the server's dispatch uses this exact text).
+      reply = make_error_reply("", ErrorCode::kInvalidConfig,
+                               "malformed request: " + perr);
+      out.batch_failed += 1;
+    } else if (cancelled(ctx)) {
+      reply = make_error_reply(item.id, ErrorCode::kInterrupted,
+                               "server draining; request abandoned");
+      out.batch_failed += 1;
+    } else if (wd.enabled() && wd.expired()) {
+      // The batch budget burned out before this item even started: a
+      // typed per-item refusal, and deliberately NO breaker death —
+      // the deadline was spent by earlier items, not by this shape.
+      reply = make_error_reply(item.id, ErrorCode::kResourceExhausted,
+                               "batch budget exhausted before this item");
+      out.batch_failed += 1;
+    } else {
+      const ItemOutcome r = run_item(item, ctx, wd);
+      reply = r.payload;
+      if (!r.ok) out.batch_failed += 1;
+      if (r.quarantined) out.quarantined += 1;
+    }
+    if (!results.empty()) results += '\n';
+    results += reply;
+  }
+  JsonWriter w;
+  w.add("id", req.id).add("ok", true);
+  w.add("op", std::string(op_name(req.op)));
+  w.add("count", out.batch_items);
+  w.add("failed", out.batch_failed);
+  w.add("results", results);
+  out.payload = w.str();
+  return out;
+}
+
 }  // namespace
 
 Handled handle_request(const Request& req, const HandlerContext& ctx) {
@@ -186,39 +316,24 @@ Handled handle_request(const Request& req, const HandlerContext& ctx) {
                    "handler context missing resident libraries");
     const Watchdog wd("serve request " + std::string(op_name(req.op)),
                       effective_deadline_seconds(req, ctx));
-    check_liberty_ref(req.liberty);
-    switch (req.op) {
-      case Op::kPing: {
-        JsonWriter w;
-        w.add("id", req.id).add("ok", true);
-        w.add("op", std::string(op_name(req.op)));
-        out.payload = w.str();
-        return out;
-      }
-      case Op::kCharacterize:
-        out.payload = run_characterize(req, ctx, wd);
-        return out;
-      case Op::kDsePoint:
-        out.payload = run_dse_point(req, ctx, wd);
-        return out;
-      case Op::kAnalyze:
-        out.payload = run_analyze(req, ctx, wd);
-        return out;
-      case Op::kSleep:
-        out.payload = run_sleep(req, ctx, wd);
-        return out;
-      case Op::kStats:
-        // The server answers stats itself (it owns the counters); a
-        // handler-level stats request reports what it can see.
-        JsonWriter w;
-        w.add("id", req.id).add("ok", true);
-        w.add("op", std::string(op_name(req.op)));
-        w.add("cache_entries",
-              static_cast<std::uint64_t>(brick::BrickCache::global().size()));
-        out.payload = w.str();
-        return out;
+    if (req.op == Op::kStats) {
+      // The server answers stats itself (it owns the counters); a
+      // handler-level stats request reports what it can see.
+      JsonWriter w;
+      w.add("id", req.id).add("ok", true);
+      w.add("op", std::string(op_name(req.op)));
+      w.add("cache_entries",
+            static_cast<std::uint64_t>(brick::BrickCache::global().size()));
+      out.payload = w.str();
+      return out;
     }
-    LIMS_UNREACHABLE("unhandled op");
+    if (req.op == Op::kBatch) return run_batch(req, ctx, wd);
+    const ItemOutcome r = run_item(req, ctx, wd);
+    out.payload = r.payload;
+    out.ok = r.ok;
+    out.code = r.code;
+    out.quarantined = r.quarantined ? 1 : 0;
+    return out;
   } catch (const Error& e) {
     out.ok = false;
     out.code = e.code();

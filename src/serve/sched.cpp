@@ -1,0 +1,301 @@
+#include "serve/sched.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/jsonl.hpp"
+
+namespace limsynth::serve {
+
+namespace {
+
+constexpr double kQuantum = 1.0;  ///< DRR credit granted per rotation
+
+std::size_t op_slot(Op op) { return static_cast<std::size_t>(op); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// PoisonBreaker
+// ---------------------------------------------------------------------
+
+bool PoisonBreaker::quarantined(std::uint64_t fingerprint,
+                                std::string* message) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(fingerprint);
+  if (it == entries_.end() || !it->second.tripped) return false;
+  if (message != nullptr) {
+    // Stable text: every refusal of this fingerprint — batched or
+    // individual — is byte-identical.
+    *message = "request fingerprint " + jsonl::to_hex(fingerprint) +
+               " quarantined after " + std::to_string(threshold_) +
+               " consecutive failures (last: " +
+               error_code_name(it->second.last_death) +
+               "); not re-executing";
+  }
+  return true;
+}
+
+void PoisonBreaker::record(std::uint64_t fingerprint, bool ok,
+                           ErrorCode code) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ok) {
+    // A success clears the streak entirely: the fingerprint is healthy.
+    entries_.erase(fingerprint);
+    return;
+  }
+  // Only genuine deaths count: a watchdog kill or an untyped handler
+  // fault. Clean typed rejects are deterministic cheap replies, and a
+  // drain preemption (kInterrupted) says nothing about the request.
+  if (code != ErrorCode::kResourceExhausted && code != ErrorCode::kInternal)
+    return;
+  Entry& e = entries_[fingerprint];
+  if (e.tripped) return;
+  e.last_death = code;
+  if (++e.consecutive_deaths >= threshold_) e.tripped = true;
+}
+
+std::uint64_t PoisonBreaker::quarantined_fingerprints() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& [fp, e] : entries_)
+    if (e.tripped) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// WorkItem
+// ---------------------------------------------------------------------
+
+void WorkItem::fulfill(std::string reply_payload, bool reply_ok,
+                       ErrorCode reply_code) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (done_) return;  // first fulfillment wins (worker vs. drain race)
+    reply = std::move(reply_payload);
+    ok = reply_ok;
+    code = reply_code;
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+const std::string& WorkItem::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return done_; });
+  return reply;
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+Scheduler::Scheduler(const Options& options) : opt_(options) {
+  if (opt_.workers < 1) opt_.workers = 1;
+}
+
+Scheduler::ClientState& Scheduler::state_locked(const std::string& client) {
+  auto it = clients_.find(client);
+  if (it != clients_.end()) return it->second;
+  ClientState& c = clients_[client];
+  const auto ov = opt_.quota_overrides.find(client);
+  c.quota = (ov != opt_.quota_overrides.end()) ? ov->second
+                                               : opt_.default_quota;
+  if (c.quota.rps > 0.0 && c.quota.burst < 1.0)
+    c.quota.burst = std::max(1.0, c.quota.rps);
+  return c;
+}
+
+double Scheduler::ewma_locked(Op op) const {
+  return ewma_primed_[op_slot(op)] ? ewma_seconds_[op_slot(op)] : 0.0;
+}
+
+double Scheduler::backlog_seconds_locked() const {
+  double total = 0.0;
+  for (const auto& [id, c] : clients_)
+    for (const auto& item : c.queue) total += ewma_locked(item->req.op);
+  return total;
+}
+
+Admission Scheduler::submit(const Request& req, const std::string& client) {
+  const auto now = std::chrono::steady_clock::now();
+  const int cost =
+      req.op == Op::kBatch ? static_cast<int>(req.batch.size()) : 1;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  ClientState& c = state_locked(client);
+  c.n.accepted += 1;
+
+  Admission out;
+
+  // Gate 0: a request that races past the session's drain check after
+  // drain() swept the queues would wait forever — refuse it here instead.
+  if (draining_) {
+    out.verdict = Admission::Verdict::kShedDrain;
+    out.retry_after_ms = opt_.retry_after_ms;
+    c.n.shed_drain += 1;
+    return out;
+  }
+
+  // Gate 1: token bucket. A batch pays one token per item, so batching
+  // amortizes dispatch, not the quota.
+  if (c.quota.rps > 0.0) {
+    if (!c.bucket_primed) {
+      c.tokens = c.quota.burst;
+      c.bucket_primed = true;
+    } else {
+      const double dt = std::chrono::duration<double>(now - c.last_refill)
+                            .count();
+      c.tokens = std::min(c.quota.burst, c.tokens + dt * c.quota.rps);
+    }
+    c.last_refill = now;
+    if (c.tokens + 1e-9 < static_cast<double>(cost)) {
+      const double deficit = static_cast<double>(cost) - c.tokens;
+      out.verdict = Admission::Verdict::kShedQuota;
+      out.retry_after_ms = std::max(
+          1, static_cast<int>(std::ceil(deficit / c.quota.rps * 1000.0)));
+      c.n.shed_quota += 1;
+      return out;
+    }
+    c.tokens -= static_cast<double>(cost);
+  }
+
+  // Gate 2: deadline-aware admission. Only meaningful once the EWMA has
+  // samples; an unknown verb estimates zero and is admitted (the
+  // watchdog still bounds it mid-flight).
+  if (req.deadline_ms > 0.0) {
+    const double est_seconds =
+        backlog_seconds_locked() / static_cast<double>(opt_.workers) +
+        ewma_locked(req.op);
+    const double est_ms = est_seconds * 1000.0;
+    if (est_ms > req.deadline_ms) {
+      out.verdict = Admission::Verdict::kShedDeadline;
+      out.estimated_wait_ms = est_ms;
+      c.n.shed_deadline += 1;
+      return out;
+    }
+  }
+
+  auto item = std::make_shared<WorkItem>();
+  item->req = req;
+  item->client = client;
+  item->cost = cost;
+  item->enqueued = now;
+  c.queue.push_back(item);
+  queued_ += 1;
+  if (!c.in_rotation) {
+    rotation_.push_back(client);
+    c.in_rotation = true;
+  }
+  out.item = std::move(item);
+  cv_.notify_one();
+  return out;
+}
+
+std::shared_ptr<WorkItem> Scheduler::pop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return queued_ > 0 || draining_; });
+    if (queued_ == 0) {
+      if (draining_) return nullptr;
+      continue;
+    }
+    // Deficit-weighted round-robin: each rotation grants the head
+    // client one quantum; it serves when its credit covers the head
+    // item's cost. Every full lap grows each deficit by kQuantum, so
+    // the loop terminates (an expensive batch waits whole laps, which
+    // is exactly the fairness point).
+    for (;;) {
+      const std::string id = rotation_.front();
+      ClientState& c = clients_[id];
+      c.deficit += kQuantum;
+      const auto& head = c.queue.front();
+      if (c.deficit + 1e-9 >= static_cast<double>(head->cost)) {
+        std::shared_ptr<WorkItem> item = c.queue.front();
+        c.queue.pop_front();
+        c.deficit -= static_cast<double>(item->cost);
+        queued_ -= 1;
+        rotation_.pop_front();
+        if (c.queue.empty()) {
+          c.deficit = 0.0;  // credit does not accumulate while idle
+          c.in_rotation = false;
+        } else {
+          rotation_.push_back(id);
+        }
+        return item;
+      }
+      rotation_.pop_front();
+      rotation_.push_back(id);
+    }
+  }
+}
+
+void Scheduler::record_service(const WorkItem& item, bool ok, double seconds,
+                               bool quarantined) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t slot = op_slot(item.req.op);
+  if (!ewma_primed_[slot]) {
+    ewma_seconds_[slot] = seconds;
+    ewma_primed_[slot] = true;
+  } else {
+    ewma_seconds_[slot] = opt_.ewma_alpha * seconds +
+                          (1.0 - opt_.ewma_alpha) * ewma_seconds_[slot];
+  }
+  ClientState& c = state_locked(item.client);
+  if (ok)
+    c.n.served_ok += 1;
+  else
+    c.n.served_error += 1;
+  if (quarantined) c.n.quarantined += 1;
+}
+
+void Scheduler::note_inline(const std::string& client, bool ok) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ClientState& c = state_locked(client);
+  c.n.accepted += 1;
+  if (ok)
+    c.n.served_ok += 1;
+  else
+    c.n.served_error += 1;
+}
+
+std::uint64_t Scheduler::drain() {
+  std::vector<std::shared_ptr<WorkItem>> doomed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (draining_ && queued_ == 0) return 0;
+    draining_ = true;
+    for (auto& [id, c] : clients_) {
+      for (auto& item : c.queue) {
+        c.n.shed_drain += 1;
+        doomed.push_back(std::move(item));
+      }
+      c.queue.clear();
+      c.deficit = 0.0;
+      c.in_rotation = false;
+    }
+    rotation_.clear();
+    queued_ = 0;
+  }
+  cv_.notify_all();
+  // Fulfill outside the lock: each wait()ing session wakes immediately.
+  for (auto& item : doomed)
+    item->fulfill(make_drain_shed_reply(item->req.id, opt_.retry_after_ms),
+                  false, ErrorCode::kResourceExhausted);
+  return static_cast<std::uint64_t>(doomed.size());
+}
+
+std::vector<ClientStatsRow> Scheduler::client_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ClientStatsRow> rows;
+  rows.reserve(clients_.size());
+  for (const auto& [id, c] : clients_) rows.push_back({id, c.n});
+  return rows;
+}
+
+std::size_t Scheduler::backlog() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_;
+}
+
+}  // namespace limsynth::serve

@@ -1,0 +1,225 @@
+// Multi-tenant admission and scheduling for the characterization daemon.
+//
+// The PR-7 server queued whole *connections* FIFO, so one flooding
+// client monopolized the worker pool and every other tenant's p99 paid
+// for it. This layer moves the contention point to *request* granularity
+// with three independent admission gates and a fair dispatcher:
+//
+//   1. Token-bucket quotas per client_id (configurable rate/burst plus a
+//      per-client override table). An empty bucket sheds the request
+//      with the existing `retry_after_ms` reply, computed from the
+//      bucket's actual refill time — the client is told exactly when
+//      capacity exists again.
+//   2. Deadline-aware admission: a request carrying `deadline_ms` is
+//      rejected at enqueue time when the queue backlog (EWMA of
+//      per-verb service times, divided across workers) already exceeds
+//      it — a refusal in microseconds instead of a worker burned on a
+//      request that was going to time out mid-flight anyway.
+//   3. A poison-request circuit breaker (PoisonBreaker): a request
+//      fingerprint that repeatedly dies (watchdog kill / handler fault)
+//      is quarantined with a typed `quarantined` reply instead of being
+//      re-executed — the serve-side mirror of brick/store's
+//      quarantine-with-reason for corrupt entries.
+//
+// Admitted work lands in a per-client queue and workers pop via
+// deficit-weighted round-robin: each rotation grants every backlogged
+// client one quantum of credit, and a batch frame costs its item count,
+// so a tenant with 40 queued requests and a tenant with 1 alternate
+// instead of the 40 going first. A flooding client degrades only
+// itself.
+//
+// Accounting is conserved per tenant: every frame attributed to a
+// client ends served (a handler reply, ok or typed error) or shed
+// (quota / deadline / drain), and `accepted == served + shed` holds in
+// every ClientStatsRow the server exposes via the `stats` verb and the
+// drain provenance lines.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/codec.hpp"
+
+namespace limsynth::serve {
+
+/// Token-bucket parameters. rps <= 0 means unlimited (the bucket is
+/// never consulted); burst < 1 is clamped to 1 so a configured client
+/// can always make progress.
+struct QuotaSpec {
+  double rps = 0.0;
+  double burst = 0.0;
+};
+
+/// Per-tenant accounting. Conservation: accepted == served + shed where
+/// served = served_ok + served_error and shed = shed_quota +
+/// shed_deadline + shed_drain.
+struct ClientCounters {
+  std::uint64_t accepted = 0;      ///< frames attributed to this client
+  std::uint64_t served_ok = 0;     ///< handler replies with ok:true
+  std::uint64_t served_error = 0;  ///< typed error replies (incl. quarantined)
+  std::uint64_t shed_quota = 0;    ///< token bucket empty
+  std::uint64_t shed_deadline = 0; ///< rejected at enqueue: deadline unmeetable
+  std::uint64_t shed_drain = 0;    ///< queued at drain time
+  std::uint64_t quarantined = 0;   ///< subset of served_error via the breaker
+
+  std::uint64_t served() const { return served_ok + served_error; }
+  std::uint64_t shed() const { return shed_quota + shed_deadline + shed_drain; }
+  bool conserved() const { return accepted == served() + shed(); }
+};
+
+struct ClientStatsRow {
+  std::string id;
+  ClientCounters n;
+};
+
+/// Poison-request circuit breaker, keyed on request_fingerprint(). A
+/// fingerprint whose executions die `threshold` consecutive times
+/// (watchdog kill = resource_exhausted, handler fault = internal) is
+/// quarantined: further executions are refused with a typed
+/// `quarantined` reply until the process restarts. Clean typed rejects
+/// (invalid_config, io, ...) neither count as deaths nor reset the
+/// streak; a success resets it. Thread-safe.
+class PoisonBreaker {
+ public:
+  explicit PoisonBreaker(int threshold = 3) : threshold_(threshold) {}
+
+  /// True when `fingerprint` is quarantined; *message (optional)
+  /// receives the stable reply text (identical for every refusal, so a
+  /// batched and an individual refusal are byte-identical).
+  bool quarantined(std::uint64_t fingerprint, std::string* message) const;
+
+  /// Records one execution outcome. Deaths are resource_exhausted and
+  /// internal; kInterrupted (drain preemption) is explicitly not a
+  /// death — a SIGTERM must not poison whatever happened to be running.
+  void record(std::uint64_t fingerprint, bool ok, ErrorCode code);
+
+  std::uint64_t quarantined_fingerprints() const;
+
+ private:
+  struct Entry {
+    int consecutive_deaths = 0;
+    bool tripped = false;
+    ErrorCode last_death = ErrorCode::kInternal;
+  };
+
+  int threshold_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Entry> entries_;
+};
+
+/// One admitted request waiting for (or being executed by) a worker.
+/// The session thread blocks on `wait()` while a worker (or the drain)
+/// fulfills it exactly once.
+struct WorkItem {
+  Request req;
+  std::string client;
+  int cost = 1;  ///< DRR cost: 1, or the item count for a batch
+  std::chrono::steady_clock::time_point enqueued{};
+
+  /// Fulfilled exactly once by a worker or by drain().
+  void fulfill(std::string reply_payload, bool reply_ok, ErrorCode reply_code);
+  /// Blocks until fulfilled; returns the reply payload.
+  const std::string& wait();
+
+  bool ok = false;
+  ErrorCode code = ErrorCode::kInternal;
+  std::string reply;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+};
+
+/// Outcome of Scheduler::submit().
+struct Admission {
+  enum class Verdict {
+    kAdmitted = 0,
+    kShedQuota,     ///< bucket empty; retry_after_ms says when to retry
+    kShedDeadline,  ///< backlog estimate already exceeds deadline_ms
+    kShedDrain,     ///< submitted after drain() began; nothing will pop it
+  };
+  Verdict verdict = Verdict::kAdmitted;
+  int retry_after_ms = 0;              ///< kShedQuota: bucket refill time
+  double estimated_wait_ms = 0.0;      ///< kShedDeadline: the estimate
+  std::shared_ptr<WorkItem> item;      ///< kAdmitted: wait() on this
+};
+
+class Scheduler {
+ public:
+  struct Options {
+    int workers = 4;              ///< divisor for backlog estimates
+    QuotaSpec default_quota;      ///< rps <= 0: quotas disabled by default
+    std::map<std::string, QuotaSpec> quota_overrides;  ///< by client_id
+    double ewma_alpha = 0.3;      ///< per-verb service-time smoothing
+    int retry_after_ms = 250;     ///< advertised in drain shed replies
+  };
+
+  explicit Scheduler(const Options& options);
+
+  /// Runs every admission gate in order (quota, then deadline) and
+  /// enqueues on success. Never blocks.
+  Admission submit(const Request& req, const std::string& client);
+
+  /// Blocks until an item is available (returns it, DRR order) or the
+  /// scheduler is drained with an empty queue (returns nullptr).
+  std::shared_ptr<WorkItem> pop();
+
+  /// Worker report after executing `item`: updates the per-verb EWMA
+  /// and the client's served counters. `quarantined` flags a breaker
+  /// refusal (counted inside served_error, plus its own counter).
+  void record_service(const WorkItem& item, bool ok, double seconds,
+                      bool quarantined);
+
+  /// Frames answered without a worker trip (stats verb, protocol
+  /// errors): keeps per-client conservation exact.
+  void note_inline(const std::string& client, bool ok);
+
+  /// Sheds every queued item with a drain reply and makes pop() return
+  /// nullptr once the queues are empty. Returns the number of requests
+  /// shed. Idempotent.
+  std::uint64_t drain();
+
+  /// Sorted per-client snapshot.
+  std::vector<ClientStatsRow> client_stats() const;
+
+  /// Queued request count (all clients), for observability.
+  std::size_t backlog() const;
+
+ private:
+  struct ClientState {
+    ClientCounters n;
+    // Token bucket (lazily refilled on each submit).
+    double tokens = 0.0;
+    bool bucket_primed = false;
+    std::chrono::steady_clock::time_point last_refill{};
+    QuotaSpec quota;
+    // DRR state.
+    std::deque<std::shared_ptr<WorkItem>> queue;
+    double deficit = 0.0;
+    bool in_rotation = false;
+  };
+
+  ClientState& state_locked(const std::string& client);
+  double backlog_seconds_locked() const;
+  double ewma_locked(Op op) const;
+
+  Options opt_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, ClientState> clients_;
+  std::deque<std::string> rotation_;  ///< clients with non-empty queues
+  double ewma_seconds_[8] = {};       ///< per-Op service time, 0 = no sample
+  bool ewma_primed_[8] = {};
+  std::size_t queued_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace limsynth::serve

@@ -1,18 +1,24 @@
-// The fault-tolerant multi-client characterization daemon.
+// The fault-tolerant multi-tenant characterization daemon.
 //
 // Architecture (one paragraph): the run() thread accepts connections and
-// pushes them onto a bounded queue; a bounded pool of worker threads pops
-// connections and serves framed JSON requests on them until the client
-// closes, misbehaves, or goes idle. Overload is shed explicitly — when
-// the queue is full the acceptor answers with a `retry_after_ms` reply
-// and closes, so saturation degrades to fast refusals instead of
-// unbounded memory growth. Every request runs under a Watchdog deadline
-// and the PR-2 typed-error catch, so a poisoned request costs one reply,
-// never the process. A SIGTERM drain (ServeOptions::shutdown) stops
-// accepting, gives queued-but-unserved connections a shed reply, lets
-// in-flight requests finish or deadline out, and returns from run() with
-// every connection closed — the caller then flushes store stats and
-// exits with the stable interrupted code (8).
+// hands them to a bounded pool of *session* threads (capacity = workers +
+// queue_depth, the PR-7 concurrency envelope); overflow is shed at accept
+// with a `retry_after_ms` reply. Each session reads framed JSON requests
+// off its connection, answers protocol errors and the `stats` verb
+// inline, and pushes real work through the admission gates of a
+// Scheduler (serve/sched.hpp): per-client token-bucket quotas, then
+// deadline-aware admission against an EWMA backlog estimate. Admitted
+// requests land in per-client queues; a separate pool of `workers`
+// *executor* threads pops them in deficit-weighted round-robin order —
+// so a flooding tenant queues behind itself, not in front of everyone —
+// runs the handler under its Watchdog and the poison-request circuit
+// breaker, and fulfills the session's wait. Every request runs under the
+// PR-2 typed-error catch, so a poisoned request costs one reply, never
+// the process. A SIGTERM drain stops accepting, sheds every queued
+// request with a typed drain reply, lets in-flight requests finish or
+// deadline out, and returns from run() with every connection closed and
+// per-client accounting conserved (accepted == served + shed for every
+// tenant).
 //
 // Failure-model testing: ServeOptions::conn_filter lets tests wrap every
 // accepted connection in a FaultConn, driving torn frames, short reads,
@@ -25,29 +31,41 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "serve/handler.hpp"
+#include "serve/sched.hpp"
 #include "serve/transport.hpp"
 
 namespace limsynth::serve {
 
 struct ServeOptions {
-  int workers = 4;      ///< connections served concurrently
-  int queue_depth = 8;  ///< accepted connections awaiting a worker
+  int workers = 4;      ///< executor threads (requests served concurrently)
+  int queue_depth = 8;  ///< extra connections held beyond the workers
   std::size_t max_frame_bytes = 1 << 20;
   /// Per-request compute budget (Watchdog) and the cap on any
   /// per-request deadline_ms override.
   double request_deadline_seconds = 30.0;
-  /// Closing an idle keep-alive connection frees its worker (ms waiting
+  /// Closing an idle keep-alive connection frees its session (ms waiting
   /// for the first byte of the next request).
   int idle_timeout_ms = 30000;
   /// Slow-loris bound: first byte of a frame to its completion (ms).
   int frame_timeout_ms = 2000;
   int write_timeout_ms = 2000;
-  int retry_after_ms = 250;  ///< advertised in shed replies
+  int retry_after_ms = 250;  ///< advertised in connection-level shed replies
   int accept_poll_ms = 50;   ///< accept/drain responsiveness granularity
+  /// Default per-client token bucket; rps <= 0 disables quotas. burst
+  /// defaults to max(rps, 1) when left at 0.
+  double quota_rps = 0.0;
+  double quota_burst = 0.0;
+  /// Per-client quota overrides by client_id (beats the default).
+  std::map<std::string, QuotaSpec> quota_overrides;
+  /// Consecutive deaths before a request fingerprint is quarantined.
+  int poison_threshold = 3;
   /// Set by the SIGTERM handler: run() drains and returns.
   const std::atomic<bool>* shutdown = nullptr;
   /// Test seam: wraps every accepted connection (e.g. in a FaultConn).
@@ -60,11 +78,16 @@ struct ServeStats {
   std::uint64_t accepted = 0;
   std::uint64_t shed = 0;           ///< refused with retry_after_ms
   std::uint64_t closed = 0;         ///< served connections fully closed
-  std::uint64_t drained = 0;        ///< queued conns answered at drain
+  std::uint64_t drained = 0;        ///< requests/conns answered at drain
   std::uint64_t requests = 0;       ///< complete frames dispatched
   std::uint64_t replies_ok = 0;
-  std::uint64_t replies_error = 0;  ///< typed error replies
-  std::uint64_t deadline_exceeded = 0;  ///< subset of replies_error
+  std::uint64_t replies_error = 0;  ///< typed error replies (incl. sheds)
+  std::uint64_t deadline_exceeded = 0;  ///< watchdog kills in flight
+  std::uint64_t quota_shed = 0;         ///< token bucket refusals
+  std::uint64_t deadline_rejected = 0;  ///< admission-time deadline refusals
+  std::uint64_t quarantined = 0;        ///< poison-breaker refusals (items)
+  std::uint64_t batches = 0;            ///< batch frames executed
+  std::uint64_t batch_items = 0;        ///< items carried by those frames
   std::uint64_t protocol_errors = 0;  ///< oversized/garbage frames
   std::uint64_t disconnects = 0;    ///< peer vanished (reset/torn/EOF mid-op)
   std::uint64_t slow_loris = 0;     ///< frame-assembly timeouts
@@ -79,34 +102,49 @@ class Server {
          const ServeOptions& options);
 
   /// Serves until `options.shutdown` becomes true (or forever without
-  /// one). Blocks; returns after the drain completes with all workers
-  /// joined and every connection closed.
+  /// one). Blocks; returns after the drain completes with all sessions
+  /// and executors joined and every connection closed.
   void run();
 
   ServeStats stats() const;
 
+  /// Per-tenant accounting snapshot (sorted by client id). After run()
+  /// returns, every row satisfies ClientCounters::conserved().
+  std::vector<ClientStatsRow> client_stats() const;
+
  private:
-  void worker_loop();
-  void serve_connection(std::unique_ptr<Conn> conn);
-  /// Parses + dispatches one frame, returns the reply payload.
-  std::string dispatch(const std::string& payload);
+  void session_loop();
+  void executor_loop();
+  void serve_connection(std::unique_ptr<Conn> conn,
+                        const std::string& conn_client);
+  /// Parses, admits, and (for admitted work) waits out one frame;
+  /// returns the reply payload.
+  std::string dispatch(const std::string& payload,
+                       const std::string& conn_client);
   std::string stats_reply(const std::string& id) const;
   bool draining() const { return draining_.load(std::memory_order_acquire); }
+  int session_count() const { return opt_.workers + opt_.queue_depth; }
 
   Listener& listener_;
   HandlerContext ctx_;
   ServeOptions opt_;
+  PoisonBreaker breaker_;
+  std::unique_ptr<Scheduler> sched_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::unique_ptr<Conn>> queue_;
+  std::deque<std::unique_ptr<Conn>> conn_queue_;
+  int busy_sessions_ = 0;
+  std::atomic<std::uint64_t> conn_seq_{0};
   std::atomic<bool> draining_{false};
 
   // Stats counters are individually atomic; stats() snapshots them.
   struct Counters {
     std::atomic<std::uint64_t> accepted{0}, shed{0}, closed{0}, drained{0},
         requests{0}, replies_ok{0}, replies_error{0}, deadline_exceeded{0},
-        protocol_errors{0}, disconnects{0}, slow_loris{0}, idle_closed{0};
+        quota_shed{0}, deadline_rejected{0}, quarantined{0}, batches{0},
+        batch_items{0}, protocol_errors{0}, disconnects{0}, slow_loris{0},
+        idle_closed{0};
   };
   Counters n_;
 };

@@ -82,7 +82,8 @@ TEST(Diag, CodeNamesRoundTripAndExitCodesAreStable) {
                            ErrorCode::kNonConvergence,
                            ErrorCode::kNumericalFault,
                            ErrorCode::kResourceExhausted, ErrorCode::kIo,
-                           ErrorCode::kStaleBinding, ErrorCode::kInterrupted};
+                           ErrorCode::kStaleBinding, ErrorCode::kInterrupted,
+                           ErrorCode::kQuarantined};
   for (ErrorCode code : all) {
     ErrorCode parsed = ErrorCode::kInternal;
     EXPECT_TRUE(error_code_from_name(error_code_name(code), &parsed));
@@ -98,6 +99,7 @@ TEST(Diag, CodeNamesRoundTripAndExitCodesAreStable) {
   EXPECT_EQ(exit_code_for(ErrorCode::kIo), 6);
   EXPECT_EQ(exit_code_for(ErrorCode::kStaleBinding), 7);
   EXPECT_EQ(exit_code_for(ErrorCode::kInterrupted), 8);
+  EXPECT_EQ(exit_code_for(ErrorCode::kQuarantined), 9);
 }
 
 TEST(Watchdog, DisabledBudgetNeverFires) {

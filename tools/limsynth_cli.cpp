@@ -17,9 +17,14 @@
 //   limsynth yield <words> <bits> <banks> <brick_words>  CSV yield curve
 //   limsynth serve --socket PATH | --port N [--workers N] [--queue N]
 //       [--deadline-ms N] [--idle-ms N] [--frame-ms N]
-//                       fault-tolerant multi-client characterization daemon
+//       [--quota-rps R] [--quota-burst B] [--quota-client NAME:RPS[:BURST]]
+//       [--poison-threshold N]
+//            fault-tolerant multi-tenant characterization daemon (client
+//            quotas, DRR fair scheduling, deadline admission, batch verb)
 //   limsynth call --socket PATH | --port N --json '{...}' [--torn]
-//       [--timeout-ms N] [--repeat N]       one framed request, JSON reply
+//       [--timeout-ms N] [--repeat N] [--max-retries N]
+//                 one framed request, JSON reply; shed replies retried
+//                 with capped jittered backoff honoring retry_after_ms
 //
 // kinds: sram6t sram8t cam10t edram
 //
@@ -32,6 +37,8 @@
 // crash-safe on-disk brick store shared across processes, so a cold run
 // on a warm store skips brick compilation entirely. An unusable cache
 // dir silently degrades to the in-memory cache.
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -152,8 +159,12 @@ int usage() {
                "  limsynth serve --socket PATH | --port N [--workers N]\n"
                "      [--queue N] [--deadline-ms N] [--idle-ms N]"
                " [--frame-ms N]\n"
+               "      [--quota-rps R] [--quota-burst B]"
+               " [--quota-client NAME:RPS[:BURST]]\n"
+               "      [--poison-threshold N]\n"
                "  limsynth call --socket PATH | --port N --json '{...}'\n"
-               "      [--torn] [--timeout-ms N] [--repeat N]\n"
+               "      [--torn] [--timeout-ms N] [--repeat N]"
+               " [--max-retries N]\n"
                "kinds: sram6t sram8t cam10t edram\n"
                "global: --cache-dir DIR (or LIMSYNTH_CACHE_DIR) persists\n"
                "  compiled bricks in a crash-safe on-disk store shared\n"
@@ -780,9 +791,29 @@ int cmd_serve(int argc, char** argv) {
       static_cast<int>(flag_value(argc, argv, "--idle-ms", 30000.0));
   sopt.frame_timeout_ms =
       static_cast<int>(flag_value(argc, argv, "--frame-ms", 2000.0));
+  sopt.quota_rps = flag_value(argc, argv, "--quota-rps", 0.0);
+  sopt.quota_burst = flag_value(argc, argv, "--quota-burst", 0.0);
+  sopt.poison_threshold =
+      static_cast<int>(flag_value(argc, argv, "--poison-threshold", 3.0));
+  // Repeatable per-client overrides: --quota-client NAME:RPS[:BURST].
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--quota-client") != 0) continue;
+    const std::string spec = argv[i + 1];
+    const std::size_t c1 = spec.find(':');
+    LIMS_CHECK_MSG(c1 != std::string::npos && c1 > 0,
+                   "--quota-client wants NAME:RPS[:BURST], got \""
+                       << spec << "\"");
+    const std::size_t c2 = spec.find(':', c1 + 1);
+    serve::QuotaSpec q;
+    q.rps = std::atof(spec.substr(c1 + 1).c_str());
+    if (c2 != std::string::npos) q.burst = std::atof(spec.substr(c2 + 1).c_str());
+    sopt.quota_overrides[spec.substr(0, c1)] = q;
+  }
   sopt.shutdown = &g_interrupted;
   LIMS_CHECK_MSG(sopt.workers >= 1 && sopt.queue_depth >= 1,
                  "--workers and --queue must be >= 1");
+  LIMS_CHECK_MSG(sopt.poison_threshold >= 1,
+                 "--poison-threshold must be >= 1");
 
   // Resident state shared by every request (the MemSPICE split: build
   // once, answer queries fast).
@@ -804,18 +835,38 @@ int cmd_serve(int argc, char** argv) {
   const serve::ServeStats s = server.stats();
   std::fprintf(stderr,
                "# serve drained: accepted=%llu shed=%llu closed=%llu"
-               " requests=%llu ok=%llu error=%llu deadline=%llu"
+               " drained=%llu requests=%llu ok=%llu error=%llu"
+               " deadline=%llu quota_shed=%llu deadline_rejected=%llu"
+               " quarantined=%llu batches=%llu batch_items=%llu"
                " protocol=%llu disconnects=%llu slow_loris=%llu\n",
                static_cast<unsigned long long>(s.accepted),
                static_cast<unsigned long long>(s.shed),
                static_cast<unsigned long long>(s.closed),
+               static_cast<unsigned long long>(s.drained),
                static_cast<unsigned long long>(s.requests),
                static_cast<unsigned long long>(s.replies_ok),
                static_cast<unsigned long long>(s.replies_error),
                static_cast<unsigned long long>(s.deadline_exceeded),
+               static_cast<unsigned long long>(s.quota_shed),
+               static_cast<unsigned long long>(s.deadline_rejected),
+               static_cast<unsigned long long>(s.quarantined),
+               static_cast<unsigned long long>(s.batches),
+               static_cast<unsigned long long>(s.batch_items),
                static_cast<unsigned long long>(s.protocol_errors),
                static_cast<unsigned long long>(s.disconnects),
                static_cast<unsigned long long>(s.slow_loris));
+  // Per-tenant accounting flush: one conserved line per client so a
+  // post-mortem can attribute load without the stats verb.
+  for (const serve::ClientStatsRow& row : server.client_stats())
+    std::fprintf(stderr,
+                 "# serve client %s: accepted=%llu served=%llu shed=%llu"
+                 " quarantined=%llu conserved=%s\n",
+                 row.id.c_str(),
+                 static_cast<unsigned long long>(row.n.accepted),
+                 static_cast<unsigned long long>(row.n.served()),
+                 static_cast<unsigned long long>(row.n.shed()),
+                 static_cast<unsigned long long>(row.n.quarantined),
+                 row.n.conserved() ? "yes" : "NO");
   print_store_stats();
   // run() only returns on the drain path, so the exit is the stable
   // interrupted code — scripts treat it exactly like an interrupted dse.
@@ -851,12 +902,24 @@ int cmd_call(int argc, char** argv) {
     return 0;
   }
 
+  serve::RetryPolicy policy;
+  policy.max_retries =
+      static_cast<int>(flag_value(argc, argv, "--max-retries", 0.0));
+  policy.jitter_seed = static_cast<std::uint64_t>(::getpid());
+
   int last = 0;
   for (int i = 0; i < repeat; ++i) {
     serve::Client client(serve::Transport::real(), ep, timeout_ms);
     if (!client.connected())
       throw Error(ErrorCode::kIo, "cannot connect to " + ep.str());
-    const serve::CallResult res = client.call(json, timeout_ms);
+    // Shed replies (retry_after_ms present) are retried with capped
+    // jittered backoff; the shed taxonomy exit happens only once the
+    // retry budget is spent.
+    const serve::RetryResult rr = client.call_retry(json, policy, timeout_ms);
+    const serve::CallResult& res = rr.last;
+    if (rr.attempts > 1)
+      std::fprintf(stderr, "# call: %d attempts, %d ms total backoff\n",
+                   rr.attempts, rr.total_backoff_ms);
     if (!res.transport_ok)
       throw Error(ErrorCode::kIo,
                   std::string("no reply (write ") +
